@@ -1,0 +1,78 @@
+//! Criterion companion to Fig. 11: verifiable historical queries over the
+//! DCert two-level index vs. the LineageChain-style skip list, at a near
+//! and a far time window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcert_baselines::lineage::{verify_lineage, LineageIndex};
+use dcert_query::history::verify_history;
+use dcert_query::HistoryIndex;
+use dcert_vm::StateKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CHAIN_LEN: u64 = 5_000;
+const WIDTH: u64 = 100;
+
+fn account(i: u64) -> StateKey {
+    StateKey::new("kvstore", format!("key-{i}").as_bytes())
+}
+
+fn build() -> (HistoryIndex, LineageIndex) {
+    let probe = account(0);
+    let mut dcert_idx = HistoryIndex::new("history");
+    let mut lineage_idx = LineageIndex::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    for height in 1..=CHAIN_LEN {
+        let mut writes: Vec<(StateKey, Option<Vec<u8>>)> =
+            vec![(probe, Some(format!("v{height}").into_bytes()))];
+        for _ in 0..4 {
+            let acct = rng.gen_range(1..500u64);
+            writes.push((account(acct), Some(vec![height as u8])));
+        }
+        writes.sort_by_key(|(k, _)| *k.as_hash());
+        writes.dedup_by_key(|(k, _)| *k.as_hash());
+        dcert_idx.apply_block(height, &writes);
+        lineage_idx.apply_block(height, &writes);
+    }
+    (dcert_idx, lineage_idx)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (dcert_idx, lineage_idx) = build();
+    let dcert_digest = dcert_idx.digest();
+    let lineage_digest = lineage_idx.digest();
+    let probe = account(0);
+
+    let mut group = c.benchmark_group("fig11_queries");
+    for &distance in &[500u64, CHAIN_LEN] {
+        let t2 = CHAIN_LEN - distance + WIDTH.min(distance);
+        let t1 = t2.saturating_sub(WIDTH);
+
+        group.bench_with_input(
+            BenchmarkId::new("dcert_query_verify", distance),
+            &(t1, t2),
+            |b, &(t1, t2)| {
+                b.iter(|| {
+                    let (results, proof) = dcert_idx.query(&probe, t1, t2);
+                    verify_history(&dcert_digest, &probe, t1, t2, &results, &proof).unwrap();
+                    results.len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lineage_query_verify", distance),
+            &(t1, t2),
+            |b, &(t1, t2)| {
+                b.iter(|| {
+                    let (results, proof) = lineage_idx.query(&probe, t1, t2);
+                    verify_lineage(&lineage_digest, &probe, t1, t2, &results, &proof).unwrap();
+                    results.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure 10: augmented vs. hierarchical certificate construction as the
+//! number of authenticated indexes grows (1–5).
+//!
+//! Paper result: the augmented scheme grows steeply (it replays block
+//! validation once per index), the hierarchical scheme only slightly (one
+//! block certificate plus cheap per-index ECalls); with a single index the
+//! augmented scheme is slightly faster (one fewer ECall).
+//!
+//! Run with: `cargo run --release -p dcert-bench --bin fig10_index_certs`
+
+use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE, INDEX_COUNTS};
+use dcert_bench::report::{banner, fmt_duration, json_mode};
+use dcert_bench::{Rig, RigConfig, Scheme};
+use dcert_query::sp::IndexKind;
+use dcert_sgx::CostModel;
+use dcert_workloads::Workload;
+
+fn indexes(count: usize) -> Vec<(IndexKind, String)> {
+    (0..count)
+        .map(|i| {
+            // Alternate index families, as a versatile deployment would.
+            if i % 2 == 0 {
+                (IndexKind::History, format!("history-{i}"))
+            } else {
+                (IndexKind::Inverted, format!("inverted-{i}"))
+            }
+        })
+        .collect()
+}
+
+fn measure(scheme: Scheme, count: usize, blocks: u64) -> (std::time::Duration, f64) {
+    let mut rig = Rig::new(RigConfig {
+        cost: CostModel::calibrated(),
+        indexes: indexes(count),
+    });
+    let result = rig.run(
+        Workload::KvStore { keyspace: 500 },
+        blocks,
+        DEFAULT_BLOCK_SIZE,
+        42,
+        scheme,
+    );
+    let avg = result.average();
+    (avg.total(), avg.ecalls)
+}
+
+fn main() {
+    banner(
+        "Figure 10: augmented vs hierarchical certificates vs #indexes",
+        "augmented steep-linear (replays per index); hierarchical shallow; \
+         augmented slightly ahead at 1 index",
+    );
+    let blocks = scaled(BLOCKS_PER_MEASUREMENT);
+    println!(
+        "{:>8} | {:>12} {:>7} | {:>12} {:>7}",
+        "#indexes", "augmented", "ecalls", "hierarchical", "ecalls"
+    );
+    println!("{}", "-".repeat(56));
+    let mut json_rows = Vec::new();
+    for &count in INDEX_COUNTS {
+        let (aug, aug_ecalls) = measure(Scheme::Augmented, count, blocks);
+        let (hier, hier_ecalls) = measure(Scheme::Hierarchical, count, blocks);
+        println!(
+            "{count:>8} | {:>12} {aug_ecalls:>7.1} | {:>12} {hier_ecalls:>7.1}",
+            fmt_duration(aug),
+            fmt_duration(hier),
+        );
+        json_rows.push(serde_json::json!({
+            "indexes": count,
+            "augmented_us": aug.as_secs_f64() * 1e6,
+            "hierarchical_us": hier.as_secs_f64() * 1e6,
+            "augmented_ecalls": aug_ecalls,
+            "hierarchical_ecalls": hier_ecalls,
+        }));
+    }
+    println!();
+    println!("(KV workload, block size = {DEFAULT_BLOCK_SIZE} txs, {blocks} blocks per point)");
+    if json_mode() {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 11: verifiable historical queries — latency (11a) and proof size
+//! (11b) vs. the distance of the queried time window from the latest
+//! block, DCert's two-level MPT+MB-tree index against the
+//! LineageChain-style skip-list index.
+//!
+//! Paper result: DCert is faster with smaller proofs at every distance;
+//! the skip-list baseline degrades as the window moves away from the tip
+//! (its traversal starts at the newest version).
+//!
+//! Run with: `cargo run --release -p dcert-bench --bin fig11_queries`
+
+use std::time::Instant;
+
+use dcert_baselines::lineage::{verify_lineage, LineageIndex};
+use dcert_bench::params::{scaled, QUERY_ACCOUNTS, QUERY_CHAIN_LENGTH, WINDOW_DISTANCES};
+use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
+use dcert_primitives::hash::Hash;
+use dcert_query::history::verify_history;
+use dcert_query::HistoryIndex;
+use dcert_vm::StateKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn account(i: u64) -> StateKey {
+    StateKey::new("kvstore", format!("key-{i}").as_bytes())
+}
+
+fn main() {
+    banner(
+        "Figure 11: verifiable query latency & proof size vs window distance",
+        "DCert (MPT + MB-tree) beats the LineageChain-style skip list on both axes",
+    );
+    let chain_len = scaled(QUERY_CHAIN_LENGTH);
+    let accounts = QUERY_ACCOUNTS;
+
+    // Build both indexes from the same update stream: every block updates
+    // a handful of the 500 tuples, and the probe account every block (so
+    // every window contains versions).
+    eprintln!("building {chain_len}-block indexes over {accounts} accounts...");
+    let probe = account(0);
+    let mut dcert_idx = HistoryIndex::new("history");
+    let mut lineage_idx = LineageIndex::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    for height in 1..=chain_len {
+        let mut writes: Vec<(StateKey, Option<Vec<u8>>)> = vec![(
+            probe,
+            Some(format!("probe-balance-{height}").into_bytes()),
+        )];
+        for _ in 0..4 {
+            let acct = rng.gen_range(1..accounts);
+            writes.push((
+                account(acct),
+                Some(format!("balance-{acct}-{height}").into_bytes()),
+            ));
+        }
+        writes.sort_by_key(|(k, _)| *k.as_hash());
+        writes.dedup_by_key(|(k, _)| *k.as_hash());
+        dcert_idx.apply_block(height, &writes);
+        lineage_idx.apply_block(height, &writes);
+    }
+    let dcert_digest = dcert_idx.digest();
+    let lineage_digest = lineage_idx.digest();
+
+    println!(
+        "{:>9} | {:>11} {:>11} {:>10} | {:>11} {:>11} {:>10}",
+        "distance", "DCert query", "verify", "proof", "LC query", "verify", "proof"
+    );
+    println!("{}", "-".repeat(86));
+    let mut json_rows = Vec::new();
+    for &distance in WINDOW_DISTANCES {
+        // The window reaches back `distance` blocks from the chain tip
+        // (the paper grows the window away from the latest block).
+        let distance = scaled(distance).min(chain_len);
+        let t2 = chain_len;
+        let t1 = chain_len - distance + 1;
+
+        // DCert two-level index.
+        let started = Instant::now();
+        let (d_results, d_proof) = dcert_idx.query(&probe, t1, t2);
+        let d_query = started.elapsed();
+        let started = Instant::now();
+        verify_history(&dcert_digest, &probe, t1, t2, &d_results, &d_proof)
+            .expect("dcert query verifies");
+        let d_verify = started.elapsed();
+
+        // LineageChain-style baseline.
+        let started = Instant::now();
+        let (l_results, l_proof) = lineage_idx.query(&probe, t1, t2);
+        let l_query = started.elapsed();
+        let started = Instant::now();
+        verify_lineage(&lineage_digest, &probe, t1, t2, &l_results, &l_proof)
+            .expect("baseline query verifies");
+        let l_verify = started.elapsed();
+
+        assert_eq!(d_results, l_results, "both indexes must agree");
+
+        println!(
+            "{distance:>9} | {:>11} {:>11} {:>10} | {:>11} {:>11} {:>10}",
+            fmt_duration(d_query),
+            fmt_duration(d_verify),
+            fmt_bytes(d_proof.size_bytes()),
+            fmt_duration(l_query),
+            fmt_duration(l_verify),
+            fmt_bytes(l_proof.size_bytes()),
+        );
+        json_rows.push(serde_json::json!({
+            "distance": distance,
+            "window": [t1, t2],
+            "results": d_results.len(),
+            "dcert_query_us": d_query.as_secs_f64() * 1e6,
+            "dcert_verify_us": d_verify.as_secs_f64() * 1e6,
+            "dcert_proof_bytes": d_proof.size_bytes(),
+            "lineage_query_us": l_query.as_secs_f64() * 1e6,
+            "lineage_verify_us": l_verify.as_secs_f64() * 1e6,
+            "lineage_proof_bytes": l_proof.size_bytes(),
+        }));
+    }
+    println!();
+    println!(
+        "(window = [tip-distance+1, tip]; probe account updated every block; \
+         digests: dcert {}, lineage {})",
+        short(&dcert_digest),
+        short(&lineage_digest)
+    );
+    if json_mode() {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}
+
+fn short(h: &Hash) -> String {
+    h.to_string()[..12].to_owned()
+}

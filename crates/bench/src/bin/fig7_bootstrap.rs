@@ -1,0 +1,96 @@
+//! Figure 7: bootstrapping costs — storage (7a) and chain-validation time
+//! (7b) of the traditional light client vs. the DCert superlight client,
+//! as the chain grows.
+//!
+//! Paper result: the light client grows linearly (7.93 GB of headers for
+//! Ethereum); the superlight client is constant at **2.97 KB** storage and
+//! **0.14 ms** validation.
+//!
+//! Run with: `cargo run --release -p dcert-bench --bin fig7_bootstrap`
+//! (use `DCERT_SCALE=0.05` for a quick pass).
+
+use std::time::Instant;
+
+use dcert_baselines::TraditionalLightClient;
+use dcert_bench::params::{scaled, CHAIN_LENGTHS};
+use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
+use dcert_bench::{Rig, RigConfig};
+use dcert_core::{expected_measurement, SuperlightClient};
+use dcert_sgx::CostModel;
+
+fn main() {
+    banner(
+        "Figure 7: bootstrapping cost (storage & validation time)",
+        "light client linear in chain length; superlight constant (~KB, sub-ms)",
+    );
+
+    let lengths: Vec<u64> = CHAIN_LENGTHS.iter().map(|&n| scaled(n)).collect();
+    let max = *lengths.last().expect("non-empty grid");
+
+    // Build one certified chain to the maximum length, checkpointing the
+    // certificate at each measured height.
+    eprintln!("building a certified {max}-block chain...");
+    let mut rig = Rig::new(RigConfig {
+        cost: CostModel::calibrated(),
+        indexes: Vec::new(),
+    });
+    let mut headers = vec![rig.genesis.header.clone()];
+    let mut checkpoints = std::collections::HashMap::new();
+    for height in 1..=max {
+        let block = rig.mine(Vec::new());
+        let (cert, _) = rig.ci.certify_block(&block).expect("certifies");
+        headers.push(block.header.clone());
+        if lengths.contains(&height) {
+            checkpoints.insert(height, (block.header.clone(), cert));
+        }
+        if height % 10_000 == 0 {
+            eprintln!("  ... {height}/{max}");
+        }
+    }
+
+    println!(
+        "{:>9} | {:>12} {:>12} {:>12} | {:>10} {:>12}",
+        "blocks", "LC storage", "LC (ETH eq)", "LC validate", "SL storage", "SL validate"
+    );
+    println!("{}", "-".repeat(80));
+    let mut json_rows = Vec::new();
+    for &height in &lengths {
+        // Traditional light client: store + validate every header.
+        let mut light = TraditionalLightClient::new(rig.genesis.header.clone()).unwrap();
+        for header in &headers[1..=height as usize] {
+            light
+                .sync(header.clone(), rig.engine.as_ref())
+                .expect("header syncs");
+        }
+        let started = Instant::now();
+        light.validate_all(rig.engine.as_ref()).expect("chain valid");
+        let light_time = started.elapsed();
+
+        // Superlight client: one header + one certificate.
+        let (header, cert) = &checkpoints[&height];
+        let mut client = SuperlightClient::new(rig.ias.public_key(), expected_measurement());
+        let started = Instant::now();
+        client.validate_chain(header, cert).expect("cert valid");
+        let superlight_time = started.elapsed();
+
+        println!(
+            "{height:>9} | {:>12} {:>12} {:>12} | {:>10} {:>12}",
+            fmt_bytes(light.storage_bytes()),
+            fmt_bytes(light.ethereum_equivalent_bytes()),
+            fmt_duration(light_time),
+            fmt_bytes(client.storage_bytes()),
+            fmt_duration(superlight_time),
+        );
+        json_rows.push(serde_json::json!({
+            "blocks": height,
+            "light_storage_bytes": light.storage_bytes(),
+            "light_storage_eth_equiv_bytes": light.ethereum_equivalent_bytes(),
+            "light_validate_us": light_time.as_secs_f64() * 1e6,
+            "superlight_storage_bytes": client.storage_bytes(),
+            "superlight_validate_us": superlight_time.as_secs_f64() * 1e6,
+        }));
+    }
+    if json_mode() {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 9: impact of block size (number of transactions) on certificate
+//! construction, for the two macro workloads KVStore and SmallBank.
+//!
+//! Paper result: construction time grows with the number of transactions;
+//! the enclave share grows as the marshalled read/write sets and Merkle
+//! proofs grow; the total stays within a practical range.
+//!
+//! Run with: `cargo run --release -p dcert-bench --bin fig9_block_size`
+
+use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, BLOCK_SIZES};
+use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
+use dcert_bench::{Rig, RigConfig, Scheme};
+use dcert_sgx::CostModel;
+use dcert_workloads::Workload;
+
+fn main() {
+    banner(
+        "Figure 9: impact of block size on certificate construction (KV, SB)",
+        "cost grows with #txs; enclave share grows with marshalled r/w-set bytes",
+    );
+    let blocks = scaled(BLOCKS_PER_MEASUREMENT);
+    let workloads = [
+        Workload::KvStore { keyspace: 500 },
+        Workload::SmallBank { customers: 500 },
+    ];
+    println!(
+        "{:>4} {:>6} | {:>10} {:>10} | {:>10} {:>9} | {:>10} {:>9}",
+        "", "#txs", "rw-set", "proof-gen", "enclave", "overhead", "total", "req bytes"
+    );
+    println!("{}", "-".repeat(82));
+    let mut json_rows = Vec::new();
+    for workload in workloads {
+        for &size in BLOCK_SIZES {
+            let mut rig = Rig::new(RigConfig {
+                cost: CostModel::calibrated(),
+                indexes: Vec::new(),
+            });
+            let result = rig.run(workload, blocks, size, 42, Scheme::BlockOnly);
+            let avg = result.average();
+            println!(
+                "{:>4} {size:>6} | {:>10} {:>10} | {:>10} {:>8.2}x | {:>10} {:>9}",
+                workload.label(),
+                fmt_duration(avg.rw_set_gen),
+                fmt_duration(avg.proof_gen),
+                fmt_duration(avg.enclave_total),
+                avg.overhead_factor(),
+                fmt_duration(avg.total()),
+                fmt_bytes(avg.request_bytes as usize),
+            );
+            json_rows.push(serde_json::json!({
+                "workload": workload.label(),
+                "block_size": size,
+                "rw_set_us": avg.rw_set_gen.as_secs_f64() * 1e6,
+                "proof_gen_us": avg.proof_gen.as_secs_f64() * 1e6,
+                "enclave_total_us": avg.enclave_total.as_secs_f64() * 1e6,
+                "overhead_factor": avg.overhead_factor(),
+                "total_us": avg.total().as_secs_f64() * 1e6,
+                "request_bytes": avg.request_bytes,
+            }));
+        }
+        println!("{}", "-".repeat(82));
+    }
+    if json_mode() {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 1: the system parameters of the evaluation (defaults in bold in
+//! the paper; marked with `*` here), plus the substitutions this
+//! reproduction makes.
+//!
+//! Run with: `cargo run -p dcert-bench --bin table1_params`
+
+use dcert_bench::params::*;
+
+fn main() {
+    println!("== Table 1: system parameters ==\n");
+    println!(
+        "{:<38} {}",
+        "chain length (Fig. 7)",
+        list(CHAIN_LENGTHS, Some(1))
+    );
+    println!(
+        "{:<38} {}",
+        "block size / #txs (Figs. 8-9)",
+        list(BLOCK_SIZES, BLOCK_SIZES.iter().position(|&b| b == DEFAULT_BLOCK_SIZE))
+    );
+    println!(
+        "{:<38} {}",
+        "#authenticated indexes (Fig. 10)",
+        list(INDEX_COUNTS, Some(0))
+    );
+    println!(
+        "{:<38} {}",
+        "time-window distance (Fig. 11)",
+        list(WINDOW_DISTANCES, Some(0))
+    );
+    println!("{:<38} {}", "time-window width (blocks)", WINDOW_WIDTH);
+    println!("{:<38} {}", "query chain length", QUERY_CHAIN_LENGTH);
+    println!("{:<38} {}", "key-value tuples (queries)", QUERY_ACCOUNTS);
+    println!(
+        "{:<38} {} (paper: {})",
+        "sender accounts", SENDER_ACCOUNTS, PAPER_SENDER_ACCOUNTS
+    );
+    println!(
+        "{:<38} DN, CPU, IO (micro); KV, SB (macro)",
+        "Blockbench workloads"
+    );
+    println!();
+    println!("defaults marked with *; scale all counts with DCERT_SCALE=<f>.");
+}
+
+fn list<T: std::fmt::Display + Copy>(values: &[T], default_idx: Option<usize>) -> String {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if Some(i) == default_idx {
+                format!("{v}*")
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -1,0 +1,285 @@
+//! The shared experiment rig: miner + CI + SP + client on one genesis.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dcert_chain::{Block, ChainState, ConsensusEngine, FullNode, GenesisBuilder, ProofOfAuthority};
+use dcert_core::{
+    expected_measurement, CertBreakdown, CertificateIssuer, Certificate, SuperlightClient,
+};
+use dcert_primitives::hash::Address;
+use dcert_primitives::keys::Keypair;
+use dcert_query::sp::IndexKind;
+use dcert_query::ServiceProvider;
+use dcert_sgx::{AttestationService, CostModel};
+use dcert_vm::Executor;
+use dcert_workloads::{blockbench_registry, Workload, WorkloadGen};
+
+use crate::params::SENDER_ACCOUNTS;
+
+/// Which certificate scheme the rig drives per block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Algorithm 1/2: block certificates only.
+    BlockOnly,
+    /// Algorithm 4: one augmented certificate per index.
+    Augmented,
+    /// Algorithm 5: a block certificate plus light per-index certificates.
+    Hierarchical,
+}
+
+/// Rig configuration.
+#[derive(Debug, Clone)]
+pub struct RigConfig {
+    /// The simulated SGX cost model.
+    pub cost: CostModel,
+    /// Indexes registered on the SP/enclave (kind, name).
+    pub indexes: Vec<(IndexKind, String)>,
+}
+
+impl Default for RigConfig {
+    fn default() -> Self {
+        RigConfig {
+            cost: CostModel::calibrated(),
+            indexes: Vec::new(),
+        }
+    }
+}
+
+/// A complete experiment world: one miner, one CI (with enclave + IAS),
+/// one SP, one superlight client — proof-of-authority sealed so chain
+/// building never dominates the measurement.
+pub struct Rig {
+    pub miner: FullNode,
+    pub ci: CertificateIssuer,
+    pub sp: ServiceProvider,
+    pub ias: AttestationService,
+    pub client: SuperlightClient,
+    pub engine: Arc<dyn ConsensusEngine>,
+    pub genesis: Block,
+    pub genesis_state: ChainState,
+    pub executor: Executor,
+    timestamp: u64,
+}
+
+impl Rig {
+    /// Builds a rig.
+    pub fn new(config: RigConfig) -> Self {
+        let sealer = Keypair::from_seed([0x5e; 32]);
+        let authority = sealer.public();
+        let engine: Arc<dyn ConsensusEngine> =
+            Arc::new(ProofOfAuthority::new_sealer(vec![authority], sealer));
+        let executor = Executor::new(Arc::new(blockbench_registry()));
+        let (genesis, genesis_state) = GenesisBuilder::new().timestamp(1_700_000_000).build();
+
+        let miner = FullNode::new(
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+            Address::from_seed(1),
+        );
+        let mut sp = ServiceProvider::new(
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+        );
+        for (kind, name) in &config.indexes {
+            sp.add_index(*kind, name);
+        }
+        let mut ias = AttestationService::with_seed([0xA5; 32]);
+        let ci = CertificateIssuer::new(
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+            sp.verifiers(),
+            &mut ias,
+            config.cost,
+        )
+        .expect("CI boots");
+        let client = SuperlightClient::new(ias.public_key(), expected_measurement());
+
+        Rig {
+            miner,
+            ci,
+            sp,
+            ias,
+            client,
+            engine,
+            genesis,
+            genesis_state,
+            executor,
+            timestamp: 1_700_000_000,
+        }
+    }
+
+    /// Builds a workload generator with the standard sender pool.
+    pub fn generator(&self, workload: Workload, seed: u64) -> WorkloadGen {
+        WorkloadGen::new(workload, SENDER_ACCOUNTS, seed)
+    }
+
+    /// Mines the next block with `txs`.
+    pub fn mine(&mut self, txs: Vec<dcert_chain::Transaction>) -> Block {
+        self.timestamp += 15;
+        self.miner.mine(txs, self.timestamp).expect("mining succeeds")
+    }
+
+    /// Mines + certifies `blocks` blocks of `workload` under `scheme`,
+    /// returning per-block breakdowns and the latest block+certificate.
+    pub fn run(
+        &mut self,
+        workload: Workload,
+        blocks: u64,
+        txs_per_block: usize,
+        seed: u64,
+        scheme: Scheme,
+    ) -> RunResult {
+        let mut gen = self.generator(workload, seed);
+        let mut breakdowns = Vec::with_capacity(blocks as usize);
+        let mut latest: Option<(Block, Certificate)> = None;
+        for _ in 0..blocks {
+            let block = self.mine(gen.next_block(txs_per_block));
+            match scheme {
+                Scheme::BlockOnly => {
+                    assert!(
+                        self.sp.verifiers().is_empty(),
+                        "block-only runs must not register indexes"
+                    );
+                    let (cert, breakdown) =
+                        self.ci.certify_block(&block).expect("certification succeeds");
+                    breakdowns.push(breakdown);
+                    latest = Some((block, cert));
+                }
+                Scheme::Augmented => {
+                    let inputs = self.sp.stage_block(&block).expect("sp applies");
+                    let (certs, breakdown) = self
+                        .ci
+                        .certify_augmented(&block, &inputs)
+                        .expect("certification succeeds");
+                    self.sp.record_certs(&certs);
+                    breakdowns.push(breakdown);
+                    latest = Some((block, certs.into_iter().next().expect("≥1 index")));
+                }
+                Scheme::Hierarchical => {
+                    let inputs = self.sp.stage_block(&block).expect("sp applies");
+                    let (block_cert, certs, breakdown) = self
+                        .ci
+                        .certify_hierarchical(&block, &inputs)
+                        .expect("certification succeeds");
+                    self.sp.record_certs(&certs);
+                    breakdowns.push(breakdown);
+                    latest = Some((block, block_cert));
+                }
+            }
+        }
+        let (block, cert) = latest.expect("at least one block");
+        RunResult {
+            breakdowns,
+            latest_block: block,
+            latest_cert: cert,
+        }
+    }
+}
+
+/// The outcome of [`Rig::run`].
+pub struct RunResult {
+    /// One breakdown per certified block.
+    pub breakdowns: Vec<CertBreakdown>,
+    /// The chain tip.
+    pub latest_block: Block,
+    /// Its certificate (block or augmented, per scheme).
+    pub latest_cert: Certificate,
+}
+
+impl RunResult {
+    /// Averages the breakdowns (skipping the first block as warm-up when
+    /// more than two were measured).
+    pub fn average(&self) -> AvgBreakdown {
+        let slice = if self.breakdowns.len() > 2 {
+            &self.breakdowns[1..]
+        } else {
+            &self.breakdowns[..]
+        };
+        let n = slice.len() as u32;
+        let mut avg = AvgBreakdown::default();
+        for b in slice {
+            avg.rw_set_gen += b.rw_set_gen;
+            avg.proof_gen += b.proof_gen;
+            avg.enclave_total += b.enclave_total;
+            avg.enclave_overhead += b.enclave_overhead;
+            avg.enclave_trusted += b.enclave_trusted;
+            avg.request_bytes += b.request_bytes as f64;
+            avg.ecalls += b.ecalls as f64;
+        }
+        avg.rw_set_gen /= n;
+        avg.proof_gen /= n;
+        avg.enclave_total /= n;
+        avg.enclave_overhead /= n;
+        avg.enclave_trusted /= n;
+        avg.request_bytes /= f64::from(n);
+        avg.ecalls /= f64::from(n);
+        avg
+    }
+}
+
+/// Averaged certificate-construction breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvgBreakdown {
+    pub rw_set_gen: Duration,
+    pub proof_gen: Duration,
+    pub enclave_total: Duration,
+    pub enclave_overhead: Duration,
+    pub enclave_trusted: Duration,
+    pub request_bytes: f64,
+    pub ecalls: f64,
+}
+
+impl AvgBreakdown {
+    /// Total average construction time.
+    pub fn total(&self) -> Duration {
+        self.rw_set_gen + self.proof_gen + self.enclave_total
+    }
+
+    /// The enclave slowdown factor: time with boundary costs over the pure
+    /// trusted compute time (the paper reports ≤ ~1.8×).
+    pub fn overhead_factor(&self) -> f64 {
+        if self.enclave_trusted.is_zero() {
+            1.0
+        } else {
+            self.enclave_total.as_secs_f64() / self.enclave_trusted.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_runs_all_schemes() {
+        let mut rig = Rig::new(RigConfig {
+            cost: CostModel::zero(),
+            indexes: vec![(IndexKind::History, "history".into())],
+        });
+        let result = rig.run(Workload::KvStore { keyspace: 16 }, 3, 2, 1, Scheme::Hierarchical);
+        assert_eq!(result.breakdowns.len(), 3);
+        assert!(result.average().total() > Duration::ZERO);
+
+        let mut rig2 = Rig::new(RigConfig {
+            cost: CostModel::zero(),
+            indexes: vec![(IndexKind::History, "history".into())],
+        });
+        let result2 = rig2.run(Workload::KvStore { keyspace: 16 }, 2, 2, 1, Scheme::Augmented);
+        assert_eq!(result2.breakdowns.len(), 2);
+
+        let mut rig3 = Rig::new(RigConfig::default());
+        let result3 = rig3.run(Workload::DoNothing, 2, 1, 1, Scheme::BlockOnly);
+        assert_eq!(result3.breakdowns.len(), 2);
+        // The client validates the tip.
+        rig3.client
+            .validate_chain(&result3.latest_block.header, &result3.latest_cert)
+            .unwrap();
+    }
+}

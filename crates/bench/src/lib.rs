@@ -1,0 +1,31 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 7).
+//!
+//! Two entry points per experiment:
+//!
+//! - a **binary** (`cargo run --release -p dcert-bench --bin figN_...`)
+//!   that prints the same rows/series the paper reports (and JSON with
+//!   `--json`), and
+//! - a **criterion bench** (`cargo bench -p dcert-bench`) measuring the
+//!   same operations statistically.
+//!
+//! | Experiment | Binary | Criterion bench |
+//! |---|---|---|
+//! | Table 1 (parameters) | `table1_params` | — |
+//! | Fig. 7a/b (bootstrapping) | `fig7_bootstrap` | `bootstrap` |
+//! | Fig. 8 (cert construction by workload) | `fig8_cert_construction` | `certification` |
+//! | Fig. 9 (impact of block size) | `fig9_block_size` | `certification` |
+//! | Fig. 10 (augmented vs hierarchical) | `fig10_index_certs` | `index_certs` |
+//! | Fig. 11a/b (verifiable queries) | `fig11_queries` | `queries` |
+//!
+//! Scale every experiment down/up with the `DCERT_SCALE` environment
+//! variable (default 1.0): chain lengths and block counts are multiplied
+//! by it, so `DCERT_SCALE=0.1` gives a quick smoke run.
+
+pub mod harness;
+pub mod naive;
+pub mod params;
+pub mod report;
+
+pub use harness::{Rig, RigConfig, Scheme};
+pub use params::{scale, scaled};

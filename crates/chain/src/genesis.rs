@@ -1,0 +1,115 @@
+//! Deterministic genesis construction.
+
+use dcert_primitives::hash::{Address, Hash};
+use dcert_vm::StateKey;
+
+use crate::block::{Block, BlockHeader};
+use crate::consensus::ConsensusProof;
+use crate::state::ChainState;
+
+/// Builds a genesis block plus its initial state.
+///
+/// The genesis digest is the trust anchor of the whole certificate chain:
+/// Algorithm 2 hard-codes `H_genesis` inside the enclave (line 4), so every
+/// party — miner, full nodes, CI, enclave, clients — must derive the exact
+/// same block from the same allocation.
+///
+/// ```
+/// use dcert_chain::GenesisBuilder;
+/// use dcert_vm::StateKey;
+///
+/// let (block_a, _) = GenesisBuilder::new()
+///     .allocate(StateKey::new("bank", b"alice"), b"100".to_vec())
+///     .build();
+/// let (block_b, _) = GenesisBuilder::new()
+///     .allocate(StateKey::new("bank", b"alice"), b"100".to_vec())
+///     .build();
+/// assert_eq!(block_a.hash(), block_b.hash());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GenesisBuilder {
+    allocations: Vec<(StateKey, Vec<u8>)>,
+    timestamp: u64,
+}
+
+impl GenesisBuilder {
+    /// Creates a builder with no allocations and timestamp 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-populates a state entry.
+    pub fn allocate(mut self, key: StateKey, value: Vec<u8>) -> Self {
+        self.allocations.push((key, value));
+        self
+    }
+
+    /// Sets the genesis timestamp.
+    pub fn timestamp(mut self, timestamp: u64) -> Self {
+        self.timestamp = timestamp;
+        self
+    }
+
+    /// Builds the genesis block and its state.
+    pub fn build(self) -> (Block, ChainState) {
+        let mut state = ChainState::new();
+        for (key, value) in self.allocations {
+            state.set(key, value);
+        }
+        let header = BlockHeader {
+            height: 0,
+            prev_hash: Hash::ZERO,
+            state_root: state.root(),
+            tx_root: Hash::ZERO,
+            timestamp: self.timestamp,
+            miner: Address::default(),
+            consensus: ConsensusProof::Pow {
+                difficulty_bits: 0,
+                nonce: 0,
+            },
+        };
+        (
+            Block {
+                header,
+                txs: Vec::new(),
+            },
+            state,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_genesis_is_deterministic() {
+        let (a, _) = GenesisBuilder::new().build();
+        let (b, _) = GenesisBuilder::new().build();
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.height(), 0);
+        assert!(a.header.prev_hash.is_zero());
+        assert!(a.txs.is_empty());
+    }
+
+    #[test]
+    fn allocations_change_the_digest() {
+        let (plain, _) = GenesisBuilder::new().build();
+        let (funded, state) = GenesisBuilder::new()
+            .allocate(StateKey::new("bank", b"alice"), b"100".to_vec())
+            .build();
+        assert_ne!(plain.hash(), funded.hash());
+        assert_eq!(funded.header.state_root, state.root());
+        assert_eq!(
+            state.get(&StateKey::new("bank", b"alice")),
+            Some(b"100".as_slice())
+        );
+    }
+
+    #[test]
+    fn timestamp_changes_the_digest() {
+        let (a, _) = GenesisBuilder::new().timestamp(1).build();
+        let (b, _) = GenesisBuilder::new().timestamp(2).build();
+        assert_ne!(a.hash(), b.hash());
+    }
+}

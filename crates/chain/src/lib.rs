@@ -1,0 +1,43 @@
+//! Blockchain substrate for DCert.
+//!
+//! DCert is "compatible with existing blockchain systems" (design goal G2
+//! of the paper): it treats the chain as a black box exposing block headers
+//! `⟨H_prev, π_cons, H_state, H_tx⟩`, Merkle-authenticated global state,
+//! and deterministic transaction execution. This crate provides that black
+//! box — an Ethereum-style prototype chain:
+//!
+//! - [`tx`]: Ed25519-signed transactions wrapping VM [`Call`]s,
+//! - [`block`]: headers and blocks with the exact four header fields of
+//!   Fig. 1 (plus height/timestamp/miner metadata),
+//! - [`consensus`]: pluggable consensus engines — proof-of-work with a
+//!   leading-zero-bits difficulty target, and proof-of-authority for tests,
+//! - [`state`]: the global state as a sparse-Merkle-tree commitment
+//!   implementing the VM's [`StateReader`],
+//! - [`store`]: a fork-aware header/block store with longest-chain
+//!   selection,
+//! - [`node`]: a mining/validating full node that executes blocks and
+//!   maintains tip state,
+//! - [`genesis`]: deterministic genesis construction.
+//!
+//! [`Call`]: dcert_vm::Call
+//! [`StateReader`]: dcert_vm::StateReader
+
+pub mod block;
+pub mod consensus;
+pub mod error;
+pub mod genesis;
+pub mod mempool;
+pub mod node;
+pub mod state;
+pub mod store;
+pub mod tx;
+
+pub use block::{Block, BlockHeader};
+pub use consensus::{ConsensusEngine, ConsensusProof, ProofOfAuthority, ProofOfWork};
+pub use error::ChainError;
+pub use genesis::GenesisBuilder;
+pub use mempool::Mempool;
+pub use node::FullNode;
+pub use state::ChainState;
+pub use store::ChainStore;
+pub use tx::{address_of, Transaction};

@@ -1,0 +1,191 @@
+//! A transaction mempool.
+//!
+//! Miners "collect transactions from the blockchain network" (Section 2.1
+//! of the paper) before proposing blocks. This pool provides that staging
+//! area: signature-checked admission, duplicate rejection, FIFO block
+//! assembly with a size limit, and pruning of committed transactions.
+
+use std::collections::{HashSet, VecDeque};
+
+use dcert_primitives::hash::Hash;
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::tx::Transaction;
+
+/// A FIFO transaction pool with signature-checked admission.
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    queue: VecDeque<Transaction>,
+    known: HashSet<Hash>,
+    capacity: usize,
+}
+
+impl Mempool {
+    /// Default maximum number of pending transactions.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a pool with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a pool holding at most `capacity` pending transactions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Mempool {
+            queue: VecDeque::new(),
+            known: HashSet::new(),
+            capacity,
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Admits a transaction after verifying its signature; duplicates (by
+    /// transaction id) are rejected idempotently.
+    ///
+    /// Returns `true` if the transaction was newly admitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signature/sender validation failures, and
+    /// [`ChainError::MempoolFull`] at capacity.
+    pub fn submit(&mut self, tx: Transaction) -> Result<bool, ChainError> {
+        tx.verify()?;
+        let id = tx.id();
+        if self.known.contains(&id) {
+            return Ok(false);
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(ChainError::MempoolFull(self.capacity));
+        }
+        self.known.insert(id);
+        self.queue.push_back(tx);
+        Ok(true)
+    }
+
+    /// Takes up to `max` transactions for block assembly (FIFO). Taken
+    /// transactions leave the pool; their ids stay known until
+    /// [`Mempool::prune_committed`] or [`Mempool::forget`].
+    pub fn take(&mut self, max: usize) -> Vec<Transaction> {
+        let n = max.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Forgets the ids of `block`'s transactions so re-submissions of
+    /// *new* transactions are unaffected by the known-set growing forever.
+    pub fn prune_committed(&mut self, block: &Block) {
+        for tx in &block.txs {
+            self.known.remove(&tx.id());
+        }
+    }
+
+    /// Drops a pending transaction by id (e.g. after it appeared in a
+    /// block mined elsewhere). Returns `true` if it was pending.
+    pub fn forget(&mut self, id: &Hash) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|tx| tx.id() != *id);
+        self.known.remove(id);
+        self.queue.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_primitives::keys::Keypair;
+
+    fn tx(seed: u8, nonce: u64) -> Transaction {
+        Transaction::sign(&Keypair::from_seed([seed; 32]), nonce, "kv", vec![seed])
+    }
+
+    #[test]
+    fn admits_and_takes_fifo() {
+        let mut pool = Mempool::new();
+        for nonce in 0..5 {
+            assert!(pool.submit(tx(1, nonce)).unwrap());
+        }
+        assert_eq!(pool.len(), 5);
+        let batch = pool.take(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].nonce, 0);
+        assert_eq!(batch[2].nonce, 2);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let mut pool = Mempool::new();
+        let t = tx(1, 0);
+        assert!(pool.submit(t.clone()).unwrap());
+        assert!(!pool.submit(t).unwrap());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn invalid_signatures_rejected() {
+        let mut pool = Mempool::new();
+        let mut bad = tx(1, 0);
+        bad.nonce = 99;
+        assert!(pool.submit(bad).is_err());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut pool = Mempool::with_capacity(2);
+        pool.submit(tx(1, 0)).unwrap();
+        pool.submit(tx(1, 1)).unwrap();
+        assert!(matches!(
+            pool.submit(tx(1, 2)),
+            Err(ChainError::MempoolFull(2))
+        ));
+    }
+
+    #[test]
+    fn taken_ids_stay_known_until_pruned() {
+        let mut pool = Mempool::new();
+        let t = tx(1, 0);
+        pool.submit(t.clone()).unwrap();
+        let batch = pool.take(1);
+        // Still known: re-gossip of the same tx is ignored.
+        assert!(!pool.submit(t.clone()).unwrap());
+        // After the block commits, the id can be forgotten.
+        let block = Block {
+            header: crate::block::BlockHeader {
+                height: 1,
+                prev_hash: Hash::ZERO,
+                state_root: Hash::ZERO,
+                tx_root: Block::tx_root(&batch),
+                timestamp: 0,
+                miner: dcert_primitives::hash::Address::default(),
+                consensus: crate::consensus::ConsensusProof::Pow {
+                    difficulty_bits: 0,
+                    nonce: 0,
+                },
+            },
+            txs: batch,
+        };
+        pool.prune_committed(&block);
+        assert!(pool.submit(t).unwrap(), "forgotten id can be resubmitted");
+    }
+
+    #[test]
+    fn forget_drops_pending() {
+        let mut pool = Mempool::new();
+        let t = tx(1, 0);
+        let id = t.id();
+        pool.submit(t).unwrap();
+        assert!(pool.forget(&id));
+        assert!(pool.is_empty());
+        assert!(!pool.forget(&id));
+    }
+}

@@ -1,0 +1,388 @@
+//! A mining/validating full node.
+
+use std::sync::Arc;
+
+use dcert_primitives::hash::{Address, Hash};
+use dcert_vm::{BlockExecution, Call, Executor, StateKey};
+
+use crate::block::{Block, BlockHeader};
+use crate::consensus::{ConsensusEngine, ConsensusProof};
+use crate::error::ChainError;
+use crate::state::ChainState;
+use crate::tx::Transaction;
+
+/// A full node: executes, validates, and (optionally) proposes blocks,
+/// maintaining the canonical-chain tip state.
+///
+/// In DCert's system model (Fig. 2 of the paper) both the miner and the
+/// Certificate Issuer are full nodes; the CI (`dcert-core`) wraps this type
+/// and adds the enclave-backed certification pipeline.
+#[derive(Clone)]
+pub struct FullNode {
+    executor: Executor,
+    engine: Arc<dyn ConsensusEngine>,
+    tip: BlockHeader,
+    state: ChainState,
+    miner: Address,
+}
+
+impl std::fmt::Debug for FullNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FullNode")
+            .field("height", &self.tip.height)
+            .field("tip", &self.tip.hash())
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}
+
+impl FullNode {
+    /// Creates a node at the given genesis block and state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genesis state root does not match the genesis header —
+    /// that is a construction bug, not a runtime condition.
+    pub fn new(
+        genesis: &Block,
+        genesis_state: ChainState,
+        executor: Executor,
+        engine: Arc<dyn ConsensusEngine>,
+        miner: Address,
+    ) -> Self {
+        assert_eq!(
+            genesis.header.state_root,
+            genesis_state.root(),
+            "genesis state root mismatch"
+        );
+        FullNode {
+            executor,
+            engine,
+            tip: genesis.header.clone(),
+            state: genesis_state,
+            miner,
+        }
+    }
+
+    /// Creates a node at an arbitrary checkpoint `(header, state)` instead
+    /// of genesis — used when bootstrapping from a snapshot whose
+    /// authenticity the caller has already established (e.g. through a
+    /// DCert certificate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`'s root does not match the checkpoint header —
+    /// callers must verify the snapshot before constructing a node on it.
+    pub fn new_at_checkpoint(
+        header: BlockHeader,
+        state: ChainState,
+        executor: Executor,
+        engine: Arc<dyn ConsensusEngine>,
+        miner: Address,
+    ) -> Self {
+        assert_eq!(
+            header.state_root,
+            state.root(),
+            "checkpoint state root mismatch"
+        );
+        FullNode {
+            executor,
+            engine,
+            tip: header,
+            state,
+            miner,
+        }
+    }
+
+    /// The current tip header.
+    pub fn tip(&self) -> &BlockHeader {
+        &self.tip
+    }
+
+    /// The current chain height.
+    pub fn height(&self) -> u64 {
+        self.tip.height
+    }
+
+    /// The tip state.
+    pub fn state(&self) -> &ChainState {
+        &self.state
+    }
+
+    /// The node's executor (shared contract semantics).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The node's consensus engine.
+    pub fn engine(&self) -> &Arc<dyn ConsensusEngine> {
+        &self.engine
+    }
+
+    /// Executes `txs` against the tip state without committing anything,
+    /// returning the block execution (read/write sets).
+    pub fn execute(&self, txs: &[Transaction]) -> BlockExecution {
+        let calls: Vec<Call> = txs.iter().map(|tx| tx.call.clone()).collect();
+        self.executor.execute_block(&self.state, &calls)
+    }
+
+    /// Predicts the post-state root of `execution` without mutating state.
+    pub fn predicted_state_root(&self, execution: &BlockExecution) -> Hash {
+        let touched = execution.touched_keys();
+        let proof = self.state.prove(&touched);
+        let writes: Vec<(Hash, Option<Hash>)> = execution
+            .writes
+            .iter()
+            .map(|(k, v)| {
+                (
+                    *k.as_hash(),
+                    v.as_ref().map(dcert_primitives::hash::hash_bytes),
+                )
+            })
+            .collect();
+        proof
+            .updated_root(&writes)
+            .expect("proof covers every written key")
+    }
+
+    /// Builds and seals the next block from `txs` (transactions with
+    /// invalid signatures are rejected up front). Does **not** advance the
+    /// chain — call [`FullNode::apply`] with the returned block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transaction validation error, or a consensus
+    /// sealing error.
+    pub fn propose(&self, txs: Vec<Transaction>, timestamp: u64) -> Result<Block, ChainError> {
+        for tx in &txs {
+            tx.verify()?;
+        }
+        let execution = self.execute(&txs);
+        let state_root = self.predicted_state_root(&execution);
+        let mut header = BlockHeader {
+            height: self.tip.height + 1,
+            prev_hash: self.tip.hash(),
+            state_root,
+            tx_root: Block::tx_root(&txs),
+            timestamp,
+            miner: self.miner,
+            consensus: ConsensusProof::Pow {
+                difficulty_bits: 0,
+                nonce: 0,
+            },
+        };
+        self.engine.seal(&mut header)?;
+        Ok(Block { header, txs })
+    }
+
+    /// Fully validates `block` against the tip and commits it: header
+    /// linkage and height, consensus proof, transaction root and
+    /// signatures, re-execution, and state-root agreement.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ChainError`] leaves the node unchanged.
+    pub fn apply(&mut self, block: &Block) -> Result<(), ChainError> {
+        let tip_hash = self.tip.hash();
+        if block.header.prev_hash != tip_hash {
+            return Err(ChainError::BrokenLink {
+                claimed: block.header.prev_hash,
+                actual: tip_hash,
+            });
+        }
+        if block.header.height != self.tip.height + 1 {
+            return Err(ChainError::BadHeight {
+                parent: self.tip.height,
+                child: block.header.height,
+            });
+        }
+        self.engine.verify(&block.header)?;
+        block.verify_tx_root()?;
+        for tx in &block.txs {
+            tx.verify()?;
+        }
+        let execution = self.execute(&block.txs);
+        if self.predicted_state_root(&execution) != block.header.state_root {
+            return Err(ChainError::StateRootMismatch);
+        }
+        self.state.apply_writes(execution.writes.iter());
+        debug_assert_eq!(self.state.root(), block.header.state_root);
+        self.tip = block.header.clone();
+        Ok(())
+    }
+
+    /// Convenience: propose and immediately apply a block, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proposal and validation errors.
+    pub fn mine(&mut self, txs: Vec<Transaction>, timestamp: u64) -> Result<Block, ChainError> {
+        let block = self.propose(txs, timestamp)?;
+        self.apply(&block)?;
+        Ok(block)
+    }
+
+    /// Replaces the tip and state wholesale, asserting only root
+    /// consistency. The caller must have validated the whole transition by
+    /// other means — DCert's CI uses this after the *enclave* has verified
+    /// a batch of blocks, avoiding a redundant local re-execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`'s root does not match `header.state_root`.
+    pub fn adopt_validated(&mut self, header: BlockHeader, state: ChainState) {
+        assert_eq!(
+            header.state_root,
+            state.root(),
+            "adopted state root mismatch"
+        );
+        self.tip = header;
+        self.state = state;
+    }
+
+    /// Direct state write used only when bootstrapping test fixtures; not
+    /// reachable from block processing.
+    #[doc(hidden)]
+    pub fn state_mut_for_tests(&mut self) -> &mut ChainState {
+        &mut self.state
+    }
+
+    /// Reads a state value at the tip.
+    pub fn read_state(&self, key: &StateKey) -> Option<Vec<u8>> {
+        self.state.get(key).map(<[u8]>::to_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{ProofOfAuthority, ProofOfWork};
+    use crate::genesis::GenesisBuilder;
+    use dcert_primitives::keys::Keypair;
+    use dcert_vm::ContractRegistry;
+
+    fn node(engine: Arc<dyn ConsensusEngine>) -> FullNode {
+        let (genesis, state) = GenesisBuilder::new().build();
+        let mut registry = ContractRegistry::new();
+        registry.register(Arc::new(dcert_vm::testing::CounterContract));
+        FullNode::new(
+            &genesis,
+            state,
+            Executor::new(Arc::new(registry)),
+            engine,
+            Address::from_seed(99),
+        )
+    }
+
+    fn bump_tx(seed: u8, nonce: u64) -> Transaction {
+        Transaction::sign(&Keypair::from_seed([seed; 32]), nonce, "counter", b"bump".to_vec())
+    }
+
+    #[test]
+    fn mine_and_apply_advances_chain() {
+        let mut node = node(Arc::new(ProofOfWork::new(4)));
+        let b1 = node.mine(vec![bump_tx(1, 0)], 1).unwrap();
+        assert_eq!(node.height(), 1);
+        assert_eq!(node.tip().hash(), b1.hash());
+        let b2 = node.mine(vec![bump_tx(1, 1), bump_tx(2, 0)], 2).unwrap();
+        assert_eq!(node.height(), 2);
+        assert_eq!(b2.header.prev_hash, b1.hash());
+        // Counter bumped three times in total.
+        let value = node
+            .read_state(&StateKey::new("counter", b"value"))
+            .unwrap();
+        assert_eq!(value, 3u64.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let mut node = node(Arc::new(ProofOfWork::new(2)));
+        let b1 = node.mine(Vec::new(), 1).unwrap();
+        assert_eq!(b1.header.tx_root, Hash::ZERO);
+        assert_eq!(b1.header.state_root, node.state().root());
+    }
+
+    #[test]
+    fn rejects_tampered_state_root() {
+        let mut node = node(Arc::new(ProofOfAuthority::new_sealer(
+            vec![Keypair::from_seed([9; 32]).public()],
+            Keypair::from_seed([9; 32]),
+        )));
+        let mut block = node.propose(vec![bump_tx(1, 0)], 1).unwrap();
+        block.header.state_root = Hash::ZERO;
+        // Reseal so consensus passes and the state check is what trips.
+        node.engine().seal(&mut block.header).unwrap();
+        assert_eq!(node.apply(&block), Err(ChainError::StateRootMismatch));
+        assert_eq!(node.height(), 0, "node must be unchanged");
+    }
+
+    #[test]
+    fn rejects_broken_link_and_height() {
+        let mut node = node(Arc::new(ProofOfWork::new(2)));
+        let block = node.propose(Vec::new(), 1).unwrap();
+        let mut wrong_link = block.clone();
+        wrong_link.header.prev_hash = Hash::ZERO;
+        assert!(matches!(
+            node.apply(&wrong_link),
+            Err(ChainError::BrokenLink { .. })
+        ));
+        let mut wrong_height = block;
+        wrong_height.header.height = 7;
+        assert!(matches!(
+            node.apply(&wrong_height),
+            Err(ChainError::BadHeight { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tx_signature_in_block() {
+        let mut node = node(Arc::new(ProofOfWork::new(2)));
+        let mut tx = bump_tx(1, 0);
+        tx.nonce = 99; // invalidates the signature
+        let block = Block {
+            header: BlockHeader {
+                height: 1,
+                prev_hash: node.tip().hash(),
+                state_root: node.state().root(),
+                tx_root: Block::tx_root(std::slice::from_ref(&tx)),
+                timestamp: 1,
+                miner: Address::default(),
+                consensus: ConsensusProof::Pow {
+                    difficulty_bits: 0,
+                    nonce: 0,
+                },
+            },
+            txs: vec![tx],
+        };
+        let mut sealed = block;
+        node.engine().seal(&mut sealed.header).unwrap();
+        // Need matching difficulty: engine is PoW(2), seal produced that.
+        assert_eq!(node.apply(&sealed), Err(ChainError::BadTxSignature));
+    }
+
+    #[test]
+    fn rejects_unsealed_block() {
+        let mut node = node(Arc::new(ProofOfWork::new(16)));
+        let block = node.propose(Vec::new(), 1).unwrap();
+        let mut unsealed = block;
+        unsealed.header.consensus = ConsensusProof::Pow {
+            difficulty_bits: 16,
+            nonce: 0,
+        };
+        // Nonce 0 almost certainly fails a 16-bit target; if it passes by
+        // luck the block is simply valid, so only assert on the common case.
+        if node.apply(&unsealed).is_ok() {
+            return;
+        }
+        assert_eq!(node.height(), 0);
+    }
+
+    #[test]
+    fn predicted_root_matches_committed_root() {
+        let mut node = node(Arc::new(ProofOfWork::new(2)));
+        for i in 0..10u64 {
+            let block = node.mine(vec![bump_tx(1, i)], i).unwrap();
+            assert_eq!(block.header.state_root, node.state().root());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Certification error types.
+
+use std::fmt;
+
+use dcert_chain::ChainError;
+use dcert_merkle::ProofError;
+use dcert_primitives::error::CodecError;
+use dcert_sgx::SgxError;
+
+/// Why a certificate failed to construct or verify.
+///
+/// Every arm of Algorithms 2–5 that can reject maps to a variant, so tests
+/// can assert *which* check caught a forgery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// The attestation report failed IAS-signature verification.
+    Attestation(SgxError),
+    /// The report's measurement is not the expected certificate program.
+    WrongMeasurement,
+    /// The report does not bind the certificate's `pk_enc`.
+    KeyBindingMismatch,
+    /// The certificate signature does not verify under `pk_enc`.
+    BadSignature,
+    /// The certificate digest does not match the presented header/index.
+    DigestMismatch,
+    /// A non-genesis parent was presented without a certificate.
+    MissingPrevCert,
+    /// The claimed parent of the genesis block did not match the
+    /// hard-coded genesis digest.
+    GenesisMismatch,
+    /// Header-level validation failed (linkage, height, consensus, tx root,
+    /// tx signatures).
+    Chain(ChainError),
+    /// A Merkle proof failed.
+    Proof(ProofError),
+    /// The supplied read set disagrees with its authenticated proof.
+    ReadSetMismatch,
+    /// Replayed execution did not reproduce the block's state root.
+    StateRootMismatch,
+    /// The claimed index digest does not match the recomputed one.
+    IndexDigestMismatch,
+    /// The claimed write set does not transform the parent state root into
+    /// the block's state root.
+    WriteSetMismatch,
+    /// No verifier is registered for the named index type.
+    UnknownIndexType(String),
+    /// An index update's auxiliary data failed to decode or apply.
+    BadIndexUpdate(&'static str),
+    /// The enclave has not completed key initialization.
+    NotInitialized,
+    /// A request or response failed to (de)serialize at the ECall boundary.
+    Codec(CodecError),
+    /// The enclave rejected the request; the reason string is the trusted
+    /// program's error rendered across the byte-level boundary.
+    EnclaveRejected(String),
+    /// The presented header violates the chain-selection rule
+    /// (Algorithm 3, line 8).
+    ChainSelection {
+        /// Height the client already trusts.
+        current: u64,
+        /// Height that was offered.
+        offered: u64,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::Attestation(e) => write!(f, "attestation failed: {e}"),
+            CertError::WrongMeasurement => write!(f, "unexpected enclave measurement"),
+            CertError::KeyBindingMismatch => {
+                write!(f, "attestation report does not bind pk_enc")
+            }
+            CertError::BadSignature => write!(f, "certificate signature invalid"),
+            CertError::DigestMismatch => write!(f, "certificate digest mismatch"),
+            CertError::MissingPrevCert => write!(f, "missing previous certificate"),
+            CertError::GenesisMismatch => write!(f, "genesis digest mismatch"),
+            CertError::Chain(e) => write!(f, "block validation failed: {e}"),
+            CertError::Proof(e) => write!(f, "merkle proof failed: {e}"),
+            CertError::ReadSetMismatch => {
+                write!(f, "read set disagrees with its authenticated proof")
+            }
+            CertError::StateRootMismatch => {
+                write!(f, "replayed execution does not reach the claimed state root")
+            }
+            CertError::IndexDigestMismatch => write!(f, "index digest mismatch"),
+            CertError::WriteSetMismatch => {
+                write!(f, "write set does not connect the certified state roots")
+            }
+            CertError::UnknownIndexType(name) => write!(f, "unknown index type: {name}"),
+            CertError::BadIndexUpdate(why) => write!(f, "bad index update: {why}"),
+            CertError::NotInitialized => write!(f, "enclave key not initialized"),
+            CertError::Codec(e) => write!(f, "ecall boundary codec error: {e}"),
+            CertError::EnclaveRejected(reason) => write!(f, "enclave rejected: {reason}"),
+            CertError::ChainSelection { current, offered } => write!(
+                f,
+                "chain selection violated: have height {current}, offered {offered}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl From<SgxError> for CertError {
+    fn from(e: SgxError) -> Self {
+        CertError::Attestation(e)
+    }
+}
+
+impl From<ChainError> for CertError {
+    fn from(e: ChainError) -> Self {
+        CertError::Chain(e)
+    }
+}
+
+impl From<ProofError> for CertError {
+    fn from(e: ProofError) -> Self {
+        CertError::Proof(e)
+    }
+}
+
+impl From<CodecError> for CertError {
+    fn from(e: CodecError) -> Self {
+        CertError::Codec(e)
+    }
+}

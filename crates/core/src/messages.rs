@@ -1,0 +1,375 @@
+//! The ECall boundary protocol.
+//!
+//! Real SGX ECalls marshal opaque byte buffers; the simulated enclave does
+//! the same (and charges the cost model by byte), so every request and
+//! response here has a canonical binary encoding. The message sizes are the
+//! "data passed into the enclave" whose growth drives the enclave-overhead
+//! curves of Figures 8–9.
+
+use dcert_chain::{Block, BlockHeader};
+use dcert_merkle::SmtProof;
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::Hash;
+use dcert_primitives::keys::{PublicKey, Signature};
+use dcert_vm::StateKey;
+
+use crate::cert::Certificate;
+
+/// A pre-state read set: `{r}_i` of Algorithm 1.
+pub type ReadSet = Vec<(StateKey, Option<Vec<u8>>)>;
+
+/// A write set: `{w}_i` (`None` = deletion).
+pub type WriteSet = Vec<(StateKey, Option<Vec<u8>>)>;
+
+/// One link of a batch request: a block with its read set and state
+/// proof, validated against the preceding link's (or the batch anchor's)
+/// header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchLink {
+    /// The block `blk_i`.
+    pub block: Block,
+    /// Its authenticated read set `{r}_i`.
+    pub reads: ReadSet,
+    /// Its update proof `π_i` against the preceding state root.
+    pub state_proof: SmtProof,
+}
+
+/// The block-validation inputs shared by Algorithms 2 and 4: everything
+/// `blk_verify_t` consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInput {
+    /// The previous block's header `hdr_{i-1}`.
+    pub prev_header: BlockHeader,
+    /// The previous block's certificate (absent iff parent is genesis).
+    pub prev_cert: Option<Certificate>,
+    /// The new block `blk_i` (header and transactions).
+    pub block: Block,
+    /// The authenticated read set `{r}_i`.
+    pub reads: ReadSet,
+    /// The update proof `π_i` over reads ∪ writes against
+    /// `prev_header.state_root`.
+    pub state_proof: SmtProof,
+}
+
+/// The per-index inputs shared by Algorithms 4 and 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexInput {
+    /// Registered verifier type (e.g. `"history"`, `"inverted"`).
+    pub index_type: String,
+    /// `H_{i-1}^{idx}`.
+    pub prev_digest: Hash,
+    /// `cert_{i-1}^{idx}` (absent iff parent is genesis).
+    pub prev_cert: Option<Certificate>,
+    /// The claimed `H_i^{idx}`.
+    pub new_digest: Hash,
+    /// Index-specific update proof (`π_i^{idx}`), encoded by the verifier's
+    /// companion prover.
+    pub aux: Vec<u8>,
+}
+
+/// A request crossing into the enclave.
+// Variant sizes intentionally differ: requests are built once and
+// immediately serialized across the boundary, so boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcallRequest {
+    /// Generate `(sk_enc, pk_enc)` inside the enclave; returns `pk_enc`.
+    Init,
+    /// Algorithm 2: validate the chain transition and sign `H(hdr_i)`.
+    SigGen(BlockInput),
+    /// Algorithm 4: validate the chain transition *and* one index update;
+    /// sign `H(H(hdr_i) ‖ H_i^{idx})`.
+    AugSigGen(BlockInput, IndexInput),
+    /// Algorithm 5 (per-index step): reuse the block certificate instead of
+    /// replaying; validate one index update; sign `H(H(hdr_i) ‖ H_i^{idx})`.
+    IdxSigGen(Box<IdxRequest>),
+    /// Batch extension: validate `links` as consecutive chain transitions
+    /// from the anchor `(prev_header, prev_cert)` and sign the **last**
+    /// header — amortizing the ECall and recursive-verification cost. The
+    /// recursive trust argument is unchanged: the final certificate still
+    /// vouches for the whole prefix.
+    BatchSigGen {
+        /// The batch anchor's header.
+        prev_header: BlockHeader,
+        /// The anchor's certificate (absent iff the anchor is genesis).
+        prev_cert: Option<Certificate>,
+        /// Consecutive blocks extending the anchor.
+        links: Vec<BatchLink>,
+    },
+}
+
+/// The hierarchical per-index request (Algorithm 5, loop body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxRequest {
+    /// `hdr_{i-1}`.
+    pub prev_header: BlockHeader,
+    /// `hdr_i`.
+    pub header: BlockHeader,
+    /// The block itself (keyword-style verifiers read transaction bodies).
+    pub block: Block,
+    /// `cert_i` — the block certificate produced by `gen_cert`.
+    pub block_cert: Certificate,
+    /// The claimed block write set `{w}_i`.
+    pub writes: WriteSet,
+    /// Proof of `{w}_i` against `prev_header.state_root`.
+    pub write_proof: SmtProof,
+    /// The index-update inputs.
+    pub index: IndexInput,
+}
+
+/// A response crossing out of the enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcallResponse {
+    /// `Init` succeeded; here is `pk_enc`.
+    Initialized(PublicKey),
+    /// A signature over the requested digest.
+    Signature(Signature),
+    /// The trusted program rejected the request.
+    Rejected(String),
+}
+
+// --- codec ----------------------------------------------------------------
+
+fn encode_kv_set(set: &[(StateKey, Option<Vec<u8>>)], out: &mut Vec<u8>) {
+    encode_seq(set, out);
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_kv_set(r: &mut Reader<'_>) -> Result<Vec<(StateKey, Option<Vec<u8>>)>, CodecError> {
+    decode_seq(r)
+}
+
+impl Encode for BatchLink {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.block.encode(out);
+        encode_kv_set(&self.reads, out);
+        self.state_proof.encode(out);
+    }
+}
+
+impl Decode for BatchLink {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BatchLink {
+            block: Block::decode(r)?,
+            reads: decode_kv_set(r)?,
+            state_proof: SmtProof::decode(r)?,
+        })
+    }
+}
+
+impl Encode for BlockInput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.prev_header.encode(out);
+        self.prev_cert.encode(out);
+        self.block.encode(out);
+        encode_kv_set(&self.reads, out);
+        self.state_proof.encode(out);
+    }
+}
+
+impl Decode for BlockInput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BlockInput {
+            prev_header: BlockHeader::decode(r)?,
+            prev_cert: Option::<Certificate>::decode(r)?,
+            block: Block::decode(r)?,
+            reads: decode_kv_set(r)?,
+            state_proof: SmtProof::decode(r)?,
+        })
+    }
+}
+
+impl Encode for IndexInput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index_type.encode(out);
+        self.prev_digest.encode(out);
+        self.prev_cert.encode(out);
+        self.new_digest.encode(out);
+        self.aux.encode(out);
+    }
+}
+
+impl Decode for IndexInput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(IndexInput {
+            index_type: String::decode(r)?,
+            prev_digest: Hash::decode(r)?,
+            prev_cert: Option::<Certificate>::decode(r)?,
+            new_digest: Hash::decode(r)?,
+            aux: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for IdxRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.prev_header.encode(out);
+        self.header.encode(out);
+        self.block.encode(out);
+        self.block_cert.encode(out);
+        encode_kv_set(&self.writes, out);
+        self.write_proof.encode(out);
+        self.index.encode(out);
+    }
+}
+
+impl Decode for IdxRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(IdxRequest {
+            prev_header: BlockHeader::decode(r)?,
+            header: BlockHeader::decode(r)?,
+            block: Block::decode(r)?,
+            block_cert: Certificate::decode(r)?,
+            writes: decode_kv_set(r)?,
+            write_proof: SmtProof::decode(r)?,
+            index: IndexInput::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EcallRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EcallRequest::Init => out.push(0),
+            EcallRequest::SigGen(input) => {
+                out.push(1);
+                input.encode(out);
+            }
+            EcallRequest::AugSigGen(block, index) => {
+                out.push(2);
+                block.encode(out);
+                index.encode(out);
+            }
+            EcallRequest::IdxSigGen(req) => {
+                out.push(3);
+                req.encode(out);
+            }
+            EcallRequest::BatchSigGen {
+                prev_header,
+                prev_cert,
+                links,
+            } => {
+                out.push(4);
+                prev_header.encode(out);
+                prev_cert.encode(out);
+                encode_seq(links, out);
+            }
+        }
+    }
+}
+
+impl Decode for EcallRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(EcallRequest::Init),
+            1 => Ok(EcallRequest::SigGen(BlockInput::decode(r)?)),
+            2 => Ok(EcallRequest::AugSigGen(
+                BlockInput::decode(r)?,
+                IndexInput::decode(r)?,
+            )),
+            3 => Ok(EcallRequest::IdxSigGen(Box::new(IdxRequest::decode(r)?))),
+            4 => Ok(EcallRequest::BatchSigGen {
+                prev_header: BlockHeader::decode(r)?,
+                prev_cert: Option::<Certificate>::decode(r)?,
+                links: decode_seq(r)?,
+            }),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+impl Encode for EcallResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EcallResponse::Initialized(pk) => {
+                out.push(0);
+                pk.encode(out);
+            }
+            EcallResponse::Signature(sig) => {
+                out.push(1);
+                sig.encode(out);
+            }
+            EcallResponse::Rejected(reason) => {
+                out.push(2);
+                reason.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for EcallResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(EcallResponse::Initialized(PublicKey::decode(r)?)),
+            1 => Ok(EcallResponse::Signature(Signature::decode(r)?)),
+            2 => Ok(EcallResponse::Rejected(String::decode(r)?)),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_chain::consensus::ConsensusProof;
+    use dcert_primitives::hash::{hash_bytes, Address};
+
+    fn header() -> BlockHeader {
+        BlockHeader {
+            height: 1,
+            prev_hash: hash_bytes(b"prev"),
+            state_root: hash_bytes(b"state"),
+            tx_root: Hash::ZERO,
+            timestamp: 7,
+            miner: Address::from_seed(1),
+            consensus: ConsensusProof::Pow {
+                difficulty_bits: 2,
+                nonce: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn init_round_trip() {
+        let req = EcallRequest::Init;
+        assert_eq!(
+            EcallRequest::decode_all(&req.to_encoded_bytes()).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn sig_gen_round_trip() {
+        let input = BlockInput {
+            prev_header: header(),
+            prev_cert: None,
+            block: Block {
+                header: header(),
+                txs: Vec::new(),
+            },
+            reads: vec![(StateKey::new("kv", b"a"), Some(b"1".to_vec()))],
+            state_proof: dcert_merkle::SparseMerkleTree::new().prove(&[hash_bytes(b"k")]),
+        };
+        let req = EcallRequest::SigGen(input);
+        assert_eq!(
+            EcallRequest::decode_all(&req.to_encoded_bytes()).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let rejected = EcallResponse::Rejected("nope".to_owned());
+        assert_eq!(
+            EcallResponse::decode_all(&rejected.to_encoded_bytes()).unwrap(),
+            rejected
+        );
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(EcallRequest::decode_all(&[42]).is_err());
+        assert!(EcallResponse::decode_all(&[42]).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! An in-process gossip network for the certification workflow.
+//!
+//! Fig. 2 of the paper describes the runtime loop: (1) the CI synchronizes
+//! blocks, (2) certifies each with the enclave, (3) **broadcasts the
+//! certificate to the blockchain network**, and (4) superlight clients
+//! validate from the published certificates. This module provides the
+//! broadcast fabric — a topic-less gossip bus over crossbeam channels —
+//! so miners, CIs, SPs, and clients can run as real concurrent actors
+//! (see the `live_network` example and the `network_workflow` integration
+//! test).
+//!
+//! The bus makes no delivery-order promises beyond per-publisher FIFO,
+//! mirroring gossip semantics; consumers handle reordering (the
+//! superlight client's chain-selection rule already does).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use dcert_chain::{Block, BlockHeader};
+use dcert_primitives::hash::Hash;
+
+use crate::cert::Certificate;
+
+/// A message on the gossip network.
+#[derive(Debug, Clone)]
+pub enum NetMessage {
+    /// A freshly mined block (miner → everyone).
+    Block(Block),
+    /// A block certificate (CI → everyone); carries the header so
+    /// superlight clients need nothing else.
+    BlockCert {
+        /// The certified header.
+        header: BlockHeader,
+        /// Its certificate.
+        cert: Certificate,
+    },
+    /// An index certificate (CI → everyone).
+    IndexCert {
+        /// The certified header.
+        header: BlockHeader,
+        /// The registered index name.
+        index: String,
+        /// The certified index digest.
+        digest: Hash,
+        /// Its certificate.
+        cert: Certificate,
+    },
+    /// Orderly shutdown marker (simulation control, not a protocol item).
+    Shutdown,
+}
+
+/// A broadcast gossip bus: every published message reaches every
+/// subscriber (including ones that joined later only for future messages).
+#[derive(Default)]
+pub struct Gossip {
+    subscribers: Mutex<Vec<Sender<NetMessage>>>,
+}
+
+impl std::fmt::Debug for Gossip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gossip")
+            .field("subscribers", &self.subscribers.lock().len())
+            .finish()
+    }
+}
+
+impl Gossip {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins the network, returning this node's inbound message stream.
+    pub fn join(&self) -> Receiver<NetMessage> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Broadcasts a message to every current subscriber. Disconnected
+    /// subscribers (dropped receivers) are pruned.
+    pub fn publish(&self, message: NetMessage) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(message.clone()).is_ok());
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_chain::consensus::ConsensusProof;
+    use dcert_primitives::hash::Address;
+
+    fn header(height: u64) -> BlockHeader {
+        BlockHeader {
+            height,
+            prev_hash: Hash::ZERO,
+            state_root: Hash::ZERO,
+            tx_root: Hash::ZERO,
+            timestamp: height,
+            miner: Address::default(),
+            consensus: ConsensusProof::Pow {
+                difficulty_bits: 0,
+                nonce: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn every_subscriber_sees_every_message() {
+        let bus = Gossip::new();
+        let rx1 = bus.join();
+        let rx2 = bus.join();
+        bus.publish(NetMessage::Block(Block {
+            header: header(1),
+            txs: Vec::new(),
+        }));
+        bus.publish(NetMessage::Shutdown);
+        for rx in [rx1, rx2] {
+            assert!(matches!(rx.recv().unwrap(), NetMessage::Block(_)));
+            assert!(matches!(rx.recv().unwrap(), NetMessage::Shutdown));
+        }
+    }
+
+    #[test]
+    fn late_joiners_get_only_future_messages() {
+        let bus = Gossip::new();
+        bus.publish(NetMessage::Shutdown); // no one listening
+        let rx = bus.join();
+        bus.publish(NetMessage::Block(Block {
+            header: header(2),
+            txs: Vec::new(),
+        }));
+        assert!(matches!(rx.recv().unwrap(), NetMessage::Block(b) if b.header.height == 2));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus = Gossip::new();
+        let rx = bus.join();
+        drop(rx);
+        let _rx2 = bus.join();
+        assert_eq!(bus.subscriber_count(), 2);
+        bus.publish(NetMessage::Shutdown);
+        assert_eq!(bus.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn per_publisher_order_is_fifo() {
+        let bus = Gossip::new();
+        let rx = bus.join();
+        for height in 1..=10u64 {
+            bus.publish(NetMessage::Block(Block {
+                header: header(height),
+                txs: Vec::new(),
+            }));
+        }
+        for height in 1..=10u64 {
+            match rx.recv().unwrap() {
+                NetMessage::Block(b) => assert_eq!(b.header.height, height),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The trusted certificate program (runs *inside* the enclave).
+//!
+//! This module is the in-enclave half of DCert: Algorithm 2
+//! (`ecall_sig_gen` with `blk_verify_t` and `cert_verify_t`), the trusted
+//! part of Algorithm 4 (augmented certificates), and the per-index loop
+//! body of Algorithm 5 (hierarchical certificates). It is loaded into a
+//! [`dcert_sgx::Enclave`], which measures it and confines the enclave key
+//! `sk_enc` — generated here on the `Init` ECall — behind the boundary.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use dcert_chain::{BlockHeader, ConsensusEngine};
+use dcert_primitives::codec::{Decode, Encode};
+use dcert_primitives::hash::Hash;
+use dcert_primitives::keys::{Keypair, PublicKey, Signature};
+use dcert_sgx::enclave::{measure, Sealable};
+use dcert_sgx::TrustedApp;
+use dcert_vm::{CallStatus, Executor, ReadSetState, StateKey, VmError};
+use rand::rngs::OsRng;
+
+use crate::cert::Certificate;
+use crate::error::CertError;
+use crate::messages::{
+    BatchLink, BlockInput, EcallRequest, EcallResponse, IdxRequest, IndexInput, WriteSet,
+};
+use crate::verifier::IndexVerifier;
+
+/// The measured code identity of the certificate program.
+///
+/// In real SGX the measurement covers the enclave image — program logic,
+/// the consensus rules, the contract semantics, and the registered index
+/// verifiers. Bump the version when any of those change.
+pub const CODE_IDENTITY: &[u8] = b"dcert-certificate-program-v1";
+
+/// Returns the expected measurement of [`CertProgram`] — what superlight
+/// clients pin as their trust anchor.
+pub fn expected_measurement() -> Hash {
+    measure(CODE_IDENTITY)
+}
+
+/// The trusted certificate program.
+///
+/// Holds, inside the enclave: the hard-coded genesis digest, the IAS root
+/// key (to validate previous certificates recursively), the deterministic
+/// executor and consensus engine (shared chain semantics), the index
+/// verifiers, and — after `Init` — the signing key `sk_enc`.
+pub struct CertProgram {
+    genesis_digest: Hash,
+    ias_key: PublicKey,
+    executor: Executor,
+    engine: Arc<dyn ConsensusEngine>,
+    verifiers: HashMap<String, Box<dyn IndexVerifier>>,
+    keypair: Option<Keypair>,
+}
+
+impl CertProgram {
+    /// Builds the program (pre-launch; nothing is trusted yet).
+    pub fn new(
+        genesis_digest: Hash,
+        ias_key: PublicKey,
+        executor: Executor,
+        engine: Arc<dyn ConsensusEngine>,
+        verifiers: Vec<Box<dyn IndexVerifier>>,
+    ) -> Self {
+        let verifiers = verifiers
+            .into_iter()
+            .map(|v| (v.type_name().to_owned(), v))
+            .collect();
+        CertProgram {
+            genesis_digest,
+            ias_key,
+            executor,
+            engine,
+            verifiers,
+            keypair: None,
+        }
+    }
+
+    fn own_measurement(&self) -> Hash {
+        expected_measurement()
+    }
+
+    fn keypair(&self) -> Result<&Keypair, CertError> {
+        self.keypair.as_ref().ok_or(CertError::NotInitialized)
+    }
+
+    /// Dispatches a decoded request — the logic behind the byte-level
+    /// [`TrustedApp::call`]. Public so tests can assert on typed
+    /// [`CertError`]s rather than boundary-rendered strings.
+    pub fn handle(&mut self, request: EcallRequest) -> Result<EcallResponse, CertError> {
+        match request {
+            EcallRequest::Init => {
+                let kp = self
+                    .keypair
+                    .get_or_insert_with(|| Keypair::generate(&mut OsRng));
+                Ok(EcallResponse::Initialized(kp.public()))
+            }
+            EcallRequest::SigGen(input) => {
+                let sig = self.sig_gen(&input)?;
+                Ok(EcallResponse::Signature(sig))
+            }
+            EcallRequest::AugSigGen(block_input, index_input) => {
+                let sig = self.aug_sig_gen(&block_input, &index_input)?;
+                Ok(EcallResponse::Signature(sig))
+            }
+            EcallRequest::IdxSigGen(req) => {
+                let sig = self.idx_sig_gen(&req)?;
+                Ok(EcallResponse::Signature(sig))
+            }
+            EcallRequest::BatchSigGen {
+                prev_header,
+                prev_cert,
+                links,
+            } => {
+                let sig = self.batch_sig_gen(&prev_header, prev_cert.as_ref(), &links)?;
+                Ok(EcallResponse::Signature(sig))
+            }
+        }
+    }
+
+    /// Batch extension of Algorithm 2: one anchor check, then sequential
+    /// `blk_verify_t` per link, one signature over the final header. The
+    /// returned certificate vouches for the whole prefix exactly as a
+    /// per-block certificate would (recursion is unchanged; intermediate
+    /// certificates are simply never materialized).
+    fn batch_sig_gen(
+        &self,
+        prev_header: &BlockHeader,
+        prev_cert: Option<&Certificate>,
+        links: &[BatchLink],
+    ) -> Result<Signature, CertError> {
+        if links.is_empty() {
+            return Err(CertError::EnclaveRejected("empty batch".into()));
+        }
+        self.verify_prev_block(prev_header, prev_cert)?;
+        let mut anchor = prev_header.clone();
+        for link in links {
+            let input = BlockInput {
+                prev_header: anchor,
+                prev_cert: None, // the anchor chain is verified in-batch
+                block: link.block.clone(),
+                reads: link.reads.clone(),
+                state_proof: link.state_proof.clone(),
+            };
+            self.blk_verify(&input)?;
+            anchor = link.block.header.clone();
+        }
+        let kp = self.keypair()?;
+        Ok(kp.sign(anchor.hash().as_bytes()))
+    }
+
+    /// Algorithm 2: `ecall_sig_gen`.
+    fn sig_gen(&self, input: &BlockInput) -> Result<Signature, CertError> {
+        self.verify_prev_block(&input.prev_header, input.prev_cert.as_ref())?;
+        self.blk_verify(input)?;
+        let kp = self.keypair()?;
+        Ok(kp.sign(input.block.header.hash().as_bytes()))
+    }
+
+    /// Algorithm 4: augmented certificate (block + one index, one ECall).
+    fn aug_sig_gen(
+        &self,
+        block_input: &BlockInput,
+        index_input: &IndexInput,
+    ) -> Result<Signature, CertError> {
+        let verifier = self.verifier(&index_input.index_type)?;
+        // Lines 3–6: validate the previous augmented certificate, or the
+        // genesis anchors for both the chain and the index.
+        if block_input.prev_header.height == 0 {
+            if block_input.prev_header.hash() != self.genesis_digest {
+                return Err(CertError::GenesisMismatch);
+            }
+            if index_input.prev_digest != verifier.genesis_digest() {
+                return Err(CertError::GenesisMismatch);
+            }
+        } else {
+            let cert = index_input
+                .prev_cert
+                .as_ref()
+                .ok_or(CertError::MissingPrevCert)?;
+            let expected = Certificate::index_digest(
+                &block_input.prev_header.hash(),
+                &index_input.prev_digest,
+            );
+            cert.verify(&self.ias_key, &self.own_measurement(), &expected)?;
+        }
+        // Line 7: full block validation (replay), yielding the write set.
+        let writes = self.blk_verify(block_input)?;
+        // Lines 8–10: recompute the index digest from the update proof.
+        let new_digest = verifier.verify_update(
+            &index_input.prev_digest,
+            &block_input.block,
+            &writes,
+            &index_input.aux,
+        )?;
+        if new_digest != index_input.new_digest {
+            return Err(CertError::IndexDigestMismatch);
+        }
+        // Line 12: sign H(H(hdr_i) ‖ H_i^idx).
+        let digest =
+            Certificate::index_digest(&block_input.block.header.hash(), &new_digest);
+        let kp = self.keypair()?;
+        Ok(kp.sign(digest.as_bytes()))
+    }
+
+    /// Algorithm 5, loop body: hierarchical index certificate. The block is
+    /// validated through its *certificate* (line 10) instead of re-replay.
+    fn idx_sig_gen(&self, req: &IdxRequest) -> Result<Signature, CertError> {
+        let verifier = self.verifier(&req.index.index_type)?;
+        let header_digest = req.header.hash();
+        // Line 10: the block certificate vouches for hdr_i.
+        req.block_cert
+            .verify(&self.ias_key, &self.own_measurement(), &header_digest)?;
+        // Linkage: hdr_i commits to hdr_{i-1}, so the parent header (and
+        // its state root) is authentic once cert_i checks out.
+        if req.header.prev_hash != req.prev_header.hash() {
+            return Err(CertError::Chain(dcert_chain::ChainError::BrokenLink {
+                claimed: req.header.prev_hash,
+                actual: req.prev_header.hash(),
+            }));
+        }
+        if req.header.height != req.prev_header.height + 1 {
+            return Err(CertError::Chain(dcert_chain::ChainError::BadHeight {
+                parent: req.prev_header.height,
+                child: req.header.height,
+            }));
+        }
+        // The block body must be the certified one (verifiers may read tx
+        // payloads, e.g. for keyword indexes).
+        if req.block.header.hash() != header_digest {
+            return Err(CertError::DigestMismatch);
+        }
+        req.block.verify_tx_root()?;
+        // Lines 5–9: previous index certificate or genesis anchors.
+        if req.prev_header.height == 0 {
+            if req.prev_header.hash() != self.genesis_digest {
+                return Err(CertError::GenesisMismatch);
+            }
+            if req.index.prev_digest != verifier.genesis_digest() {
+                return Err(CertError::GenesisMismatch);
+            }
+        } else {
+            let cert = req
+                .index
+                .prev_cert
+                .as_ref()
+                .ok_or(CertError::MissingPrevCert)?;
+            let expected =
+                Certificate::index_digest(&req.prev_header.hash(), &req.index.prev_digest);
+            cert.verify(&self.ias_key, &self.own_measurement(), &expected)?;
+        }
+        // Authenticate the claimed write set without replaying: it must
+        // transform the certified parent state root into the certified new
+        // state root.
+        req.write_proof
+            .verify(&req.prev_header.state_root)
+            .map_err(CertError::Proof)?;
+        let write_hashes = hash_writes(&req.writes);
+        let reached = req
+            .write_proof
+            .updated_root(&write_hashes)
+            .map_err(CertError::Proof)?;
+        if reached != req.header.state_root {
+            return Err(CertError::WriteSetMismatch);
+        }
+        // Lines 11–13: recompute the index digest.
+        let new_digest = verifier.verify_update(
+            &req.index.prev_digest,
+            &req.block,
+            &req.writes,
+            &req.index.aux,
+        )?;
+        if new_digest != req.index.new_digest {
+            return Err(CertError::IndexDigestMismatch);
+        }
+        // Line 15: sign H(H(hdr_i) ‖ H_i^idx).
+        let digest = Certificate::index_digest(&header_digest, &new_digest);
+        let kp = self.keypair()?;
+        Ok(kp.sign(digest.as_bytes()))
+    }
+
+    fn verifier(&self, name: &str) -> Result<&dyn IndexVerifier, CertError> {
+        self.verifiers
+            .get(name)
+            .map(|v| v.as_ref())
+            .ok_or_else(|| CertError::UnknownIndexType(name.to_owned()))
+    }
+
+    /// `cert_verify_t` on the previous block, or the genesis anchor
+    /// (Algorithm 2, lines 3–6).
+    fn verify_prev_block(
+        &self,
+        prev_header: &BlockHeader,
+        prev_cert: Option<&Certificate>,
+    ) -> Result<(), CertError> {
+        if prev_header.height == 0 {
+            if prev_header.hash() != self.genesis_digest {
+                return Err(CertError::GenesisMismatch);
+            }
+            return Ok(());
+        }
+        let cert = prev_cert.ok_or(CertError::MissingPrevCert)?;
+        cert.verify(&self.ias_key, &self.own_measurement(), &prev_header.hash())
+    }
+
+    /// `blk_verify_t` (Algorithm 2, lines 10–24). Returns the replayed
+    /// write set for index verifiers.
+    fn blk_verify(&self, input: &BlockInput) -> Result<WriteSet, CertError> {
+        let prev = &input.prev_header;
+        let header = &input.block.header;
+        // Line 14: linkage and height.
+        if header.prev_hash != prev.hash() {
+            return Err(CertError::Chain(dcert_chain::ChainError::BrokenLink {
+                claimed: header.prev_hash,
+                actual: prev.hash(),
+            }));
+        }
+        if header.height != prev.height + 1 {
+            return Err(CertError::Chain(dcert_chain::ChainError::BadHeight {
+                parent: prev.height,
+                child: header.height,
+            }));
+        }
+        // Line 15: consensus proof.
+        self.engine.verify(header)?;
+        // Line 16: transaction commitment and signatures (line 19).
+        input.block.verify_tx_root()?;
+        for tx in &input.block.txs {
+            tx.verify()?;
+        }
+        // Line 17: authenticate the read set against H_{i-1}^s.
+        input
+            .state_proof
+            .verify(&prev.state_root)
+            .map_err(CertError::Proof)?;
+        let mut read_map: BTreeMap<StateKey, Option<Vec<u8>>> = BTreeMap::new();
+        for (key, value) in &input.reads {
+            let claimed = value.as_ref().map(dcert_primitives::hash::hash_bytes);
+            let proven = input
+                .state_proof
+                .pre_value_hash(key.as_hash())
+                .map_err(|_| CertError::ReadSetMismatch)?;
+            if claimed != proven {
+                return Err(CertError::ReadSetMismatch);
+            }
+            read_map.insert(*key, value.clone());
+        }
+        // Lines 18–21: replay every transaction on the read set.
+        let backend = ReadSetState::new(read_map);
+        let calls: Vec<dcert_vm::Call> =
+            input.block.txs.iter().map(|tx| tx.call.clone()).collect();
+        let replay = self.executor.execute_block(&backend, &calls);
+        if replay
+            .statuses
+            .iter()
+            .any(|s| matches!(s, CallStatus::Reverted(VmError::ReadSetMiss)))
+        {
+            return Err(CertError::ReadSetMismatch);
+        }
+        // Lines 22–23: authenticate the write neighborhood and recompute
+        // the post-state root.
+        let writes: WriteSet = replay
+            .writes
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let write_hashes = hash_writes(&writes);
+        let reached = input
+            .state_proof
+            .updated_root(&write_hashes)
+            .map_err(CertError::Proof)?;
+        if reached != header.state_root {
+            return Err(CertError::StateRootMismatch);
+        }
+        Ok(writes)
+    }
+}
+
+/// Converts a write set into the `(path, value-hash)` pairs the SMT update
+/// consumes.
+pub fn hash_writes(writes: &WriteSet) -> Vec<(Hash, Option<Hash>)> {
+    writes
+        .iter()
+        .map(|(k, v)| {
+            (
+                *k.as_hash(),
+                v.as_ref().map(dcert_primitives::hash::hash_bytes),
+            )
+        })
+        .collect()
+}
+
+impl Sealable for CertProgram {
+    fn export_state(&self) -> Vec<u8> {
+        match &self.keypair {
+            None => Vec::new(),
+            Some(kp) => kp.to_secret_bytes().to_vec(),
+        }
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            self.keypair = None;
+            return Ok(());
+        }
+        let seed: [u8; 32] = state
+            .try_into()
+            .map_err(|_| "sealed key state must be 32 bytes".to_owned())?;
+        self.keypair = Some(Keypair::from_seed(seed));
+        Ok(())
+    }
+}
+
+impl TrustedApp for CertProgram {
+    fn code_identity(&self) -> &[u8] {
+        CODE_IDENTITY
+    }
+
+    fn call(&mut self, input: &[u8]) -> Vec<u8> {
+        let response = match EcallRequest::decode_all(input) {
+            Err(e) => EcallResponse::Rejected(format!("request codec: {e}")),
+            Ok(request) => match self.handle(request) {
+                Ok(resp) => resp,
+                Err(e) => EcallResponse::Rejected(e.to_string()),
+            },
+        };
+        response.to_encoded_bytes()
+    }
+}

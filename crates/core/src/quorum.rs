@@ -1,0 +1,143 @@
+//! Multi-vendor certificate quorums.
+//!
+//! Section 6 of the paper notes that although the chain's decentralization
+//! is independent of DCert, "one may wish to avoid relying solely on
+//! Intel" — DCert can run on any TEE. This module implements the natural
+//! client-side consequence: a [`QuorumClient`] accepts a block only when
+//! certificates from **k distinct trust domains** (different attestation
+//! roots and/or enclave programs — e.g. one SGX CI and one TrustZone CI)
+//! agree on the same header digest. A single compromised TEE vendor can
+//! then no longer forge chain state on its own.
+
+use std::collections::HashMap;
+
+use dcert_chain::BlockHeader;
+use dcert_primitives::hash::Hash;
+use dcert_primitives::keys::PublicKey;
+
+use crate::cert::Certificate;
+use crate::error::CertError;
+use crate::superlight::SuperlightClient;
+
+/// One trust domain: an attestation root plus the expected program
+/// measurement within it (e.g. "Intel IAS + SGX build" or
+/// "vendor X's attestation + TrustZone build").
+#[derive(Debug, Clone)]
+pub struct TrustDomain {
+    /// Human-readable label used in errors and reporting.
+    pub name: String,
+    /// The attestation service root key of this domain.
+    pub ias_key: PublicKey,
+    /// The expected enclave measurement in this domain.
+    pub measurement: Hash,
+}
+
+/// A superlight client requiring agreement of `threshold` distinct trust
+/// domains before adopting a block.
+///
+/// Internally one [`SuperlightClient`] per domain tracks that domain's
+/// view; a block is adopted when at least `threshold` domains validated a
+/// certificate over the **same header digest**.
+#[derive(Debug, Clone)]
+pub struct QuorumClient {
+    domains: Vec<(TrustDomain, SuperlightClient)>,
+    threshold: usize,
+    adopted: Option<BlockHeader>,
+}
+
+impl QuorumClient {
+    /// Creates a quorum client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or exceeds the number of domains —
+    /// that is a configuration bug, not a runtime condition.
+    pub fn new(domains: Vec<TrustDomain>, threshold: usize) -> Self {
+        assert!(
+            threshold >= 1 && threshold <= domains.len(),
+            "threshold must be within 1..=#domains"
+        );
+        let domains = domains
+            .into_iter()
+            .map(|d| {
+                let client = SuperlightClient::new(d.ias_key, d.measurement);
+                (d, client)
+            })
+            .collect();
+        QuorumClient {
+            domains,
+            threshold,
+            adopted: None,
+        }
+    }
+
+    /// The quorum threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The adopted chain height, if any block reached quorum.
+    pub fn height(&self) -> Option<u64> {
+        self.adopted.as_ref().map(|h| h.height)
+    }
+
+    /// The adopted header.
+    pub fn latest_header(&self) -> Option<&BlockHeader> {
+        self.adopted.as_ref()
+    }
+
+    /// Validates `certs` — one `(domain name, certificate)` pair per
+    /// participating CI — against `header`, and adopts the header if at
+    /// least `threshold` distinct domains accept.
+    ///
+    /// # Errors
+    ///
+    /// - [`CertError::ChainSelection`] when the header does not extend the
+    ///   adopted chain,
+    /// - the *first* per-domain error when fewer than `threshold` domains
+    ///   accept (so callers can see why the quorum failed).
+    pub fn validate_chain(
+        &mut self,
+        header: &BlockHeader,
+        certs: &[(String, Certificate)],
+    ) -> Result<usize, CertError> {
+        if let Some(current) = &self.adopted {
+            if header.height <= current.height {
+                return Err(CertError::ChainSelection {
+                    current: current.height,
+                    offered: header.height,
+                });
+            }
+        }
+        let by_name: HashMap<&str, &Certificate> =
+            certs.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        let mut accepted = 0usize;
+        let mut first_error: Option<CertError> = None;
+        for (domain, client) in &mut self.domains {
+            let Some(cert) = by_name.get(domain.name.as_str()) else {
+                continue;
+            };
+            // Domain clients track their own chain views; a quorum re-offer
+            // of the same height would trip their chain-selection check, so
+            // validate against a scratch clone and only commit on success.
+            let mut scratch = client.clone();
+            match scratch.validate_chain(header, cert) {
+                Ok(()) => {
+                    *client = scratch;
+                    accepted += 1;
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if accepted >= self.threshold {
+            self.adopted = Some(header.clone());
+            Ok(accepted)
+        } else {
+            Err(first_error.unwrap_or(CertError::NotInitialized))
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The superlight client (Algorithm 3).
+//!
+//! Stores exactly one header and one certificate — constant storage — and
+//! validates the whole chain in constant time: verify the attestation
+//! report (once per enclave key), verify the certificate signature and
+//! digest against the presented header, and enforce the chain-selection
+//! rule. Optionally tracks per-index certificates so verifiable queries
+//! can be checked against certified index digests.
+
+use std::collections::{HashMap, HashSet};
+
+use dcert_chain::BlockHeader;
+use dcert_primitives::codec::Encode;
+use dcert_primitives::hash::Hash;
+use dcert_primitives::keys::PublicKey;
+
+use crate::cert::Certificate;
+use crate::error::CertError;
+
+/// A DCert superlight client.
+///
+/// Trust anchors: the well-known IAS root key and the expected enclave
+/// measurement (pinning *which program* may sign certificates).
+#[derive(Debug, Clone)]
+pub struct SuperlightClient {
+    ias_key: PublicKey,
+    measurement: Hash,
+    latest: Option<(BlockHeader, Certificate)>,
+    /// Enclave keys whose attestation already verified — the
+    /// "check an attestation report only once" cache of Section 4.3.
+    attested: HashSet<[u8; 32]>,
+    /// Latest certified digest + certificate per tracked index.
+    indexes: HashMap<String, (Hash, Certificate)>,
+}
+
+impl SuperlightClient {
+    /// Creates a client trusting `ias_key` and `measurement`.
+    pub fn new(ias_key: PublicKey, measurement: Hash) -> Self {
+        SuperlightClient {
+            ias_key,
+            measurement,
+            latest: None,
+            attested: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Algorithm 3: `validate_chain`. On success the client adopts
+    /// `(header, cert)` as its latest chain view.
+    ///
+    /// # Errors
+    ///
+    /// One [`CertError`] per failed line of the algorithm; notably
+    /// [`CertError::ChainSelection`] when `header` does not extend the
+    /// longest chain the client has seen.
+    pub fn validate_chain(
+        &mut self,
+        header: &BlockHeader,
+        cert: &Certificate,
+    ) -> Result<(), CertError> {
+        // Lines 3–5, cached per enclave key.
+        let key_bytes = cert.pk_enc.to_array();
+        if !self.attested.contains(&key_bytes) {
+            cert.verify_trust(&self.ias_key, &self.measurement)?;
+        }
+        // Lines 6–7.
+        cert.verify_digest(&header.hash())?;
+        // Line 8: longest-chain selection.
+        if let Some((current, _)) = &self.latest {
+            if header.height <= current.height {
+                return Err(CertError::ChainSelection {
+                    current: current.height,
+                    offered: header.height,
+                });
+            }
+        }
+        self.attested.insert(key_bytes);
+        self.latest = Some((header.clone(), cert.clone()));
+        Ok(())
+    }
+
+    /// Validates an **augmented** certificate, which vouches for the chain
+    /// and one index at once (its digest is `H(H(hdr) ‖ H_idx)`), adopting
+    /// both the chain view and the index digest. This is how a client
+    /// tracks a CI that runs the augmented scheme of Algorithm 4, where no
+    /// standalone block certificate exists.
+    ///
+    /// # Errors
+    ///
+    /// The usual certificate errors, plus
+    /// [`CertError::ChainSelection`] when `header` does not extend the
+    /// longest chain seen.
+    pub fn validate_chain_with_index(
+        &mut self,
+        header: &BlockHeader,
+        name: &str,
+        idx_digest: Hash,
+        cert: &Certificate,
+    ) -> Result<(), CertError> {
+        let key_bytes = cert.pk_enc.to_array();
+        if !self.attested.contains(&key_bytes) {
+            cert.verify_trust(&self.ias_key, &self.measurement)?;
+        }
+        let expected = Certificate::index_digest(&header.hash(), &idx_digest);
+        cert.verify_digest(&expected)?;
+        if let Some((current, _)) = &self.latest {
+            if header.height <= current.height {
+                return Err(CertError::ChainSelection {
+                    current: current.height,
+                    offered: header.height,
+                });
+            }
+        }
+        self.attested.insert(key_bytes);
+        self.latest = Some((header.clone(), cert.clone()));
+        self.indexes
+            .insert(name.to_owned(), (idx_digest, cert.clone()));
+        Ok(())
+    }
+
+    /// Adopts an index certificate for `name`, verifying it against the
+    /// client's latest header.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::NotInitialized`] if no chain view exists yet, plus the
+    /// usual certificate errors.
+    pub fn validate_index(
+        &mut self,
+        name: &str,
+        idx_digest: Hash,
+        cert: &Certificate,
+    ) -> Result<(), CertError> {
+        let (header, _) = self.latest.as_ref().ok_or(CertError::NotInitialized)?;
+        let expected = Certificate::index_digest(&header.hash(), &idx_digest);
+        let key_bytes = cert.pk_enc.to_array();
+        if !self.attested.contains(&key_bytes) {
+            cert.verify_trust(&self.ias_key, &self.measurement)?;
+        }
+        cert.verify_digest(&expected)?;
+        self.attested.insert(key_bytes);
+        self.indexes
+            .insert(name.to_owned(), (idx_digest, cert.clone()));
+        Ok(())
+    }
+
+    /// The latest validated header, if any.
+    pub fn latest_header(&self) -> Option<&BlockHeader> {
+        self.latest.as_ref().map(|(h, _)| h)
+    }
+
+    /// The latest validated chain height.
+    pub fn height(&self) -> Option<u64> {
+        self.latest.as_ref().map(|(h, _)| h.height)
+    }
+
+    /// The certified digest of a tracked index (what query proofs verify
+    /// against).
+    pub fn index_digest(&self, name: &str) -> Option<Hash> {
+        self.indexes.get(name).map(|(d, _)| *d)
+    }
+
+    /// Bytes this client persists: the latest header + certificate and any
+    /// tracked index certificates. Constant in the chain length — the
+    /// Fig. 7a claim.
+    pub fn storage_bytes(&self) -> usize {
+        let chain = self
+            .latest
+            .as_ref()
+            .map(|(h, c)| h.encoded_len() + c.encoded_len())
+            .unwrap_or(0);
+        let idx: usize = self
+            .indexes
+            .values()
+            .map(|(d, c)| d.as_bytes().len() + c.encoded_len())
+            .sum();
+        chain + idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_chain::consensus::ConsensusProof;
+    use dcert_primitives::hash::{hash_bytes, Address};
+    use dcert_primitives::keys::Keypair;
+    use dcert_sgx::{AttestationService, Quote};
+
+    /// A miniature certificate authority: hand-rolled certs without the
+    /// enclave machinery, for isolated client tests.
+    struct MiniCa {
+        ias: AttestationService,
+        enclave_key: Keypair,
+        measurement: Hash,
+    }
+
+    impl MiniCa {
+        fn new() -> Self {
+            let mut ias = AttestationService::with_seed([1; 32]);
+            let platform = Keypair::from_seed([2; 32]);
+            ias.register_platform(platform.public());
+            MiniCa {
+                ias,
+                enclave_key: Keypair::from_seed([3; 32]),
+                measurement: hash_bytes(b"mini-program"),
+            }
+        }
+
+        fn certify(&self, digest: Hash) -> Certificate {
+            let platform = Keypair::from_seed([2; 32]);
+            let quote = Quote::sign(
+                &platform,
+                self.measurement,
+                Certificate::key_binding(&self.enclave_key.public()),
+            );
+            Certificate {
+                pk_enc: self.enclave_key.public(),
+                report: self.ias.attest(&quote).unwrap(),
+                digest,
+                signature: self.enclave_key.sign(digest.as_bytes()),
+            }
+        }
+
+        fn client(&self) -> SuperlightClient {
+            SuperlightClient::new(self.ias.public_key(), self.measurement)
+        }
+    }
+
+    fn header(height: u64) -> BlockHeader {
+        BlockHeader {
+            height,
+            prev_hash: hash_bytes(height.to_be_bytes()),
+            state_root: Hash::ZERO,
+            tx_root: Hash::ZERO,
+            timestamp: height,
+            miner: Address::default(),
+            consensus: ConsensusProof::Pow {
+                difficulty_bits: 0,
+                nonce: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn fresh_client_has_no_view() {
+        let ca = MiniCa::new();
+        let client = ca.client();
+        assert_eq!(client.height(), None);
+        assert_eq!(client.latest_header(), None);
+        assert_eq!(client.storage_bytes(), 0);
+        assert_eq!(client.index_digest("any"), None);
+    }
+
+    #[test]
+    fn adopts_and_advances() {
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let h1 = header(1);
+        client.validate_chain(&h1, &ca.certify(h1.hash())).unwrap();
+        assert_eq!(client.height(), Some(1));
+        let h5 = header(5);
+        client.validate_chain(&h5, &ca.certify(h5.hash())).unwrap();
+        assert_eq!(client.height(), Some(5));
+        assert_eq!(client.latest_header(), Some(&h5));
+    }
+
+    #[test]
+    fn index_tracking_requires_a_chain_view() {
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let cert = ca.certify(Hash::ZERO);
+        assert_eq!(
+            client.validate_index("history", Hash::ZERO, &cert),
+            Err(CertError::NotInitialized)
+        );
+    }
+
+    #[test]
+    fn index_cert_binds_to_latest_header() {
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let h1 = header(1);
+        client.validate_chain(&h1, &ca.certify(h1.hash())).unwrap();
+
+        let idx_digest = hash_bytes(b"index-root");
+        let good = ca.certify(Certificate::index_digest(&h1.hash(), &idx_digest));
+        client.validate_index("history", idx_digest, &good).unwrap();
+        assert_eq!(client.index_digest("history"), Some(idx_digest));
+
+        // An index cert bound to a *different* header is rejected.
+        let other = header(9);
+        let stale = ca.certify(Certificate::index_digest(&other.hash(), &idx_digest));
+        assert_eq!(
+            client.validate_index("history", idx_digest, &stale),
+            Err(CertError::DigestMismatch)
+        );
+    }
+
+    #[test]
+    fn augmented_flow_adopts_chain_and_index_together() {
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let h1 = header(1);
+        let idx_digest = hash_bytes(b"index-root");
+        let aug = ca.certify(Certificate::index_digest(&h1.hash(), &idx_digest));
+        client
+            .validate_chain_with_index(&h1, "inverted", idx_digest, &aug)
+            .unwrap();
+        assert_eq!(client.height(), Some(1));
+        assert_eq!(client.index_digest("inverted"), Some(idx_digest));
+        // And chain selection still applies.
+        assert!(matches!(
+            client.validate_chain_with_index(&h1, "inverted", idx_digest, &aug),
+            Err(CertError::ChainSelection { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_is_independent_of_adopted_height() {
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let h1 = header(1);
+        client.validate_chain(&h1, &ca.certify(h1.hash())).unwrap();
+        let at_1 = client.storage_bytes();
+        let h1000 = header(1_000_000);
+        client
+            .validate_chain(&h1000, &ca.certify(h1000.hash()))
+            .unwrap();
+        assert_eq!(client.storage_bytes(), at_1);
+    }
+
+    #[test]
+    fn attestation_cache_skips_repeat_trust_checks() {
+        // Validating with the wrong IAS key fails the first time, but a
+        // key that was attested once is cached thereafter.
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let h1 = header(1);
+        client.validate_chain(&h1, &ca.certify(h1.hash())).unwrap();
+        // Tamper with the report of a *later* cert: because pk_enc is
+        // cached as attested, only digest/signature checks run — this is
+        // exactly the paper's "check the report only once" behavior.
+        let h2 = header(2);
+        let mut cert2 = ca.certify(h2.hash());
+        cert2.report.report_data = hash_bytes(b"garbled after first attestation");
+        client.validate_chain(&h2, &cert2).unwrap();
+    }
+}

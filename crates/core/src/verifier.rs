@@ -1,0 +1,53 @@
+//! Trusted index-update verifiers.
+//!
+//! The augmented and hierarchical certificate schemes (Section 5.2 of the
+//! paper) have the enclave certify that an off-chain authenticated index
+//! was updated correctly by the new block. Each *type* of index knows how
+//! to check its own update — this trait is the trusted half of that logic,
+//! loaded into the certificate program at enclave build time (it is part
+//! of the measured code identity).
+//!
+//! Implementations live with their indexes in `dcert-query`
+//! (`history`, `inverted`); the service-provider side produces the opaque
+//! `aux` bytes (Merkle update proofs), and the verifier recomputes the new
+//! digest from `(prev_digest, block, writes, aux)` alone — never holding
+//! the index itself, in keeping with the stateless-enclave design.
+
+use dcert_chain::Block;
+use dcert_primitives::hash::Hash;
+use dcert_vm::StateKey;
+
+use crate::error::CertError;
+
+/// A write set as authenticated by the enclave (final value per key,
+/// `None` = deletion).
+pub type VerifiedWrites = [(StateKey, Option<Vec<u8>>)];
+
+/// Trusted logic that validates one index type's per-block update.
+pub trait IndexVerifier: Send {
+    /// The registry name requests refer to (e.g. `"history"`).
+    fn type_name(&self) -> &str;
+
+    /// `H_genesis^{idx}`: the digest of the index before any block was
+    /// applied (Algorithm 4, line 6).
+    fn genesis_digest(&self) -> Hash;
+
+    /// Recomputes the index digest after applying `block`'s effects.
+    ///
+    /// `writes` is the block's write set, already authenticated against
+    /// the certified state roots by the caller; `aux` carries the
+    /// index-specific Merkle update proofs produced by the untrusted
+    /// service provider.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CertError`] if the aux data is malformed or its proofs
+    /// do not verify against `prev_digest`.
+    fn verify_update(
+        &self,
+        prev_digest: &Hash,
+        block: &Block,
+        writes: &VerifiedWrites,
+        aux: &[u8],
+    ) -> Result<Hash, CertError>;
+}

@@ -1,0 +1,94 @@
+//! Authenticated data structures for the DCert framework.
+//!
+//! The paper builds every integrity argument on Merkle-style commitments
+//! (Section 2.1). This crate implements, from scratch, each structure the
+//! system needs:
+//!
+//! - [`mht`]: the classic static **Merkle hash tree** over a list of items —
+//!   used for the per-block transaction commitment `H_tx` and for posting
+//!   lists in the inverted keyword index.
+//! - [`smt`]: a compact **sparse Merkle tree** over an unbounded key space —
+//!   the global-state commitment `H_state`. Crucially it supports *stateless*
+//!   multiproofs ([`smt::SmtProof`]): given only a proof, a verifier (the
+//!   enclave in Algorithm 2) can (a) authenticate a read set, (b)
+//!   authenticate the neighborhood of a write set, and (c) compute the
+//!   post-write root without holding the tree — the `verify_mht`/`update`
+//!   pair of the paper.
+//! - [`mpt`]: a hex-nibble **Merkle Patricia trie** with membership and
+//!   non-membership proofs — the upper level of the two-level historical
+//!   query index (Fig. 5).
+//! - [`mbtree`]: a **Merkle B-tree** (B+-tree with per-entry digests, after
+//!   Li et al. SIGMOD'06) keyed by timestamp — the lower level of the
+//!   two-level index, answering authenticated time-window range queries with
+//!   completeness guarantees.
+//!
+//! All node hashes are domain-separated (see [`domain`]) so that a node of
+//! one structure can never be confused with a node of another.
+
+pub mod aggmb;
+pub mod mbtree;
+pub mod mht;
+pub mod mpt;
+pub mod smt;
+
+pub use aggmb::{AggMbTree, AggProof, Aggregate};
+pub use mbtree::{MbAppendProof, MbRangeProof, MbTree};
+pub use mht::{MerkleTree, MhtProof};
+pub use mpt::{Mpt, MptProof};
+pub use smt::{SmtProof, SparseMerkleTree};
+
+/// Domain-separation tags for node hashing.
+///
+/// Each authenticated structure hashes its nodes as
+/// `H(tag || payload)`, with a tag unique to the structure and node kind.
+pub mod domain {
+    /// Sparse-Merkle-tree leaf: `H(tag || key || value_hash)`.
+    pub const SMT_LEAF: u8 = 0x01;
+    /// Sparse-Merkle-tree branch: `H(tag || left || right)`.
+    pub const SMT_BRANCH: u8 = 0x02;
+    /// Static Merkle-tree leaf: `H(tag || item)`.
+    pub const MHT_LEAF: u8 = 0x03;
+    /// Static Merkle-tree inner node: `H(tag || left || right)`.
+    pub const MHT_NODE: u8 = 0x04;
+    /// Patricia-trie leaf node.
+    pub const MPT_LEAF: u8 = 0x05;
+    /// Patricia-trie extension node.
+    pub const MPT_EXT: u8 = 0x06;
+    /// Patricia-trie branch node.
+    pub const MPT_BRANCH: u8 = 0x07;
+    /// Merkle-B-tree leaf node.
+    pub const MBT_LEAF: u8 = 0x08;
+    /// Merkle-B-tree internal node.
+    pub const MBT_NODE: u8 = 0x09;
+    /// Authenticated skip-list node (used by the LineageChain baseline).
+    pub const SKIP_NODE: u8 = 0x0a;
+    /// Inverted-index dictionary entry.
+    pub const INV_ENTRY: u8 = 0x0b;
+}
+
+/// Errors returned when verifying or applying Merkle proofs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// The recomputed root does not match the trusted commitment.
+    RootMismatch,
+    /// The proof is structurally malformed (wrong arity, missing evidence).
+    Malformed(&'static str),
+    /// The proof does not cover a key that the operation needs.
+    MissingKey,
+    /// The claimed result set is inconsistent with the proof contents
+    /// (e.g. an omitted in-range entry in a range query).
+    Incomplete(&'static str),
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::RootMismatch => write!(f, "recomputed root does not match commitment"),
+            ProofError::Malformed(what) => write!(f, "malformed proof: {what}"),
+            ProofError::MissingKey => write!(f, "proof does not cover a required key"),
+            ProofError::Incomplete(what) => write!(f, "incomplete result: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}

@@ -1,0 +1,991 @@
+//! Merkle B-tree (authenticated B+-tree, after Li et al. SIGMOD'06).
+//!
+//! The lower level of DCert's two-level historical query index (Fig. 5 of
+//! the paper): for each account, a Merkle B-tree keyed by *timestamp*
+//! (block height) stores the account's versioned states. It answers
+//! **authenticated range queries** — "all versions in the window
+//! `[t1, t2]`" — with proofs that guarantee both correctness and
+//! *completeness* (no in-range version can be omitted), and supports
+//! **stateless rightmost appends** so the SGX enclave can certify index
+//! updates (new versions always carry the highest timestamp) from a proof
+//! alone.
+//!
+//! # Example
+//!
+//! ```
+//! use dcert_merkle::MbTree;
+//!
+//! let mut tree = MbTree::new(4);
+//! for ts in 0..20u64 {
+//!     tree.insert(ts, format!("v{ts}").into_bytes());
+//! }
+//! let (results, proof) = tree.range(5, 8);
+//! assert_eq!(results.len(), 4);
+//! proof.verify(&tree.root(), 5, 8, &results)?;
+//! # Ok::<(), dcert_merkle::ProofError>(())
+//! ```
+
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::{hash_bytes, Hash};
+
+use crate::domain;
+use crate::ProofError;
+
+fn leaf_hash(entries: &[(u64, Hash)]) -> Hash {
+    let mut buf = Vec::with_capacity(1 + 4 + entries.len() * 40);
+    buf.push(domain::MBT_LEAF);
+    buf.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (ts, vh) in entries {
+        buf.extend_from_slice(&ts.to_be_bytes());
+        buf.extend_from_slice(vh.as_bytes());
+    }
+    hash_bytes(&buf)
+}
+
+fn node_hash(separators: &[u64], children: &[Hash]) -> Hash {
+    let mut buf = Vec::with_capacity(1 + 4 + separators.len() * 8 + children.len() * 32);
+    buf.push(domain::MBT_NODE);
+    buf.extend_from_slice(&(separators.len() as u32).to_be_bytes());
+    for sep in separators {
+        buf.extend_from_slice(&sep.to_be_bytes());
+    }
+    for child in children {
+        buf.extend_from_slice(child.as_bytes());
+    }
+    hash_bytes(&buf)
+}
+
+#[derive(Debug, Clone)]
+enum MbNode {
+    Leaf {
+        entries: Vec<(u64, Vec<u8>)>,
+        hash: Hash,
+    },
+    Internal {
+        /// `children[i]` holds keys `< separators[i]`;
+        /// `children[i+1]` holds keys `>= separators[i]`.
+        separators: Vec<u64>,
+        children: Vec<MbNode>,
+        hash: Hash,
+    },
+}
+
+impl MbNode {
+    fn hash(&self) -> Hash {
+        match self {
+            MbNode::Leaf { hash, .. } | MbNode::Internal { hash, .. } => *hash,
+        }
+    }
+
+    fn new_leaf(entries: Vec<(u64, Vec<u8>)>) -> MbNode {
+        let hashed: Vec<(u64, Hash)> =
+            entries.iter().map(|(ts, v)| (*ts, hash_bytes(v))).collect();
+        let hash = leaf_hash(&hashed);
+        MbNode::Leaf { entries, hash }
+    }
+
+    fn new_internal(separators: Vec<u64>, children: Vec<MbNode>) -> MbNode {
+        debug_assert_eq!(children.len(), separators.len() + 1);
+        let child_hashes: Vec<Hash> = children.iter().map(|c| c.hash()).collect();
+        let hash = node_hash(&separators, &child_hashes);
+        MbNode::Internal {
+            separators,
+            children,
+            hash,
+        }
+    }
+}
+
+/// An authenticated B+-tree keyed by `u64` timestamps.
+///
+/// See the [module documentation](self) for context and an example.
+#[derive(Debug, Clone)]
+pub struct MbTree {
+    root: Option<MbNode>,
+    /// Maximum fanout (children per internal node and entries per leaf).
+    order: usize,
+    len: usize,
+}
+
+impl MbTree {
+    /// Default fanout used by the DCert indexes.
+    pub const DEFAULT_ORDER: usize = 16;
+
+    /// Creates an empty tree with the given fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 3`.
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 3, "MbTree order must be at least 3");
+        MbTree {
+            root: None,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root commitment ([`Hash::ZERO`] when empty).
+    pub fn root(&self) -> Hash {
+        self.root.as_ref().map_or(Hash::ZERO, |n| n.hash())
+    }
+
+    /// The largest timestamp stored, if any.
+    pub fn max_key(&self) -> Option<u64> {
+        let mut node = self.root.as_ref()?;
+        loop {
+            match node {
+                MbNode::Leaf { entries, .. } => return entries.last().map(|(ts, _)| *ts),
+                MbNode::Internal { children, .. } => {
+                    node = children.last().expect("internal node has children");
+                }
+            }
+        }
+    }
+
+    /// The root a fresh tree would have after inserting a single entry —
+    /// used by stateless verifiers when a brand-new per-account tree is
+    /// created.
+    pub fn singleton_root(ts: u64, value_hash: &Hash) -> Hash {
+        leaf_hash(&[(ts, *value_hash)])
+    }
+
+    /// Inserts `(ts, value)`, replacing any existing entry at `ts`.
+    pub fn insert(&mut self, ts: u64, value: Vec<u8>) -> Option<Vec<u8>> {
+        let mut previous = None;
+        match self.root.take() {
+            None => {
+                self.root = Some(MbNode::new_leaf(vec![(ts, value)]));
+            }
+            Some(root) => {
+                let (node, split) = self.insert_rec(root, ts, value, &mut previous);
+                self.root = Some(match split {
+                    None => node,
+                    Some((sep, right)) => MbNode::new_internal(vec![sep], vec![node, right]),
+                });
+            }
+        }
+        if previous.is_none() {
+            self.len += 1;
+        }
+        previous
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &self,
+        node: MbNode,
+        ts: u64,
+        value: Vec<u8>,
+        previous: &mut Option<Vec<u8>>,
+    ) -> (MbNode, Option<(u64, MbNode)>) {
+        match node {
+            MbNode::Leaf { mut entries, .. } => {
+                match entries.binary_search_by_key(&ts, |(t, _)| *t) {
+                    Ok(pos) => {
+                        *previous = Some(std::mem::replace(&mut entries[pos].1, value));
+                    }
+                    Err(pos) => entries.insert(pos, (ts, value)),
+                }
+                if entries.len() > self.order {
+                    let mid = entries.len() / 2;
+                    let right_entries = entries.split_off(mid);
+                    let sep = right_entries[0].0;
+                    (
+                        MbNode::new_leaf(entries),
+                        Some((sep, MbNode::new_leaf(right_entries))),
+                    )
+                } else {
+                    (MbNode::new_leaf(entries), None)
+                }
+            }
+            MbNode::Internal {
+                mut separators,
+                mut children,
+                ..
+            } => {
+                let idx = separators.partition_point(|sep| *sep <= ts);
+                let child = children.remove(idx);
+                let (child, split) = self.insert_rec(child, ts, value, previous);
+                children.insert(idx, child);
+                if let Some((sep, right)) = split {
+                    separators.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                }
+                if children.len() > self.order {
+                    let mid = children.len() / 2;
+                    let right_children = children.split_off(mid);
+                    let promoted = separators[mid - 1];
+                    let right_seps = separators.split_off(mid);
+                    separators.pop(); // drop the promoted separator
+                    (
+                        MbNode::new_internal(separators, children),
+                        Some((promoted, MbNode::new_internal(right_seps, right_children))),
+                    )
+                } else {
+                    (MbNode::new_internal(separators, children), None)
+                }
+            }
+        }
+    }
+
+    /// Returns the value at exactly `ts`, if present.
+    pub fn get(&self, ts: u64) -> Option<&[u8]> {
+        let mut node = self.root.as_ref()?;
+        loop {
+            match node {
+                MbNode::Leaf { entries, .. } => {
+                    return entries
+                        .binary_search_by_key(&ts, |(t, _)| *t)
+                        .ok()
+                        .map(|pos| entries[pos].1.as_slice());
+                }
+                MbNode::Internal {
+                    separators,
+                    children,
+                    ..
+                } => {
+                    let idx = separators.partition_point(|sep| *sep <= ts);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Answers the range query `[lo, hi]` (inclusive), returning the
+    /// matching entries and a completeness proof.
+    pub fn range(&self, lo: u64, hi: u64) -> (Vec<(u64, Vec<u8>)>, MbRangeProof) {
+        let mut results = Vec::new();
+        let root_node = self
+            .root
+            .as_ref()
+            .map(|root| Self::range_rec(root, lo, hi, &mut results));
+        (results, MbRangeProof { root: root_node })
+    }
+
+    fn range_rec(node: &MbNode, lo: u64, hi: u64, results: &mut Vec<(u64, Vec<u8>)>) -> ProofNode {
+        match node {
+            MbNode::Leaf { entries, .. } => {
+                for (ts, v) in entries {
+                    if *ts >= lo && *ts <= hi {
+                        results.push((*ts, v.clone()));
+                    }
+                }
+                ProofNode::Leaf {
+                    entries: entries.iter().map(|(ts, v)| (*ts, hash_bytes(v))).collect(),
+                }
+            }
+            MbNode::Internal {
+                separators,
+                children,
+                ..
+            } => {
+                let kids = children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, child)| {
+                        let child_lo = if i == 0 { None } else { Some(separators[i - 1]) };
+                        let child_hi = separators.get(i).copied();
+                        if interval_intersects(child_lo, child_hi, lo, hi) {
+                            ProofChild::Open(Box::new(Self::range_rec(child, lo, hi, results)))
+                        } else {
+                            ProofChild::Pruned(child.hash())
+                        }
+                    })
+                    .collect();
+                ProofNode::Internal {
+                    separators: separators.clone(),
+                    children: kids,
+                }
+            }
+        }
+    }
+
+    /// Produces a proof of the rightmost path, enabling a stateless
+    /// verifier to append an entry with a timestamp strictly greater than
+    /// every stored one ([`MbAppendProof::appended_root`]).
+    pub fn prove_append(&self) -> MbAppendProof {
+        let mut path = Vec::new();
+        let mut node = self.root.as_ref();
+        while let Some(n) = node {
+            match n {
+                MbNode::Leaf { entries, .. } => {
+                    path.push(AppendNode::Leaf {
+                        entries: entries.iter().map(|(ts, v)| (*ts, hash_bytes(v))).collect(),
+                    });
+                    node = None;
+                }
+                MbNode::Internal {
+                    separators,
+                    children,
+                    ..
+                } => {
+                    let inner: Vec<Hash> = children[..children.len() - 1]
+                        .iter()
+                        .map(|c| c.hash())
+                        .collect();
+                    path.push(AppendNode::Internal {
+                        separators: separators.clone(),
+                        left_siblings: inner,
+                    });
+                    node = Some(children.last().expect("internal has children"));
+                }
+            }
+        }
+        MbAppendProof { path }
+    }
+}
+
+fn interval_intersects(child_lo: Option<u64>, child_hi: Option<u64>, lo: u64, hi: u64) -> bool {
+    // Child covers [child_lo, child_hi) with None = unbounded.
+    let below = matches!(child_hi, Some(h) if h <= lo);
+    let above = matches!(child_lo, Some(l) if l > hi);
+    !(below || above)
+}
+
+// --- range proof ----------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProofChild {
+    Pruned(Hash),
+    Open(Box<ProofNode>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProofNode {
+    Leaf {
+        entries: Vec<(u64, Hash)>,
+    },
+    Internal {
+        separators: Vec<u64>,
+        children: Vec<ProofChild>,
+    },
+}
+
+/// A completeness proof for a time-window range query over an [`MbTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MbRangeProof {
+    root: Option<ProofNode>,
+}
+
+impl MbRangeProof {
+    /// Size of the serialized proof in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+
+    /// Verifies that `results` is exactly the set of entries with
+    /// timestamps in `[lo, hi]`, against the trusted `root`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProofError::RootMismatch`] if the proof does not recompute to
+    ///   `root`,
+    /// - [`ProofError::Incomplete`] if the claimed results omit or add
+    ///   entries relative to the proof,
+    /// - [`ProofError::Malformed`] on structural violations.
+    pub fn verify(
+        &self,
+        root: &Hash,
+        lo: u64,
+        hi: u64,
+        results: &[(u64, Vec<u8>)],
+    ) -> Result<(), ProofError> {
+        let mut in_range: Vec<(u64, Hash)> = Vec::new();
+        let computed = match &self.root {
+            None => Hash::ZERO,
+            Some(node) => Self::verify_rec(node, None, None, lo, hi, &mut in_range)?,
+        };
+        if computed != *root {
+            return Err(ProofError::RootMismatch);
+        }
+        if in_range.len() != results.len() {
+            return Err(ProofError::Incomplete("result count mismatch"));
+        }
+        for ((ts, vh), (rts, rv)) in in_range.iter().zip(results) {
+            if ts != rts || *vh != hash_bytes(rv) {
+                return Err(ProofError::Incomplete("result entry mismatch"));
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_rec(
+        node: &ProofNode,
+        bound_lo: Option<u64>,
+        bound_hi: Option<u64>,
+        lo: u64,
+        hi: u64,
+        in_range: &mut Vec<(u64, Hash)>,
+    ) -> Result<Hash, ProofError> {
+        match node {
+            ProofNode::Leaf { entries } => {
+                let mut prev: Option<u64> = None;
+                for (ts, vh) in entries {
+                    if let Some(p) = prev {
+                        if *ts <= p {
+                            return Err(ProofError::Malformed("leaf entries not sorted"));
+                        }
+                    }
+                    prev = Some(*ts);
+                    if matches!(bound_lo, Some(b) if *ts < b)
+                        || matches!(bound_hi, Some(b) if *ts >= b)
+                    {
+                        return Err(ProofError::Malformed("leaf entry outside bounds"));
+                    }
+                    if *ts >= lo && *ts <= hi {
+                        in_range.push((*ts, *vh));
+                    }
+                }
+                Ok(leaf_hash(entries))
+            }
+            ProofNode::Internal {
+                separators,
+                children,
+            } => {
+                if children.len() != separators.len() + 1 {
+                    return Err(ProofError::Malformed("arity mismatch"));
+                }
+                if separators.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(ProofError::Malformed("separators not sorted"));
+                }
+                let mut hashes = Vec::with_capacity(children.len());
+                for (i, child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 {
+                        bound_lo
+                    } else {
+                        Some(separators[i - 1])
+                    };
+                    let child_hi = separators.get(i).copied().or(bound_hi);
+                    match child {
+                        ProofChild::Pruned(h) => {
+                            if interval_intersects(child_lo, child_hi, lo, hi) {
+                                return Err(ProofError::Incomplete(
+                                    "pruned subtree overlaps query range",
+                                ));
+                            }
+                            hashes.push(*h);
+                        }
+                        ProofChild::Open(sub) => {
+                            hashes.push(Self::verify_rec(
+                                sub, child_lo, child_hi, lo, hi, in_range,
+                            )?);
+                        }
+                    }
+                }
+                Ok(node_hash(separators, &hashes))
+            }
+        }
+    }
+}
+
+// --- append proof ----------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AppendNode {
+    Internal {
+        separators: Vec<u64>,
+        /// Hashes of all children except the rightmost (which the next path
+        /// element recomputes).
+        left_siblings: Vec<Hash>,
+    },
+    Leaf {
+        entries: Vec<(u64, Hash)>,
+    },
+}
+
+/// A proof of the rightmost path of an [`MbTree`], enabling stateless
+/// appends.
+///
+/// The verifier replays the exact split logic of [`MbTree::insert`], so the
+/// computed root matches what the real tree produces after appending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MbAppendProof {
+    /// Root-to-leaf path along the rightmost spine; empty for an empty tree.
+    path: Vec<AppendNode>,
+}
+
+/// Outcome of replaying an append at one level.
+enum Applied {
+    /// The subtree absorbed the entry.
+    Single(Hash),
+    /// The subtree split; `(left_hash, promoted_separator, right_hash)`.
+    Split(Hash, u64, Hash),
+}
+
+impl MbAppendProof {
+    /// Size of the serialized proof in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+
+    /// Verifies the proof against `root` and computes the root after
+    /// appending `(ts, value_hash)`.
+    ///
+    /// `order` must equal the tree's fanout. `ts` must be strictly greater
+    /// than every timestamp in the tree.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProofError::RootMismatch`] if the path does not authenticate,
+    /// - [`ProofError::Malformed`] if `ts` is not strictly larger than the
+    ///   current maximum or the path shape is invalid.
+    pub fn appended_root(
+        &self,
+        root: &Hash,
+        order: usize,
+        ts: u64,
+        value_hash: &Hash,
+    ) -> Result<Hash, ProofError> {
+        if order < 3 {
+            return Err(ProofError::Malformed("order must be at least 3"));
+        }
+        if self.path.is_empty() {
+            if !root.is_zero() {
+                return Err(ProofError::RootMismatch);
+            }
+            return Ok(leaf_hash(&[(ts, *value_hash)]));
+        }
+        // Authenticate: compute each path node's hash from the bottom up,
+        // then compare the top with `root`.
+        let mut hashes = vec![Hash::ZERO; self.path.len()];
+        for i in (0..self.path.len()).rev() {
+            hashes[i] = match &self.path[i] {
+                AppendNode::Leaf { entries } => {
+                    if i != self.path.len() - 1 {
+                        return Err(ProofError::Malformed("leaf not at path end"));
+                    }
+                    leaf_hash(entries)
+                }
+                AppendNode::Internal {
+                    separators,
+                    left_siblings,
+                } => {
+                    if i == self.path.len() - 1 {
+                        return Err(ProofError::Malformed("append path ends at internal node"));
+                    }
+                    if left_siblings.len() != separators.len() {
+                        return Err(ProofError::Malformed("append path arity"));
+                    }
+                    let mut children = left_siblings.clone();
+                    children.push(hashes[i + 1]);
+                    node_hash(separators, &children)
+                }
+            };
+        }
+        if hashes[0] != *root {
+            return Err(ProofError::RootMismatch);
+        }
+
+        // Replay the append bottom-up with splits.
+        let AppendNode::Leaf { entries } = &self.path[self.path.len() - 1] else {
+            return Err(ProofError::Malformed("append path must end in a leaf"));
+        };
+        if let Some((last_ts, _)) = entries.last() {
+            if ts <= *last_ts {
+                return Err(ProofError::Malformed("append timestamp not increasing"));
+            }
+        }
+        let mut new_entries = entries.clone();
+        new_entries.push((ts, *value_hash));
+        let mut applied = if new_entries.len() > order {
+            let mid = new_entries.len() / 2;
+            let right = new_entries.split_off(mid);
+            let sep = right[0].0;
+            Applied::Split(leaf_hash(&new_entries), sep, leaf_hash(&right))
+        } else {
+            Applied::Single(leaf_hash(&new_entries))
+        };
+
+        for i in (0..self.path.len() - 1).rev() {
+            let AppendNode::Internal {
+                separators,
+                left_siblings,
+            } = &self.path[i]
+            else {
+                return Err(ProofError::Malformed("leaf in the middle of path"));
+            };
+            let mut separators = separators.clone();
+            let mut children = left_siblings.clone();
+            match applied {
+                Applied::Single(h) => children.push(h),
+                Applied::Split(l, sep, r) => {
+                    children.push(l);
+                    separators.push(sep);
+                    children.push(r);
+                }
+            }
+            applied = if children.len() > order {
+                let mid = children.len() / 2;
+                let right_children = children.split_off(mid);
+                let promoted = separators[mid - 1];
+                let right_seps = separators.split_off(mid);
+                separators.pop();
+                Applied::Split(
+                    node_hash(&separators, &children),
+                    promoted,
+                    node_hash(&right_seps, &right_children),
+                )
+            } else {
+                Applied::Single(node_hash(&separators, &children))
+            };
+        }
+
+        Ok(match applied {
+            Applied::Single(h) => h,
+            Applied::Split(l, sep, r) => node_hash(&[sep], &[l, r]),
+        })
+    }
+}
+
+// --- serialization ---------------------------------------------------------
+
+impl Encode for ProofChild {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ProofChild::Pruned(h) => {
+                out.push(0);
+                h.encode(out);
+            }
+            ProofChild::Open(node) => {
+                out.push(1);
+                node.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ProofChild {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(ProofChild::Pruned(Hash::decode(r)?)),
+            1 => Ok(ProofChild::Open(Box::new(ProofNode::decode(r)?))),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+impl Encode for ProofNode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ProofNode::Leaf { entries } => {
+                out.push(0);
+                encode_seq(entries, out);
+            }
+            ProofNode::Internal {
+                separators,
+                children,
+            } => {
+                out.push(1);
+                encode_seq(separators, out);
+                encode_seq(children, out);
+            }
+        }
+    }
+}
+
+impl Decode for ProofNode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(ProofNode::Leaf {
+                entries: decode_seq(r)?,
+            }),
+            1 => Ok(ProofNode::Internal {
+                separators: decode_seq(r)?,
+                children: decode_seq(r)?,
+            }),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+impl Encode for MbRangeProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.root.encode(out);
+    }
+}
+
+impl Decode for MbRangeProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MbRangeProof {
+            root: Option::<ProofNode>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for AppendNode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AppendNode::Internal {
+                separators,
+                left_siblings,
+            } => {
+                out.push(0);
+                encode_seq(separators, out);
+                encode_seq(left_siblings, out);
+            }
+            AppendNode::Leaf { entries } => {
+                out.push(1);
+                encode_seq(entries, out);
+            }
+        }
+    }
+}
+
+impl Decode for AppendNode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(AppendNode::Internal {
+                separators: decode_seq(r)?,
+                left_siblings: decode_seq(r)?,
+            }),
+            1 => Ok(AppendNode::Leaf {
+                entries: decode_seq(r)?,
+            }),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+impl Encode for MbAppendProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_seq(&self.path, out);
+    }
+}
+
+impl Decode for MbAppendProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MbAppendProof {
+            path: decode_seq(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn build(n: u64, order: usize) -> MbTree {
+        let mut tree = MbTree::new(order);
+        for ts in 0..n {
+            tree.insert(ts, format!("value-{ts}").into_bytes());
+        }
+        tree
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let tree = MbTree::new(4);
+        assert_eq!(tree.root(), Hash::ZERO);
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.max_key(), None);
+        let (results, proof) = tree.range(0, 100);
+        assert!(results.is_empty());
+        proof.verify(&Hash::ZERO, 0, 100, &results).unwrap();
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut tree = MbTree::new(4);
+        assert_eq!(tree.insert(5, b"a".to_vec()), None);
+        assert_eq!(tree.insert(5, b"b".to_vec()), Some(b"a".to_vec()));
+        assert_eq!(tree.get(5), Some(b"b".as_slice()));
+        assert_eq!(tree.get(6), None);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn grows_through_splits() {
+        let tree = build(100, 4);
+        assert_eq!(tree.len(), 100);
+        for ts in 0..100u64 {
+            assert_eq!(
+                tree.get(ts),
+                Some(format!("value-{ts}").as_bytes()),
+                "ts={ts}"
+            );
+        }
+        assert_eq!(tree.max_key(), Some(99));
+    }
+
+    #[test]
+    fn range_queries_are_exact_and_verify() {
+        let tree = build(64, 5);
+        let root = tree.root();
+        for (lo, hi) in [(0, 63), (10, 20), (5, 5), (60, 200), (100, 200), (0, 0)] {
+            let (results, proof) = tree.range(lo, hi);
+            let expected: Vec<u64> = (lo..=hi.min(63)).collect();
+            assert_eq!(
+                results.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+                expected,
+                "window [{lo},{hi}]"
+            );
+            proof.verify(&root, lo, hi, &results).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_rejects_omitted_result() {
+        let tree = build(30, 4);
+        let (mut results, proof) = tree.range(5, 15);
+        results.remove(3);
+        assert!(matches!(
+            proof.verify(&tree.root(), 5, 15, &results),
+            Err(ProofError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_value() {
+        let tree = build(30, 4);
+        let (mut results, proof) = tree.range(5, 15);
+        results[0].1 = b"forged".to_vec();
+        assert!(matches!(
+            proof.verify(&tree.root(), 5, 15, &results),
+            Err(ProofError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_root() {
+        let tree = build(30, 4);
+        let (results, proof) = tree.range(5, 15);
+        assert_eq!(
+            proof.verify(&Hash::ZERO, 5, 15, &results),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn verify_rejects_pruned_overlap() {
+        // Proof generated for a narrow window cannot be replayed for a
+        // wider window (pruned subtrees would overlap it).
+        let tree = build(64, 4);
+        let (results, proof) = tree.range(10, 12);
+        assert!(matches!(
+            proof.verify(&tree.root(), 5, 20, &results),
+            Err(ProofError::Incomplete(_)) | Err(ProofError::RootMismatch)
+        ));
+    }
+
+    #[test]
+    fn singleton_root_matches_real_tree() {
+        let mut tree = MbTree::new(4);
+        tree.insert(9, b"v".to_vec());
+        assert_eq!(tree.root(), MbTree::singleton_root(9, &hash_bytes(b"v")));
+    }
+
+    #[test]
+    fn append_proof_tracks_real_inserts() {
+        for order in [3usize, 4, 16] {
+            let mut tree = MbTree::new(order);
+            for ts in 0..200u64 {
+                let proof = tree.prove_append();
+                let old_root = tree.root();
+                let value = format!("v{ts}").into_bytes();
+                let predicted = proof
+                    .appended_root(&old_root, order, ts, &hash_bytes(&value))
+                    .unwrap_or_else(|e| panic!("order={order} ts={ts}: {e}"));
+                tree.insert(ts, value);
+                assert_eq!(predicted, tree.root(), "order={order} ts={ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_proof_rejects_non_increasing_ts() {
+        let tree = build(10, 4);
+        let proof = tree.prove_append();
+        assert!(matches!(
+            proof.appended_root(&tree.root(), 4, 9, &Hash::ZERO),
+            Err(ProofError::Malformed(_))
+        ));
+        assert!(matches!(
+            proof.appended_root(&tree.root(), 4, 5, &Hash::ZERO),
+            Err(ProofError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn append_proof_rejects_wrong_root() {
+        let tree = build(10, 4);
+        let proof = tree.prove_append();
+        assert_eq!(
+            proof.appended_root(&Hash::ZERO, 4, 100, &Hash::ZERO),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn range_proof_codec_round_trip() {
+        let tree = build(40, 4);
+        let (results, proof) = tree.range(10, 25);
+        let decoded = MbRangeProof::decode_all(&proof.to_encoded_bytes()).unwrap();
+        assert_eq!(decoded, proof);
+        decoded.verify(&tree.root(), 10, 25, &results).unwrap();
+    }
+
+    #[test]
+    fn append_proof_codec_round_trip() {
+        let tree = build(40, 4);
+        let proof = tree.prove_append();
+        let decoded = MbAppendProof::decode_all(&proof.to_encoded_bytes()).unwrap();
+        assert_eq!(decoded, proof);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Range query + proof verifies for arbitrary windows, tree sizes
+        /// and fanouts.
+        #[test]
+        fn prop_ranges_verify(
+            n in 0u64..120,
+            order in 3usize..12,
+            lo in 0u64..150,
+            width in 0u64..60,
+        ) {
+            let tree = build(n, order);
+            let hi = lo + width;
+            let (results, proof) = tree.range(lo, hi);
+            let expected: Vec<u64> = (lo..=hi).filter(|t| *t < n).collect();
+            prop_assert_eq!(
+                results.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+                expected
+            );
+            prop_assert!(proof.verify(&tree.root(), lo, hi, &results).is_ok());
+        }
+
+        /// Stateless appends always agree with real inserts under random
+        /// fanouts and skip patterns.
+        #[test]
+        fn prop_append_agrees(
+            order in 3usize..10,
+            steps in proptest::collection::vec(1u64..5, 1..60),
+        ) {
+            let mut tree = MbTree::new(order);
+            let mut ts = 0u64;
+            for step in steps {
+                ts += step;
+                let proof = tree.prove_append();
+                let predicted = proof
+                    .appended_root(&tree.root(), order, ts, &hash_bytes(ts.to_be_bytes()))
+                    .unwrap();
+                tree.insert(ts, ts.to_be_bytes().to_vec());
+                prop_assert_eq!(predicted, tree.root());
+            }
+        }
+    }
+}

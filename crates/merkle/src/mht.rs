@@ -1,0 +1,354 @@
+//! Static binary Merkle hash tree (Fig. 1 of the paper).
+//!
+//! Commits to an ordered list of byte strings. Used for the per-block
+//! transaction root `H_tx` and for posting lists in the inverted keyword
+//! index. Odd nodes at a level are *promoted* (carried up unpaired) rather
+//! than duplicated, which avoids the classic CVE-2012-2459 duplication
+//! ambiguity.
+
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::{hash_concat, Hash};
+
+use crate::domain;
+use crate::ProofError;
+
+fn leaf_hash(item: &[u8]) -> Hash {
+    hash_concat([&[domain::MHT_LEAF][..], item])
+}
+
+fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    hash_concat([&[domain::MHT_NODE][..], left.as_bytes(), right.as_bytes()])
+}
+
+/// A static Merkle hash tree over a list of items.
+///
+/// The tree stores every level so that membership proofs are O(log n)
+/// lookups. The empty tree has root [`Hash::ZERO`].
+///
+/// ```
+/// use dcert_merkle::MerkleTree;
+///
+/// let tree = MerkleTree::from_items([b"tx1".as_slice(), b"tx2", b"tx3"]);
+/// let proof = tree.prove(1).unwrap();
+/// assert!(proof.verify(&tree.root(), b"tx2").is_ok());
+/// assert!(proof.verify(&tree.root(), b"tx9").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = single root (unless empty).
+    levels: Vec<Vec<Hash>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given items.
+    pub fn from_items<I, T>(items: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        let leaves: Vec<Hash> = items.into_iter().map(|i| leaf_hash(i.as_ref())).collect();
+        Self::from_leaf_hashes(leaves)
+    }
+
+    /// Builds a tree over pre-hashed leaves.
+    ///
+    /// The caller is responsible for having produced the leaf hashes with a
+    /// suitable domain-separated hash; [`MerkleTree::from_items`] does this
+    /// automatically.
+    pub fn from_leaf_hashes(leaves: Vec<Hash>) -> Self {
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty levels").len() > 1 {
+            let prev = levels.last().expect("non-empty levels");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                match pair {
+                    [l, r] => next.push(node_hash(l, r)),
+                    // Odd node: promote unchanged.
+                    [single] => next.push(*single),
+                    _ => unreachable!("chunks(2) yields 1 or 2 items"),
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Returns `true` if the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.levels[0].is_empty()
+    }
+
+    /// The root commitment ([`Hash::ZERO`] for an empty tree).
+    pub fn root(&self) -> Hash {
+        if self.is_empty() {
+            Hash::ZERO
+        } else {
+            self.levels.last().expect("non-empty levels")[0]
+        }
+    }
+
+    /// Produces a membership proof for the leaf at `index`.
+    ///
+    /// Returns `None` if `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> Option<MhtProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut pos = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_pos = pos ^ 1;
+            if sibling_pos < level.len() {
+                siblings.push(Some(level[sibling_pos]));
+            } else {
+                // Odd promoted node: no sibling at this level.
+                siblings.push(None);
+            }
+            pos /= 2;
+        }
+        Some(MhtProof {
+            index: index as u64,
+            leaf_count: self.len() as u64,
+            siblings,
+        })
+    }
+}
+
+/// A membership proof for one leaf of a [`MerkleTree`].
+///
+/// The proof pins down the leaf *position* as well as its content, so it can
+/// be used to authenticate "transaction #i of block b is tx".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MhtProof {
+    index: u64,
+    leaf_count: u64,
+    /// Sibling hash per level; `None` where the node was promoted unpaired.
+    siblings: Vec<Option<Hash>>,
+}
+
+impl MhtProof {
+    /// The leaf index this proof speaks about.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The total number of leaves in the committed tree.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    /// Size of the proof when serialized, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+
+    /// Verifies that `item` is the leaf at `self.index()` under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProofError::RootMismatch`] when the recomputed root differs
+    /// and [`ProofError::Malformed`] when the proof shape is inconsistent
+    /// with the claimed tree size.
+    pub fn verify(&self, root: &Hash, item: &[u8]) -> Result<(), ProofError> {
+        self.verify_leaf_hash(root, leaf_hash(item))
+    }
+
+    /// Verifies a pre-hashed leaf. See [`MhtProof::verify`].
+    pub fn verify_leaf_hash(&self, root: &Hash, leaf: Hash) -> Result<(), ProofError> {
+        if self.leaf_count == 0 || self.index >= self.leaf_count {
+            return Err(ProofError::Malformed("index out of bounds"));
+        }
+        // The number of levels above the leaves.
+        let expected_levels = {
+            let mut n = self.leaf_count;
+            let mut levels = 0;
+            while n > 1 {
+                n = n.div_ceil(2);
+                levels += 1;
+            }
+            levels
+        };
+        if self.siblings.len() != expected_levels as usize {
+            return Err(ProofError::Malformed("wrong number of proof levels"));
+        }
+        let mut acc = leaf;
+        let mut pos = self.index;
+        let mut width = self.leaf_count;
+        for sibling in &self.siblings {
+            match sibling {
+                Some(sib) => {
+                    // A sibling must actually exist at this level.
+                    if (pos ^ 1) >= width {
+                        return Err(ProofError::Malformed("sibling beyond level width"));
+                    }
+                    acc = if pos.is_multiple_of(2) {
+                        node_hash(&acc, sib)
+                    } else {
+                        node_hash(sib, &acc)
+                    };
+                }
+                None => {
+                    // Promotion is only legal for the last odd node.
+                    if !pos.is_multiple_of(2) || pos + 1 != width {
+                        return Err(ProofError::Malformed("illegal promotion"));
+                    }
+                }
+            }
+            pos /= 2;
+            width = width.div_ceil(2);
+        }
+        if acc == *root {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+}
+
+impl Encode for MhtProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index.encode(out);
+        self.leaf_count.encode(out);
+        encode_seq(&self.siblings, out);
+    }
+}
+
+impl Decode for MhtProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MhtProof {
+            index: u64::decode(r)?,
+            leaf_count: u64::decode(r)?,
+            siblings: decode_seq(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("item-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let tree = MerkleTree::from_items(Vec::<Vec<u8>>::new());
+        assert_eq!(tree.root(), Hash::ZERO);
+        assert!(tree.is_empty());
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_items([b"only"]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.verify(&tree.root(), b"only").is_ok());
+    }
+
+    #[test]
+    fn two_leaves_match_fig1_rule() {
+        // h_root = H(dom || H(dom_l || a) || H(dom_l || b))
+        let tree = MerkleTree::from_items([b"a".as_slice(), b"b"]);
+        assert_eq!(tree.root(), node_hash(&leaf_hash(b"a"), &leaf_hash(b"b")));
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in 1..=17 {
+            let data = items(n);
+            let tree = MerkleTree::from_items(&data);
+            for (i, item) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                proof
+                    .verify(&tree.root(), item)
+                    .unwrap_or_else(|e| panic!("n={n} i={i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_item() {
+        let tree = MerkleTree::from_items(items(8));
+        let proof = tree.prove(3).unwrap();
+        assert_eq!(
+            proof.verify(&tree.root(), b"evil"),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let tree = MerkleTree::from_items(items(8));
+        let proof = tree.prove(3).unwrap();
+        assert!(proof.verify(&Hash::ZERO, b"item-3").is_err());
+    }
+
+    #[test]
+    fn proof_does_not_transfer_between_positions() {
+        let data = items(8);
+        let tree = MerkleTree::from_items(&data);
+        let proof = tree.prove(3).unwrap();
+        // Same item content claimed at the proven position only.
+        assert!(proof.verify(&tree.root(), &data[4]).is_err());
+    }
+
+    #[test]
+    fn tampered_leaf_count_rejected() {
+        let data = items(5);
+        let tree = MerkleTree::from_items(&data);
+        let mut proof = tree.prove(2).unwrap();
+        proof.leaf_count = 4;
+        assert!(proof.verify(&tree.root(), &data[2]).is_err());
+    }
+
+    #[test]
+    fn odd_promotion_is_not_duplication() {
+        // With duplication (Bitcoin-style), [a, b, b] and [a, b] can collide.
+        // With promotion they must differ.
+        let t2 = MerkleTree::from_items([b"a".as_slice(), b"b"]);
+        let t3 = MerkleTree::from_items([b"a".as_slice(), b"b", b"b"]);
+        assert_ne!(t2.root(), t3.root());
+    }
+
+    #[test]
+    fn proof_codec_round_trip() {
+        let tree = MerkleTree::from_items(items(11));
+        let proof = tree.prove(10).unwrap();
+        let bytes = proof.to_encoded_bytes();
+        assert_eq!(MhtProof::decode_all(&bytes).unwrap(), proof);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_any_leaf_verifies(n in 1usize..80, pick in 0usize..80) {
+            let pick = pick % n;
+            let data = items(n);
+            let tree = MerkleTree::from_items(&data);
+            let proof = tree.prove(pick).unwrap();
+            prop_assert!(proof.verify(&tree.root(), &data[pick]).is_ok());
+        }
+
+        #[test]
+        fn prop_distinct_lists_have_distinct_roots(
+            a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 1..8),
+            b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 1..8),
+        ) {
+            let ta = MerkleTree::from_items(&a);
+            let tb = MerkleTree::from_items(&b);
+            if a != b {
+                prop_assert_ne!(ta.root(), tb.root());
+            } else {
+                prop_assert_eq!(ta.root(), tb.root());
+            }
+        }
+    }
+}

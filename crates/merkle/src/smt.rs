@@ -1,0 +1,982 @@
+//! Compact sparse Merkle tree with stateless multiproofs.
+//!
+//! This is the commitment behind the global-state root `H_state` in every
+//! block header, and the machinery behind the enclave's *stateless*
+//! verification in Algorithm 2 of the paper: the Certificate Issuer's
+//! untrusted half extracts a proof ([`SmtProof`]) covering the block's read
+//! and write sets, and the enclave — holding nothing but the previous state
+//! root — can
+//!
+//! 1. authenticate the read set (`verify_mht(H_{i-1}^s, π_i^r, {r}_i)`),
+//! 2. authenticate the pre-state neighborhood of the write set
+//!    (`verify_mht(H_{i-1}^s, π_i^w, {w}_i)`), and
+//! 3. compute the post-write root (`update(π_i^w, {w}_i)`) to compare
+//!    against `H_i^s` in the new block,
+//!
+//! all from the proof alone.
+//!
+//! # Structure
+//!
+//! The tree is *compact*: a subtree containing a single leaf hashes to
+//! `H(SMT_LEAF || key || value_hash)` regardless of its height (after
+//! Dahlberg et al.), and a subtree whose leaves all fall on one side hashes
+//! to that side's hash (empty siblings are transparent). In memory this is
+//! a binary Patricia trie — each branch records the bit index at which its
+//! two sides diverge — holding ~2·n nodes for n keys. Hash rules:
+//!
+//! - empty subtree → [`Hash::ZERO`],
+//! - single-leaf subtree → `H(SMT_LEAF || key || value_hash)`,
+//! - diverging subtree → `H(SMT_BRANCH || left || right)`.
+//!
+//! Keys are 256-bit [`struct@Hash`]es (callers hash their logical keys first), and
+//! the key is bound inside the leaf hash, so leaves cannot be repositioned.
+//!
+//! # Example
+//!
+//! ```
+//! use dcert_merkle::SparseMerkleTree;
+//! use dcert_primitives::hash::hash_bytes;
+//!
+//! let mut tree = SparseMerkleTree::new();
+//! let key = hash_bytes(b"account/alice");
+//! tree.insert(key, b"100".to_vec());
+//! let root = tree.root();
+//!
+//! // A stateless verifier authenticates the read and applies a write.
+//! let proof = tree.prove(&[key]);
+//! proof.verify(&root)?;
+//! assert_eq!(proof.pre_value_hash(&key)?, Some(hash_bytes(b"100")));
+//! let new_root = proof.updated_root(&[(key, Some(hash_bytes(b"42")))])?;
+//!
+//! tree.insert(key, b"42".to_vec());
+//! assert_eq!(tree.root(), new_root);
+//! # Ok::<(), dcert_merkle::ProofError>(())
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+use dcert_primitives::codec::{Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::{hash_bytes, hash_concat, Hash};
+
+use crate::domain;
+use crate::ProofError;
+
+/// Depth of the key space in bits.
+pub const KEY_BITS: usize = 256;
+
+/// Hash of a single-leaf subtree.
+pub fn leaf_hash(key: &Hash, value_hash: &Hash) -> Hash {
+    hash_concat([
+        &[domain::SMT_LEAF][..],
+        key.as_bytes(),
+        value_hash.as_bytes(),
+    ])
+}
+
+/// Hash of a subtree whose two sides both hold leaves.
+pub fn branch_hash(left: &Hash, right: &Hash) -> Hash {
+    hash_concat([
+        &[domain::SMT_BRANCH][..],
+        left.as_bytes(),
+        right.as_bytes(),
+    ])
+}
+
+/// Returns the index of the first bit at which `a` and `b` differ, or
+/// [`KEY_BITS`] if equal.
+fn diverge_bit(a: &Hash, b: &Hash) -> usize {
+    for (i, (x, y)) in a.as_bytes().iter().zip(b.as_bytes()).enumerate() {
+        let diff = x ^ y;
+        if diff != 0 {
+            return i * 8 + diff.leading_zeros() as usize;
+        }
+    }
+    KEY_BITS
+}
+
+#[derive(Debug, Clone, Default)]
+enum Node {
+    #[default]
+    Empty,
+    Leaf {
+        key: Hash,
+        value_hash: Hash,
+    },
+    Branch {
+        /// The bit index at which the two children diverge. All leaf keys
+        /// beneath this node agree on bits `0..bit`; the left child's keys
+        /// have bit `bit` = 0, the right child's = 1.
+        bit: u16,
+        /// A representative leaf key beneath this node (the leftmost),
+        /// giving traversal access to the shared prefix.
+        rep: Hash,
+        left: Box<Node>,
+        right: Box<Node>,
+        hash: Hash,
+    },
+}
+
+impl Node {
+    fn hash(&self) -> Hash {
+        match self {
+            Node::Empty => Hash::ZERO,
+            Node::Leaf { key, value_hash } => leaf_hash(key, value_hash),
+            Node::Branch { hash, .. } => *hash,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        matches!(self, Node::Empty)
+    }
+
+    /// A leaf key beneath this node. Must not be called on `Empty`.
+    fn rep(&self) -> &Hash {
+        match self {
+            Node::Empty => unreachable!("rep() on empty node"),
+            Node::Leaf { key, .. } => key,
+            Node::Branch { rep, .. } => rep,
+        }
+    }
+}
+
+fn make_branch(bit: usize, left: Node, right: Node) -> Node {
+    debug_assert!(!left.is_empty() && !right.is_empty());
+    debug_assert!(!left.rep().bit(bit) && right.rep().bit(bit));
+    let hash = branch_hash(&left.hash(), &right.hash());
+    Node::Branch {
+        bit: bit as u16,
+        rep: *left.rep(),
+        left: Box::new(left),
+        right: Box::new(right),
+        hash,
+    }
+}
+
+/// Arranges `a` (whose keys have bit `bit` equal to `a_bit`) and `b` into a
+/// branch at `bit`.
+fn branch_by_bit(bit: usize, a: Node, a_bit: bool, b: Node) -> Node {
+    if a_bit {
+        make_branch(bit, b, a)
+    } else {
+        make_branch(bit, a, b)
+    }
+}
+
+/// A compact sparse Merkle tree mapping 256-bit keys to byte values.
+///
+/// See the [module documentation](self) for the hashing rules and the
+/// stateless-proof workflow.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMerkleTree {
+    root: Node,
+    values: HashMap<Hash, Vec<u8>>,
+}
+
+impl SparseMerkleTree {
+    /// Creates an empty tree (root = [`Hash::ZERO`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The current root commitment.
+    pub fn root(&self) -> Hash {
+        self.root.hash()
+    }
+
+    /// Returns the value stored under `key`, if any.
+    pub fn get(&self, key: &Hash) -> Option<&[u8]> {
+        self.values.get(key).map(Vec::as_slice)
+    }
+
+    /// Iterates over all `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Hash, &[u8])> {
+        self.values.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Inserts or updates `key`, returning the previous value if present.
+    pub fn insert(&mut self, key: Hash, value: Vec<u8>) -> Option<Vec<u8>> {
+        let value_hash = hash_bytes(&value);
+        let root = std::mem::take(&mut self.root);
+        self.root = Self::insert_rec(root, key, value_hash);
+        self.values.insert(key, value)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &Hash) -> Option<Vec<u8>> {
+        let prev = self.values.remove(key)?;
+        let root = std::mem::take(&mut self.root);
+        self.root = Self::remove_rec(root, key);
+        Some(prev)
+    }
+
+    fn insert_rec(node: Node, key: Hash, value_hash: Hash) -> Node {
+        match node {
+            Node::Empty => Node::Leaf { key, value_hash },
+            Node::Leaf { key: existing, .. } if existing == key => {
+                Node::Leaf { key, value_hash }
+            }
+            leaf @ Node::Leaf { .. } => {
+                let d = diverge_bit(leaf.rep(), &key);
+                let new_leaf = Node::Leaf { key, value_hash };
+                branch_by_bit(d, new_leaf, key.bit(d), leaf)
+            }
+            branch @ Node::Branch { .. } => {
+                let (bit, rep) = match &branch {
+                    Node::Branch { bit, rep, .. } => (*bit as usize, *rep),
+                    _ => unreachable!(),
+                };
+                let d = diverge_bit(&rep, &key);
+                if d < bit {
+                    // The key leaves the shared prefix above this branch:
+                    // the existing branch moves intact under a new branch.
+                    let new_leaf = Node::Leaf { key, value_hash };
+                    branch_by_bit(d, new_leaf, key.bit(d), branch)
+                } else {
+                    // Shared prefix holds through `bit`; descend.
+                    let Node::Branch { left, right, .. } = branch else {
+                        unreachable!()
+                    };
+                    let (left, right) = if key.bit(bit) {
+                        (*left, Self::insert_rec(*right, key, value_hash))
+                    } else {
+                        (Self::insert_rec(*left, key, value_hash), *right)
+                    };
+                    make_branch(bit, left, right)
+                }
+            }
+        }
+    }
+
+    fn remove_rec(node: Node, key: &Hash) -> Node {
+        match node {
+            Node::Empty => Node::Empty,
+            Node::Leaf { key: existing, .. } if existing == *key => Node::Empty,
+            leaf @ Node::Leaf { .. } => leaf,
+            Node::Branch {
+                bit, left, right, ..
+            } => {
+                let (left, right) = if key.bit(bit as usize) {
+                    (*left, Self::remove_rec(*right, key))
+                } else {
+                    (Self::remove_rec(*left, key), *right)
+                };
+                // Canonical form: collapse a branch with an empty child.
+                match (left.is_empty(), right.is_empty()) {
+                    (true, true) => Node::Empty,
+                    (true, false) => right,
+                    (false, true) => left,
+                    (false, false) => make_branch(bit as usize, left, right),
+                }
+            }
+        }
+    }
+
+    /// Produces a multiproof covering `keys` against the current root.
+    ///
+    /// The proof authenticates, for every requested key, whether it is
+    /// present and with which value hash, and carries exactly the sibling
+    /// evidence needed to recompute the root — including after arbitrary
+    /// writes (update/insert/delete) to the covered keys.
+    ///
+    /// Duplicate keys are deduplicated.
+    pub fn prove(&self, keys: &[Hash]) -> SmtProof {
+        let mut sorted: Vec<Hash> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut pre = Vec::with_capacity(sorted.len());
+        let mut evidence = Vec::new();
+        Self::prove_rec(
+            NodeView::from(&self.root),
+            0,
+            &sorted,
+            &mut pre,
+            &mut evidence,
+        );
+        debug_assert_eq!(pre.len(), sorted.len());
+        SmtProof {
+            keys: sorted,
+            pre,
+            evidence,
+        }
+    }
+
+    fn prove_rec(
+        node: NodeView<'_>,
+        depth: usize,
+        keys: &[Hash],
+        pre: &mut Vec<Option<Hash>>,
+        evidence: &mut Vec<Evidence>,
+    ) {
+        if keys.is_empty() {
+            evidence.push(match node {
+                NodeView::Empty => Evidence::Empty,
+                NodeView::Leaf { key, value_hash } => Evidence::Leaf {
+                    key: *key,
+                    value_hash: *value_hash,
+                },
+                NodeView::Branch(branch) => Evidence::Node(branch.hash()),
+            });
+            return;
+        }
+        if depth == KEY_BITS {
+            debug_assert_eq!(keys.len(), 1, "sorted unique keys collide only at 256 bits");
+            pre.push(match node {
+                NodeView::Leaf { key, value_hash } if *key == keys[0] => Some(*value_hash),
+                _ => None,
+            });
+            return;
+        }
+        let split = keys.partition_point(|k| !k.bit(depth));
+        let (lkeys, rkeys) = keys.split_at(split);
+        let (lchild, rchild) = node.children(depth);
+        Self::prove_rec(lchild, depth + 1, lkeys, pre, evidence);
+        Self::prove_rec(rchild, depth + 1, rkeys, pre, evidence);
+    }
+}
+
+/// A borrowed view of a subtree, able to "virtually" descend through the
+/// compact representation bit by bit.
+#[derive(Clone, Copy)]
+enum NodeView<'a> {
+    Empty,
+    Leaf { key: &'a Hash, value_hash: &'a Hash },
+    Branch(&'a Node),
+}
+
+impl<'a> From<&'a Node> for NodeView<'a> {
+    fn from(node: &'a Node) -> Self {
+        match node {
+            Node::Empty => NodeView::Empty,
+            Node::Leaf { key, value_hash } => NodeView::Leaf { key, value_hash },
+            branch @ Node::Branch { .. } => NodeView::Branch(branch),
+        }
+    }
+}
+
+impl<'a> NodeView<'a> {
+    /// The (left, right) children when viewed at `depth`.
+    ///
+    /// A leaf or a branch that diverges deeper than `depth` occupies a
+    /// single side (by its shared-prefix bit); the other side is empty.
+    fn children(self, depth: usize) -> (NodeView<'a>, NodeView<'a>) {
+        match self {
+            NodeView::Empty => (NodeView::Empty, NodeView::Empty),
+            NodeView::Leaf { key, .. } => {
+                if key.bit(depth) {
+                    (NodeView::Empty, self)
+                } else {
+                    (self, NodeView::Empty)
+                }
+            }
+            NodeView::Branch(node) => {
+                let Node::Branch {
+                    bit,
+                    rep,
+                    left,
+                    right,
+                    ..
+                } = node
+                else {
+                    unreachable!("NodeView::Branch wraps Branch");
+                };
+                let bit = *bit as usize;
+                debug_assert!(depth <= bit);
+                if depth < bit {
+                    // The whole branch lives on one side at this depth.
+                    if rep.bit(depth) {
+                        (NodeView::Empty, self)
+                    } else {
+                        (self, NodeView::Empty)
+                    }
+                } else {
+                    (NodeView::from(left.as_ref()), NodeView::from(right.as_ref()))
+                }
+            }
+        }
+    }
+}
+
+/// Evidence for one maximal untouched subtree adjacent to the proof paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Evidence {
+    /// The subtree is empty.
+    Empty,
+    /// The subtree contains exactly one leaf (content disclosed so that
+    /// inserts/deletes near it can recompute divergence points).
+    Leaf { key: Hash, value_hash: Hash },
+    /// The subtree contains two or more leaves; only its root hash matters.
+    Node(Hash),
+}
+
+/// A stateless multiproof over a set of keys of a [`SparseMerkleTree`].
+///
+/// Construct with [`SparseMerkleTree::prove`], ship to a verifier, then:
+///
+/// 1. [`SmtProof::verify`] against the trusted root,
+/// 2. [`SmtProof::pre_value_hash`] to read authenticated pre-state,
+/// 3. [`SmtProof::updated_root`] to compute the root after writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmtProof {
+    /// Sorted, deduplicated touched keys.
+    keys: Vec<Hash>,
+    /// Pre-state value hash per touched key (`None` = absent).
+    pre: Vec<Option<Hash>>,
+    /// DFS-ordered sibling evidence.
+    evidence: Vec<Evidence>,
+}
+
+/// Result category of a recomputed subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Subtree {
+    Empty,
+    /// A single leaf; carries the *leaf hash*.
+    One(Hash),
+    /// Two or more leaves; carries the branch hash.
+    Many(Hash),
+}
+
+impl Subtree {
+    fn hash(self) -> Hash {
+        match self {
+            Subtree::Empty => Hash::ZERO,
+            Subtree::One(h) | Subtree::Many(h) => h,
+        }
+    }
+}
+
+fn combine(left: Subtree, right: Subtree) -> Subtree {
+    match (left, right) {
+        (Subtree::Empty, Subtree::Empty) => Subtree::Empty,
+        // Pass-through: empty siblings are transparent in the compact tree.
+        (Subtree::Empty, other) | (other, Subtree::Empty) => other,
+        (l, r) => Subtree::Many(branch_hash(&l.hash(), &r.hash())),
+    }
+}
+
+impl SmtProof {
+    /// The sorted set of keys this proof covers.
+    pub fn keys(&self) -> &[Hash] {
+        &self.keys
+    }
+
+    /// Size of the serialized proof in bytes (empty-evidence runs are
+    /// run-length encoded).
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+
+    /// The authenticated pre-state value hash of a covered key
+    /// (`Ok(None)` = key proven absent).
+    ///
+    /// Only meaningful after [`SmtProof::verify`] has succeeded against a
+    /// trusted root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProofError::MissingKey`] if `key` is not covered.
+    pub fn pre_value_hash(&self, key: &Hash) -> Result<Option<Hash>, ProofError> {
+        let idx = self
+            .keys
+            .binary_search(key)
+            .map_err(|_| ProofError::MissingKey)?;
+        Ok(self.pre[idx])
+    }
+
+    /// Verifies the proof against a trusted `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProofError::RootMismatch`] if the recomputed commitment
+    /// differs, or [`ProofError::Malformed`] on structural problems.
+    pub fn verify(&self, root: &Hash) -> Result<(), ProofError> {
+        let computed = self.compute_root(None)?;
+        if computed == *root {
+            Ok(())
+        } else {
+            Err(ProofError::RootMismatch)
+        }
+    }
+
+    /// Computes the root after applying `writes` to the covered keys.
+    ///
+    /// Each write is `(key, Some(new_value_hash))` for an upsert or
+    /// `(key, None)` for a deletion. Every written key must be covered by
+    /// the proof. Call [`SmtProof::verify`] first; the returned root is only
+    /// trustworthy if the proof verified against a trusted pre-state root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProofError::MissingKey`] if a write touches an uncovered
+    /// key, or [`ProofError::Malformed`] on structural problems.
+    pub fn updated_root(&self, writes: &[(Hash, Option<Hash>)]) -> Result<Hash, ProofError> {
+        let mut overrides: BTreeMap<Hash, Option<Hash>> = BTreeMap::new();
+        for (key, value_hash) in writes {
+            if self.keys.binary_search(key).is_err() {
+                return Err(ProofError::MissingKey);
+            }
+            overrides.insert(*key, *value_hash);
+        }
+        self.compute_root(Some(&overrides))
+    }
+
+    fn compute_root(
+        &self,
+        overrides: Option<&BTreeMap<Hash, Option<Hash>>>,
+    ) -> Result<Hash, ProofError> {
+        if self.pre.len() != self.keys.len() {
+            return Err(ProofError::Malformed("pre/keys length mismatch"));
+        }
+        if self.keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ProofError::Malformed("keys not sorted unique"));
+        }
+        let mut cursor = 0usize;
+        let mut prefix = [0u8; 32];
+        let subtree =
+            self.compute_rec(0, 0, self.keys.len(), &mut cursor, &mut prefix, overrides)?;
+        if cursor != self.evidence.len() {
+            return Err(ProofError::Malformed("unconsumed evidence"));
+        }
+        Ok(subtree.hash())
+    }
+
+    fn compute_rec(
+        &self,
+        depth: usize,
+        key_lo: usize,
+        key_hi: usize,
+        cursor: &mut usize,
+        prefix: &mut [u8; 32],
+        overrides: Option<&BTreeMap<Hash, Option<Hash>>>,
+    ) -> Result<Subtree, ProofError> {
+        if key_lo == key_hi {
+            // Untouched subtree: consume one evidence item.
+            let item = self
+                .evidence
+                .get(*cursor)
+                .ok_or(ProofError::Malformed("missing evidence"))?;
+            *cursor += 1;
+            return Ok(match item {
+                Evidence::Empty => Subtree::Empty,
+                Evidence::Leaf { key, value_hash } => {
+                    // Fail fast when the prover placed a leaf outside its
+                    // subtree; root comparison would also catch this.
+                    if !prefix_matches(key, prefix, depth) {
+                        return Err(ProofError::Malformed("leaf evidence outside subtree"));
+                    }
+                    Subtree::One(leaf_hash(key, value_hash))
+                }
+                Evidence::Node(hash) => Subtree::Many(*hash),
+            });
+        }
+        if depth == KEY_BITS {
+            if key_hi - key_lo != 1 {
+                return Err(ProofError::Malformed("key collision at max depth"));
+            }
+            let key = &self.keys[key_lo];
+            let value_hash = match overrides.and_then(|o| o.get(key)) {
+                Some(over) => *over,
+                None => self.pre[key_lo],
+            };
+            return Ok(match value_hash {
+                None => Subtree::Empty,
+                Some(vh) => Subtree::One(leaf_hash(key, &vh)),
+            });
+        }
+        let split = key_lo + self.keys[key_lo..key_hi].partition_point(|k| !k.bit(depth));
+        set_bit(prefix, depth, false);
+        let left = self.compute_rec(depth + 1, key_lo, split, cursor, prefix, overrides)?;
+        set_bit(prefix, depth, true);
+        let right = self.compute_rec(depth + 1, split, key_hi, cursor, prefix, overrides)?;
+        set_bit(prefix, depth, false);
+        Ok(combine(left, right))
+    }
+}
+
+fn set_bit(bytes: &mut [u8; 32], i: usize, value: bool) {
+    let mask = 1u8 << (7 - i % 8);
+    if value {
+        bytes[i / 8] |= mask;
+    } else {
+        bytes[i / 8] &= !mask;
+    }
+}
+
+fn prefix_matches(key: &Hash, prefix: &[u8; 32], depth: usize) -> bool {
+    (0..depth).all(|i| key.bit(i) == ((prefix[i / 8] >> (7 - i % 8)) & 1 == 1))
+}
+
+// --- serialization -------------------------------------------------------
+//
+// Evidence vectors are dominated by long runs of `Empty` (one per tree
+// level along each proof path), so runs are length-encoded: tag 0 is
+// followed by a u16 run length.
+
+const TAG_EMPTY_RUN: u8 = 0;
+const TAG_LEAF: u8 = 1;
+const TAG_NODE: u8 = 2;
+
+impl Encode for SmtProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        dcert_primitives::codec::encode_seq(&self.keys, out);
+        dcert_primitives::codec::encode_seq(&self.pre, out);
+        let mut i = 0usize;
+        let mut chunks: u32 = 0;
+        let mut body = Vec::new();
+        while i < self.evidence.len() {
+            match &self.evidence[i] {
+                Evidence::Empty => {
+                    let mut run = 0u16;
+                    while i < self.evidence.len()
+                        && matches!(self.evidence[i], Evidence::Empty)
+                        && run < u16::MAX
+                    {
+                        run += 1;
+                        i += 1;
+                    }
+                    body.push(TAG_EMPTY_RUN);
+                    run.encode(&mut body);
+                }
+                Evidence::Leaf { key, value_hash } => {
+                    body.push(TAG_LEAF);
+                    key.encode(&mut body);
+                    value_hash.encode(&mut body);
+                    i += 1;
+                }
+                Evidence::Node(hash) => {
+                    body.push(TAG_NODE);
+                    hash.encode(&mut body);
+                    i += 1;
+                }
+            }
+            chunks += 1;
+        }
+        chunks.encode(out);
+        out.extend_from_slice(&body);
+    }
+}
+
+impl Decode for SmtProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let keys = dcert_primitives::codec::decode_seq(r)?;
+        let pre = dcert_primitives::codec::decode_seq(r)?;
+        let chunks = u32::decode(r)?;
+        let mut evidence = Vec::new();
+        for _ in 0..chunks {
+            match r.take_byte()? {
+                TAG_EMPTY_RUN => {
+                    let run = u16::decode(r)?;
+                    for _ in 0..run {
+                        evidence.push(Evidence::Empty);
+                    }
+                }
+                TAG_LEAF => evidence.push(Evidence::Leaf {
+                    key: Hash::decode(r)?,
+                    value_hash: Hash::decode(r)?,
+                }),
+                TAG_NODE => evidence.push(Evidence::Node(Hash::decode(r)?)),
+                other => return Err(CodecError::InvalidTag(other)),
+            }
+        }
+        Ok(SmtProof {
+            keys,
+            pre,
+            evidence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(label: &str) -> Hash {
+        hash_bytes(label.as_bytes())
+    }
+
+    /// Reference oracle: recompute the root from scratch, recursively, from
+    /// the full sorted key/value-hash map — an independent code path from
+    /// the incremental tree.
+    fn reference_root(entries: &BTreeMap<Hash, Hash>) -> Hash {
+        fn rec(depth: usize, entries: &[(&Hash, &Hash)]) -> Subtree {
+            match entries.len() {
+                0 => Subtree::Empty,
+                1 => Subtree::One(leaf_hash(entries[0].0, entries[0].1)),
+                _ => {
+                    let split = entries.partition_point(|(k, _)| !k.bit(depth));
+                    combine(
+                        rec(depth + 1, &entries[..split]),
+                        rec(depth + 1, &entries[split..]),
+                    )
+                }
+            }
+        }
+        let list: Vec<(&Hash, &Hash)> = entries.iter().collect();
+        rec(0, &list).hash()
+    }
+
+    #[test]
+    fn empty_tree_root_is_zero() {
+        assert_eq!(SparseMerkleTree::new().root(), Hash::ZERO);
+    }
+
+    #[test]
+    fn single_key_root_is_leaf_hash() {
+        let mut tree = SparseMerkleTree::new();
+        tree.insert(key("a"), b"1".to_vec());
+        assert_eq!(tree.root(), leaf_hash(&key("a"), &hash_bytes(b"1")));
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut tree = SparseMerkleTree::new();
+        assert_eq!(tree.insert(key("a"), b"1".to_vec()), None);
+        assert_eq!(tree.insert(key("a"), b"2".to_vec()), Some(b"1".to_vec()));
+        assert_eq!(tree.get(&key("a")), Some(b"2".as_slice()));
+        assert_eq!(tree.remove(&key("a")), Some(b"2".to_vec()));
+        assert_eq!(tree.get(&key("a")), None);
+        assert_eq!(tree.root(), Hash::ZERO);
+    }
+
+    #[test]
+    fn root_matches_reference_oracle_incrementally() {
+        let mut tree = SparseMerkleTree::new();
+        let mut model = BTreeMap::new();
+        for i in 0..200u32 {
+            let k = key(&format!("k{i}"));
+            let v = format!("v{i}").into_bytes();
+            model.insert(k, hash_bytes(&v));
+            tree.insert(k, v);
+            assert_eq!(tree.root(), reference_root(&model), "after insert {i}");
+        }
+        for i in (0..200u32).step_by(3) {
+            let k = key(&format!("k{i}"));
+            model.remove(&k);
+            tree.remove(&k);
+            assert_eq!(tree.root(), reference_root(&model), "after remove {i}");
+        }
+    }
+
+    #[test]
+    fn order_independence() {
+        let mut a = SparseMerkleTree::new();
+        let mut b = SparseMerkleTree::new();
+        for i in 0..50u32 {
+            a.insert(key(&i.to_string()), vec![i as u8]);
+        }
+        for i in (0..50u32).rev() {
+            b.insert(key(&i.to_string()), vec![i as u8]);
+        }
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn proof_verifies_present_and_absent_keys() {
+        let mut tree = SparseMerkleTree::new();
+        for i in 0..32u32 {
+            tree.insert(key(&format!("k{i}")), vec![i as u8]);
+        }
+        let present = key("k7");
+        let absent = key("nope");
+        let proof = tree.prove(&[present, absent]);
+        proof.verify(&tree.root()).unwrap();
+        assert_eq!(
+            proof.pre_value_hash(&present).unwrap(),
+            Some(hash_bytes([7u8]))
+        );
+        assert_eq!(proof.pre_value_hash(&absent).unwrap(), None);
+        assert_eq!(
+            proof.pre_value_hash(&key("uncovered")),
+            Err(ProofError::MissingKey)
+        );
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let mut tree = SparseMerkleTree::new();
+        tree.insert(key("a"), b"1".to_vec());
+        let proof = tree.prove(&[key("a")]);
+        assert_eq!(proof.verify(&Hash::ZERO), Err(ProofError::RootMismatch));
+    }
+
+    #[test]
+    fn tampered_pre_value_rejected() {
+        let mut tree = SparseMerkleTree::new();
+        for i in 0..8u32 {
+            tree.insert(key(&format!("k{i}")), vec![i as u8]);
+        }
+        let mut proof = tree.prove(&[key("k3")]);
+        proof.pre[0] = Some(hash_bytes(b"forged"));
+        assert_eq!(proof.verify(&tree.root()), Err(ProofError::RootMismatch));
+    }
+
+    #[test]
+    fn updated_root_matches_real_update() {
+        let mut tree = SparseMerkleTree::new();
+        for i in 0..64u32 {
+            tree.insert(key(&format!("k{i}")), vec![i as u8]);
+        }
+        let old_root = tree.root();
+        let k_upd = key("k10");
+        let k_new = key("brand-new");
+        let k_del = key("k20");
+        let proof = tree.prove(&[k_upd, k_new, k_del]);
+        proof.verify(&old_root).unwrap();
+        let predicted = proof
+            .updated_root(&[
+                (k_upd, Some(hash_bytes(b"updated"))),
+                (k_new, Some(hash_bytes(b"created"))),
+                (k_del, None),
+            ])
+            .unwrap();
+        tree.insert(k_upd, b"updated".to_vec());
+        tree.insert(k_new, b"created".to_vec());
+        tree.remove(&k_del);
+        assert_eq!(predicted, tree.root());
+    }
+
+    #[test]
+    fn updated_root_rejects_uncovered_write() {
+        let mut tree = SparseMerkleTree::new();
+        tree.insert(key("a"), b"1".to_vec());
+        let proof = tree.prove(&[key("a")]);
+        assert_eq!(
+            proof.updated_root(&[(key("b"), Some(Hash::ZERO))]),
+            Err(ProofError::MissingKey)
+        );
+    }
+
+    #[test]
+    fn insert_into_empty_tree_via_proof() {
+        let tree = SparseMerkleTree::new();
+        let k = key("genesis");
+        let proof = tree.prove(&[k]);
+        proof.verify(&Hash::ZERO).unwrap();
+        let new_root = proof.updated_root(&[(k, Some(hash_bytes(b"v")))]).unwrap();
+        let mut real = SparseMerkleTree::new();
+        real.insert(k, b"v".to_vec());
+        assert_eq!(new_root, real.root());
+    }
+
+    #[test]
+    fn proof_codec_round_trip() {
+        let mut tree = SparseMerkleTree::new();
+        for i in 0..20u32 {
+            tree.insert(key(&format!("k{i}")), vec![i as u8]);
+        }
+        let proof = tree.prove(&[key("k3"), key("absent"), key("k19")]);
+        let bytes = proof.to_encoded_bytes();
+        let decoded = SmtProof::decode_all(&bytes).unwrap();
+        assert_eq!(decoded, proof);
+        decoded.verify(&tree.root()).unwrap();
+    }
+
+    #[test]
+    fn evidence_cannot_be_dropped() {
+        let mut tree = SparseMerkleTree::new();
+        for i in 0..16u32 {
+            tree.insert(key(&format!("k{i}")), vec![i as u8]);
+        }
+        let mut proof = tree.prove(&[key("k0")]);
+        proof.evidence.pop();
+        assert!(matches!(
+            proof.verify(&tree.root()),
+            Err(ProofError::Malformed(_)) | Err(ProofError::RootMismatch)
+        ));
+    }
+
+    #[test]
+    fn proof_size_is_compact() {
+        let mut tree = SparseMerkleTree::new();
+        for i in 0..1000u32 {
+            tree.insert(key(&format!("k{i}")), vec![0]);
+        }
+        let proof = tree.prove(&[key("k500")]);
+        // A single-key proof should be a few sibling hashes plus RLE-encoded
+        // empty runs — far below a full 256-level path of hashes.
+        assert!(proof.size_bytes() < 1200, "size = {}", proof.size_bytes());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Incremental root always equals the reference recomputation.
+        #[test]
+        fn prop_root_matches_reference(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..120)) {
+            let mut tree = SparseMerkleTree::new();
+            let mut model: BTreeMap<Hash, Hash> = BTreeMap::new();
+            for (label, is_insert) in ops {
+                let k = key(&format!("key-{}", label % 32));
+                if is_insert {
+                    let v = vec![label];
+                    model.insert(k, hash_bytes(&v));
+                    tree.insert(k, v);
+                } else {
+                    model.remove(&k);
+                    tree.remove(&k);
+                }
+            }
+            prop_assert_eq!(tree.root(), reference_root(&model));
+        }
+
+        /// Any key subset proves and verifies; stateless updates agree with
+        /// the real tree.
+        #[test]
+        fn prop_stateless_update_agrees(
+            initial in proptest::collection::btree_map(0u8..40, any::<u8>(), 0..30),
+            touched in proptest::collection::btree_map(0u8..48, proptest::option::of(any::<u8>()), 1..10),
+        ) {
+            let mut tree = SparseMerkleTree::new();
+            for (k, v) in &initial {
+                tree.insert(key(&format!("key-{k}")), vec![*v]);
+            }
+            let old_root = tree.root();
+            let touched_keys: Vec<Hash> =
+                touched.keys().map(|k| key(&format!("key-{k}"))).collect();
+            let proof = tree.prove(&touched_keys);
+            prop_assert!(proof.verify(&old_root).is_ok());
+
+            let writes: Vec<(Hash, Option<Hash>)> = touched
+                .iter()
+                .map(|(k, v)| {
+                    (key(&format!("key-{k}")), v.map(|b| hash_bytes([b])))
+                })
+                .collect();
+            let predicted = proof.updated_root(&writes).unwrap();
+
+            for (k, v) in &touched {
+                let kh = key(&format!("key-{k}"));
+                match v {
+                    Some(b) => { tree.insert(kh, vec![*b]); }
+                    None => { tree.remove(&kh); }
+                }
+            }
+            prop_assert_eq!(predicted, tree.root());
+        }
+
+        /// Proofs for random key sets never panic on junk roots.
+        #[test]
+        fn prop_verify_never_panics(
+            n in 0usize..20,
+            probe in 0u8..255,
+        ) {
+            let mut tree = SparseMerkleTree::new();
+            for i in 0..n {
+                tree.insert(key(&format!("k{i}")), vec![i as u8]);
+            }
+            let proof = tree.prove(&[key(&format!("probe-{probe}"))]);
+            let _ = proof.verify(&hash_bytes([probe]));
+        }
+    }
+}

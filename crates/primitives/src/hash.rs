@@ -1,0 +1,313 @@
+//! SHA-256 digests and domain-separated hashing helpers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sha2::{Digest, Sha256};
+
+use crate::codec::{Decode, Encode, Reader};
+use crate::error::CodecError;
+use crate::hex;
+
+/// A 32-byte SHA-256 digest.
+///
+/// `Hash` is the universal commitment type of the framework: block digests,
+/// Merkle roots, enclave measurements, and certificate digests are all
+/// `Hash`es.
+///
+/// ```
+/// use dcert_primitives::hash::hash_bytes;
+///
+/// let h = hash_bytes(b"abc");
+/// assert_eq!(
+///     h.to_string(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Hash([u8; 32]);
+
+impl Hash {
+    /// The all-zero digest, used as the "absent" marker (e.g. empty subtree).
+    pub const ZERO: Hash = Hash([0u8; 32]);
+
+    /// Number of bytes in a digest.
+    pub const LEN: usize = 32;
+
+    /// Wraps raw digest bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash(bytes)
+    }
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns the raw digest array.
+    pub const fn to_array(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Returns `true` if this is the all-zero "absent" digest.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Returns bit `i` (0 = most significant bit of byte 0).
+    ///
+    /// Used by the sparse Merkle tree to turn a hashed key into a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index {i} out of range");
+        (self.0[i / 8] >> (7 - i % 8)) & 1 == 1
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the string is not exactly 64 hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, CodecError> {
+        let bytes = hex::decode(s)?;
+        if bytes.len() != 32 {
+            return Err(CodecError::Invalid("hash hex must be 64 characters"));
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(Hash(out))
+    }
+}
+
+impl fmt::Display for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&hex::encode(self.0))
+    }
+}
+
+impl fmt::Debug for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash({}..)", &hex::encode(self.0)[..12])
+    }
+}
+
+impl AsRef<[u8]> for Hash {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Hash {
+    fn from(bytes: [u8; 32]) -> Self {
+        Hash(bytes)
+    }
+}
+
+impl Encode for Hash {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+}
+
+impl Decode for Hash {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = r.take(32)?;
+        let mut out = [0u8; 32];
+        out.copy_from_slice(bytes);
+        Ok(Hash(out))
+    }
+}
+
+impl Encode for Vec<Hash> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::codec::encode_seq(self, out);
+    }
+}
+
+impl Decode for Vec<Hash> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        crate::codec::decode_seq(r)
+    }
+}
+
+/// A 20-byte account address, in the style of Ethereum addresses.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Address([u8; 20]);
+
+impl Address {
+    /// Number of bytes in an address.
+    pub const LEN: usize = 20;
+
+    /// Wraps raw address bytes.
+    pub const fn from_bytes(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+
+    /// Derives an address deterministically from a 64-bit seed.
+    ///
+    /// Convenient for workload generators that need many distinct accounts.
+    pub fn from_seed(seed: u64) -> Self {
+        let h = hash_bytes(seed.to_be_bytes());
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&h.as_bytes()[..20]);
+        Address(out)
+    }
+
+    /// Returns the address as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", hex::encode(self.0))
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address(0x{}..)", &hex::encode(self.0)[..8])
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 20]> for Address {
+    fn from(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+}
+
+impl Encode for Address {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+}
+
+impl Decode for Address {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = r.take(20)?;
+        let mut out = [0u8; 20];
+        out.copy_from_slice(bytes);
+        Ok(Address(out))
+    }
+}
+
+/// Hashes a byte string with SHA-256.
+pub fn hash_bytes(bytes: impl AsRef<[u8]>) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(bytes.as_ref());
+    Hash(hasher.finalize().into())
+}
+
+/// Hashes the concatenation `left || right` — the Merkle inner-node rule
+/// `h = H(h_l || h_r)` from the paper (Fig. 1).
+pub fn hash_pair(left: &Hash, right: &Hash) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(left.as_bytes());
+    hasher.update(right.as_bytes());
+    Hash(hasher.finalize().into())
+}
+
+/// Hashes the concatenation of an arbitrary number of byte strings.
+pub fn hash_concat<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Hash {
+    let mut hasher = Sha256::new();
+    for part in parts {
+        hasher.update(part);
+    }
+    Hash(hasher.finalize().into())
+}
+
+/// Hashes a value through its canonical [`Encode`] representation.
+///
+/// All structural digests in the framework (`H(hdr)`, transaction ids,
+/// state-leaf hashes, ...) are computed this way so that hashing is
+/// deterministic across processes.
+pub fn hash_encoded<T: Encode + ?Sized>(value: &T) -> Hash {
+    hash_bytes(value.to_encoded_bytes())
+}
+
+/// Domain-separated hash: `H(domain_tag || payload)`.
+///
+/// Distinct Merkle structures use distinct domains so that, e.g., an SMT
+/// leaf can never be confused with an MB-tree node.
+pub fn hash_domain(domain: u8, payload: &[u8]) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update([domain]);
+    hasher.update(payload);
+    Hash(hasher.finalize().into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_known_vector() {
+        // NIST test vector for "abc".
+        assert_eq!(
+            hash_bytes(b"abc").to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn hash_pair_is_concatenation() {
+        let a = hash_bytes(b"a");
+        let b = hash_bytes(b"b");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(a.as_bytes());
+        concat.extend_from_slice(b.as_bytes());
+        assert_eq!(hash_pair(&a, &b), hash_bytes(&concat));
+        assert_ne!(hash_pair(&a, &b), hash_pair(&b, &a));
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0b1000_0001;
+        let h = Hash::from_bytes(bytes);
+        assert!(h.bit(0));
+        assert!(!h.bit(1));
+        assert!(h.bit(7));
+        assert!(!h.bit(8));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let h = hash_bytes(b"round trip");
+        assert_eq!(Hash::from_hex(&h.to_string()).unwrap(), h);
+    }
+
+    #[test]
+    fn from_hex_rejects_wrong_length() {
+        assert!(Hash::from_hex("abcd").is_err());
+    }
+
+    #[test]
+    fn domain_separation_changes_digest() {
+        assert_ne!(hash_domain(0, b"x"), hash_domain(1, b"x"));
+    }
+
+    #[test]
+    fn address_from_seed_is_deterministic_and_distinct() {
+        assert_eq!(Address::from_seed(7), Address::from_seed(7));
+        assert_ne!(Address::from_seed(7), Address::from_seed(8));
+    }
+
+    #[test]
+    fn zero_hash_is_zero() {
+        assert!(Hash::ZERO.is_zero());
+        assert!(!hash_bytes(b"x").is_zero());
+    }
+}

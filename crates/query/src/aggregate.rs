@@ -1,0 +1,470 @@
+//! Verifiable window **aggregation** queries (the paper's §5.1 mentions
+//! aggregation as a supported query class, citing authenticated
+//! aggregation structures \[32\]).
+//!
+//! A two-level index like the historical one, but the lower level is an
+//! [`AggMbTree`]: every subtree carries a certified count/sum/min/max
+//! annotation, so "SUM of account X's balance over blocks [t1, t2]" is
+//! answered with an O(log n) proof — without shipping a single version.
+//!
+//! **Ingestion rule** (shared by the SP and the enclave verifier, so it
+//! must be deterministic): only writes whose value is *exactly 8 bytes*
+//! are ingested, interpreted as a big-endian `u64`. This matches how the
+//! SmallBank contract stores balances; other writes are invisible to this
+//! index.
+
+use std::collections::HashMap;
+
+use dcert_chain::Block;
+use dcert_core::{CertError, IndexVerifier};
+use dcert_merkle::aggmb::{AggAppendProof, AggMbTree, AggProof};
+pub use dcert_merkle::aggmb::Aggregate;
+use dcert_merkle::{Mpt, MptProof};
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::{hash_bytes, Hash};
+use dcert_vm::StateKey;
+
+use crate::error::QueryError;
+
+/// The canonical numeric interpretation: exactly-8-byte values as
+/// big-endian `u64`; anything else is not aggregatable.
+pub fn numeric_value(bytes: &[u8]) -> Option<u64> {
+    let arr: [u8; 8] = bytes.try_into().ok()?;
+    Some(u64::from_be_bytes(arr))
+}
+
+/// Filters a block write set down to this index's ingestible entries.
+fn ingestible(writes: &[(StateKey, Option<Vec<u8>>)]) -> Vec<(StateKey, u64)> {
+    writes
+        .iter()
+        .filter_map(|(k, v)| {
+            v.as_deref()
+                .and_then(numeric_value)
+                .map(|value| (*k, value))
+        })
+        .collect()
+}
+
+/// The SP-side two-level aggregate index.
+#[derive(Debug, Clone)]
+pub struct AggregateIndex {
+    name: String,
+    upper: Mpt,
+    lower: HashMap<Vec<u8>, AggMbTree>,
+    order: usize,
+}
+
+impl AggregateIndex {
+    /// Creates an index registered under `name` with the default fanout.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_order(name, AggMbTree::DEFAULT_ORDER)
+    }
+
+    /// Creates an index with an explicit fanout.
+    pub fn with_order(name: impl Into<String>, order: usize) -> Self {
+        AggregateIndex {
+            name: name.into(),
+            upper: Mpt::new(),
+            lower: HashMap::new(),
+            order,
+        }
+    }
+
+    /// The registered index-type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The certified digest `H_idx`.
+    pub fn digest(&self) -> Hash {
+        self.upper.root()
+    }
+
+    /// Number of tracked keys.
+    pub fn tracked_keys(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Applies one block's write set at `height`, returning `(aux,
+    /// new_digest)` for enclave certification.
+    pub fn apply_block(
+        &mut self,
+        height: u64,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+    ) -> (Vec<u8>, Hash) {
+        let mut updates = Vec::new();
+        for (key, value) in ingestible(writes) {
+            let key_bytes = key.as_hash().as_bytes().to_vec();
+            let mpt_proof = self.upper.prove(&key_bytes);
+            let (prev_root, append) = match self.lower.get(&key_bytes) {
+                Some(tree) => (Some(tree.root()), tree.prove_append()),
+                None => (None, AggMbTree::new(self.order).prove_append()),
+            };
+            updates.push(KeyUpdate {
+                prev_root,
+                append,
+                mpt: mpt_proof,
+            });
+
+            let tree = self
+                .lower
+                .entry(key_bytes.clone())
+                .or_insert_with(|| AggMbTree::new(self.order));
+            tree.insert(height, value);
+            self.upper.insert(&key_bytes, tree.root().as_bytes().to_vec());
+        }
+        let mut aux = Vec::new();
+        encode_seq(&updates, &mut aux);
+        (aux, self.digest())
+    }
+
+    /// Answers "aggregate of `key`'s values over `[t1, t2]`" with a proof.
+    pub fn query(&self, key: &StateKey, t1: u64, t2: u64) -> (Aggregate, AggQueryProof) {
+        let key_bytes = key.as_hash().as_bytes().to_vec();
+        let mpt = self.upper.prove(&key_bytes);
+        match self.lower.get(&key_bytes) {
+            None => (
+                Aggregate::EMPTY,
+                AggQueryProof {
+                    mpt,
+                    tree_root: None,
+                    agg: None,
+                },
+            ),
+            Some(tree) => {
+                let (aggregate, agg) = tree.aggregate(t1, t2);
+                (
+                    aggregate,
+                    AggQueryProof {
+                        mpt,
+                        tree_root: Some(tree.root()),
+                        agg: Some(agg),
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// One key's chained update in the aux payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KeyUpdate {
+    prev_root: Option<Hash>,
+    append: AggAppendProof,
+    mpt: MptProof,
+}
+
+impl Encode for KeyUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.prev_root.encode(out);
+        self.append.encode(out);
+        self.mpt.encode(out);
+    }
+}
+
+impl Decode for KeyUpdate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(KeyUpdate {
+            prev_root: Option::<Hash>::decode(r)?,
+            append: AggAppendProof::decode(r)?,
+            mpt: MptProof::decode(r)?,
+        })
+    }
+}
+
+/// The trusted update verifier for [`AggregateIndex`].
+#[derive(Debug, Clone)]
+pub struct AggregateVerifier {
+    name: String,
+    order: usize,
+}
+
+impl AggregateVerifier {
+    /// Creates the verifier matching [`AggregateIndex::new`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_order(name, AggMbTree::DEFAULT_ORDER)
+    }
+
+    /// Creates the verifier with an explicit fanout (must match the SP's).
+    pub fn with_order(name: impl Into<String>, order: usize) -> Self {
+        AggregateVerifier {
+            name: name.into(),
+            order,
+        }
+    }
+}
+
+impl IndexVerifier for AggregateVerifier {
+    fn type_name(&self) -> &str {
+        &self.name
+    }
+
+    fn genesis_digest(&self) -> Hash {
+        Hash::ZERO
+    }
+
+    fn verify_update(
+        &self,
+        prev_digest: &Hash,
+        block: &Block,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+        aux: &[u8],
+    ) -> Result<Hash, CertError> {
+        let mut reader = Reader::new(aux);
+        let updates: Vec<KeyUpdate> =
+            decode_seq(&mut reader).map_err(|_| CertError::BadIndexUpdate("aux decode"))?;
+        if reader.remaining() != 0 {
+            return Err(CertError::BadIndexUpdate("trailing aux bytes"));
+        }
+        // The enclave derives the ingestible subset itself from the
+        // authenticated write set.
+        let entries = ingestible(writes);
+        if updates.len() != entries.len() {
+            return Err(CertError::BadIndexUpdate("update count mismatch"));
+        }
+        let height = block.header.height;
+        let mut root = *prev_digest;
+        for ((key, value), update) in entries.iter().zip(&updates) {
+            let key_bytes = key.as_hash().as_bytes();
+            let proven = update
+                .mpt
+                .verify(&root, key_bytes)
+                .map_err(CertError::Proof)?;
+            let claimed = update.prev_root.as_ref().map(|r| hash_bytes(r.as_bytes()));
+            if proven != claimed {
+                return Err(CertError::BadIndexUpdate("stale aggregate-tree root"));
+            }
+            let new_root = match update.prev_root {
+                None => AggMbTree::singleton_root(height, *value),
+                Some(prev) => update
+                    .append
+                    .appended_root(&prev, self.order, height, *value)
+                    .map_err(CertError::Proof)?,
+            };
+            root = update
+                .mpt
+                .updated_root(&root, key_bytes, &hash_bytes(new_root.as_bytes()))
+                .map_err(CertError::Proof)?;
+        }
+        Ok(root)
+    }
+}
+
+/// Proof returned with an aggregate query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggQueryProof {
+    mpt: MptProof,
+    tree_root: Option<Hash>,
+    agg: Option<AggProof>,
+}
+
+impl AggQueryProof {
+    /// Serialized proof size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for AggQueryProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mpt.encode(out);
+        self.tree_root.encode(out);
+        self.agg.encode(out);
+    }
+}
+
+impl Decode for AggQueryProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AggQueryProof {
+            mpt: MptProof::decode(r)?,
+            tree_root: Option::<Hash>::decode(r)?,
+            agg: Option::<AggProof>::decode(r)?,
+        })
+    }
+}
+
+/// Client-side verification of a window aggregate against the certified
+/// index digest.
+///
+/// # Errors
+///
+/// [`QueryError`] describing the first failed check.
+pub fn verify_aggregate(
+    digest: &Hash,
+    key: &StateKey,
+    t1: u64,
+    t2: u64,
+    claimed: &Aggregate,
+    proof: &AggQueryProof,
+) -> Result<(), QueryError> {
+    let key_bytes = key.as_hash().as_bytes();
+    let proven = proof.mpt.verify(digest, key_bytes)?;
+    match (&proof.tree_root, &proof.agg) {
+        (None, None) => {
+            if proven.is_some() {
+                return Err(QueryError::ResultMismatch(
+                    "key is tracked but no aggregate tree presented",
+                ));
+            }
+            if *claimed != Aggregate::EMPTY {
+                return Err(QueryError::ResultMismatch("aggregate for an untracked key"));
+            }
+            Ok(())
+        }
+        (Some(tree_root), Some(agg_proof)) => {
+            if proven != Some(hash_bytes(tree_root.as_bytes())) {
+                return Err(QueryError::DigestMismatch);
+            }
+            agg_proof.verify(tree_root, t1, t2, claimed)?;
+            Ok(())
+        }
+        _ => Err(QueryError::ResultMismatch("inconsistent proof shape")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_chain::consensus::ConsensusProof;
+    use dcert_chain::BlockHeader;
+    use dcert_primitives::hash::Address;
+
+    fn key(label: &str) -> StateKey {
+        StateKey::new("smallbank", label.as_bytes())
+    }
+
+    fn block_at(height: u64) -> Block {
+        Block {
+            header: BlockHeader {
+                height,
+                prev_hash: Hash::ZERO,
+                state_root: Hash::ZERO,
+                tx_root: Hash::ZERO,
+                timestamp: height,
+                miner: Address::default(),
+                consensus: ConsensusProof::Pow {
+                    difficulty_bits: 0,
+                    nonce: 0,
+                },
+            },
+            txs: Vec::new(),
+        }
+    }
+
+    fn balance_writes(entries: &[(&str, u64)]) -> Vec<(StateKey, Option<Vec<u8>>)> {
+        let mut out: Vec<(StateKey, Option<Vec<u8>>)> = entries
+            .iter()
+            .map(|(k, v)| (key(k), Some(v.to_be_bytes().to_vec())))
+            .collect();
+        out.sort_by_key(|(k, _)| *k.as_hash());
+        out
+    }
+
+    #[test]
+    fn numeric_rule_is_exactly_eight_bytes() {
+        assert_eq!(numeric_value(&7u64.to_be_bytes()), Some(7));
+        assert_eq!(numeric_value(b"1234567"), None);
+        assert_eq!(numeric_value(b"123456789"), None);
+        assert_eq!(numeric_value(b""), None);
+    }
+
+    #[test]
+    fn digest_tracks_updates_and_verifier_agrees() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        let verifier = AggregateVerifier::with_order("agg", 4);
+        let mut digest = index.digest();
+        assert_eq!(digest, verifier.genesis_digest());
+        for height in 1..=40u64 {
+            let writes = balance_writes(&[("alice", 100 + height), ("bob", 50 * height)]);
+            let (aux, new_digest) = index.apply_block(height, &writes);
+            let recomputed = verifier
+                .verify_update(&digest, &block_at(height), &writes, &aux)
+                .unwrap_or_else(|e| panic!("height {height}: {e}"));
+            assert_eq!(recomputed, new_digest, "height {height}");
+            digest = new_digest;
+        }
+    }
+
+    #[test]
+    fn non_numeric_writes_are_skipped_consistently() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        let verifier = AggregateVerifier::with_order("agg", 4);
+        let digest = index.digest();
+        // A mix: one balance, one text value, one deletion.
+        let mut writes = vec![
+            (key("alice"), Some(42u64.to_be_bytes().to_vec())),
+            (key("memo"), Some(b"not a number".to_vec())),
+            (key("gone"), None),
+        ];
+        writes.sort_by_key(|(k, _)| *k.as_hash());
+        let (aux, new_digest) = index.apply_block(1, &writes);
+        assert_eq!(index.tracked_keys(), 1);
+        let recomputed = verifier
+            .verify_update(&digest, &block_at(1), &writes, &aux)
+            .unwrap();
+        assert_eq!(recomputed, new_digest);
+    }
+
+    #[test]
+    fn window_aggregates_verify() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        for height in 1..=60u64 {
+            index.apply_block(height, &balance_writes(&[("alice", height * 10)]));
+        }
+        let digest = index.digest();
+        let (agg, proof) = index.query(&key("alice"), 11, 30);
+        assert_eq!(agg.count, 20);
+        assert_eq!(agg.sum, (11..=30).map(|h| h * 10).sum::<u64>() as u128);
+        assert_eq!((agg.min, agg.max), (110, 300));
+        verify_aggregate(&digest, &key("alice"), 11, 30, &agg, &proof).unwrap();
+        // Proof is compact: no per-version data.
+        assert!(proof.size_bytes() < 4096, "size = {}", proof.size_bytes());
+    }
+
+    #[test]
+    fn untracked_key_verifies_empty() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        index.apply_block(1, &balance_writes(&[("alice", 1)]));
+        let digest = index.digest();
+        let (agg, proof) = index.query(&key("nobody"), 0, 100);
+        assert_eq!(agg, Aggregate::EMPTY);
+        verify_aggregate(&digest, &key("nobody"), 0, 100, &agg, &proof).unwrap();
+    }
+
+    #[test]
+    fn inflated_sum_detected() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        for height in 1..=30u64 {
+            index.apply_block(height, &balance_writes(&[("alice", height)]));
+        }
+        let digest = index.digest();
+        let (mut agg, proof) = index.query(&key("alice"), 5, 25);
+        agg.sum += 1_000_000;
+        assert!(verify_aggregate(&digest, &key("alice"), 5, 25, &agg, &proof).is_err());
+    }
+
+    #[test]
+    fn stale_digest_detected() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        index.apply_block(1, &balance_writes(&[("alice", 10)]));
+        let stale = index.digest();
+        index.apply_block(2, &balance_writes(&[("alice", 20)]));
+        let (agg, proof) = index.query(&key("alice"), 0, 10);
+        assert!(verify_aggregate(&stale, &key("alice"), 0, 10, &agg, &proof).is_err());
+    }
+
+    #[test]
+    fn verifier_rejects_forged_aux() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        let verifier = AggregateVerifier::with_order("agg", 4);
+        let digest = index.digest();
+        let writes = balance_writes(&[("alice", 7)]);
+        let (mut aux, _) = index.apply_block(1, &writes);
+        let last = aux.len() - 1;
+        aux[last] ^= 0xff;
+        assert!(verifier
+            .verify_update(&digest, &block_at(1), &writes, &aux)
+            .is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Query verification errors.
+
+use std::fmt;
+
+use dcert_merkle::ProofError;
+use dcert_primitives::error::CodecError;
+
+/// Why a query result failed verification on the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An underlying Merkle proof failed.
+    Proof(ProofError),
+    /// The proof authenticates an index state inconsistent with the
+    /// certified digest.
+    DigestMismatch,
+    /// The claimed results disagree with the authenticated index content.
+    ResultMismatch(&'static str),
+    /// The proof payload failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Proof(e) => write!(f, "proof verification failed: {e}"),
+            QueryError::DigestMismatch => write!(f, "certified digest mismatch"),
+            QueryError::ResultMismatch(what) => write!(f, "result mismatch: {what}"),
+            QueryError::Codec(e) => write!(f, "proof decoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ProofError> for QueryError {
+    fn from(e: ProofError) -> Self {
+        QueryError::Proof(e)
+    }
+}
+
+impl From<CodecError> for QueryError {
+    fn from(e: CodecError) -> Self {
+        QueryError::Codec(e)
+    }
+}

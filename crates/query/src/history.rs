@@ -1,0 +1,517 @@
+//! The two-level historical query index (Fig. 5, lower-left).
+//!
+//! Upper level: a Merkle Patricia trie mapping each state key (the 32-byte
+//! SMT path of an account/field) to the root of its version tree. Lower
+//! level: per-key Merkle B-trees mapping *timestamp* (block height) to the
+//! value written at that height (`None` encodes a deletion event).
+//!
+//! Three roles share this module:
+//!
+//! - the SP maintains [`HistoryIndex`] and serves
+//!   [`HistoryIndex::query`] with completeness proofs;
+//! - the enclave runs [`HistoryVerifier`] (an
+//!   [`dcert_core::IndexVerifier`]) to recompute the digest
+//!   after each block from chained stateless proofs;
+//! - clients call [`verify_history`] against the certified digest.
+
+use std::collections::HashMap;
+
+use dcert_chain::Block;
+use dcert_core::{CertError, IndexVerifier};
+use dcert_merkle::{MbAppendProof, MbRangeProof, MbTree, Mpt, MptProof};
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::{hash_bytes, Hash};
+use dcert_vm::StateKey;
+
+use crate::error::QueryError;
+
+/// One recorded version: the value written at a height (`None` = deleted).
+pub type Version = Option<Vec<u8>>;
+
+fn encode_version(version: &Version) -> Vec<u8> {
+    version.to_encoded_bytes()
+}
+
+fn decode_version(bytes: &[u8]) -> Result<Version, CodecError> {
+    Version::decode_all(bytes)
+}
+
+/// The SP-side two-level historical index.
+#[derive(Debug, Clone)]
+pub struct HistoryIndex {
+    name: String,
+    upper: Mpt,
+    lower: HashMap<Vec<u8>, MbTree>,
+    order: usize,
+}
+
+impl HistoryIndex {
+    /// Creates an index registered under `name` with the default B-tree
+    /// fanout.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_order(name, MbTree::DEFAULT_ORDER)
+    }
+
+    /// Creates an index with an explicit B-tree fanout.
+    pub fn with_order(name: impl Into<String>, order: usize) -> Self {
+        HistoryIndex {
+            name: name.into(),
+            upper: Mpt::new(),
+            lower: HashMap::new(),
+            order,
+        }
+    }
+
+    /// The registered index-type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The certified digest `H_idx`: the upper trie's root.
+    pub fn digest(&self) -> Hash {
+        self.upper.root()
+    }
+
+    /// Number of tracked keys.
+    pub fn tracked_keys(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Applies one block's write set at `height`, returning the
+    /// enclave-verifiable update proof (`aux`) and the new digest.
+    ///
+    /// Writes must be presented in the canonical (sorted-by-key) order the
+    /// certificate program authenticates.
+    pub fn apply_block(
+        &mut self,
+        height: u64,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+    ) -> (Vec<u8>, Hash) {
+        let mut updates = Vec::with_capacity(writes.len());
+        for (key, value) in writes {
+            let key_bytes = key.as_hash().as_bytes().to_vec();
+            let version = encode_version(value);
+
+            // Proofs against the *current* (chained) state, then mutate.
+            let mpt_proof = self.upper.prove(&key_bytes);
+            let (prev_mb_root, append) = match self.lower.get(&key_bytes) {
+                Some(tree) => (Some(tree.root()), tree.prove_append()),
+                None => (None, MbTree::new(self.order).prove_append()),
+            };
+            updates.push(KeyUpdate {
+                prev_mb_root,
+                append,
+                mpt: mpt_proof,
+            });
+
+            let tree = self
+                .lower
+                .entry(key_bytes.clone())
+                .or_insert_with(|| MbTree::new(self.order));
+            tree.insert(height, version);
+            self.upper
+                .insert(&key_bytes, tree.root().as_bytes().to_vec());
+        }
+        let mut aux = Vec::new();
+        encode_seq(&updates, &mut aux);
+        (aux, self.digest())
+    }
+
+    /// Answers "all versions of `key` in `[t1, t2]`" with a proof.
+    pub fn query(
+        &self,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> (Vec<(u64, Version)>, HistoryProof) {
+        let key_bytes = key.as_hash().as_bytes().to_vec();
+        let mpt_proof = self.upper.prove(&key_bytes);
+        match self.lower.get(&key_bytes) {
+            None => (
+                Vec::new(),
+                HistoryProof {
+                    mpt: mpt_proof,
+                    mb_root: None,
+                    range: None,
+                },
+            ),
+            Some(tree) => {
+                let (raw, range) = tree.range(t1, t2);
+                let results = raw
+                    .into_iter()
+                    .map(|(ts, bytes)| {
+                        let version =
+                            decode_version(&bytes).expect("index stores canonical versions");
+                        (ts, version)
+                    })
+                    .collect();
+                (
+                    results,
+                    HistoryProof {
+                        mpt: mpt_proof,
+                        mb_root: Some(tree.root()),
+                        range: Some(range),
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// One key's chained update inside the aux payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KeyUpdate {
+    /// The key's version-tree root before this block (`None` = new key).
+    prev_mb_root: Option<Hash>,
+    /// Rightmost-path proof of the version tree (ignored for new keys).
+    append: MbAppendProof,
+    /// Upper-trie proof for the key against the chained upper root.
+    mpt: MptProof,
+}
+
+impl Encode for KeyUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.prev_mb_root.encode(out);
+        self.append.encode(out);
+        self.mpt.encode(out);
+    }
+}
+
+impl Decode for KeyUpdate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(KeyUpdate {
+            prev_mb_root: Option::<Hash>::decode(r)?,
+            append: MbAppendProof::decode(r)?,
+            mpt: MptProof::decode(r)?,
+        })
+    }
+}
+
+/// The trusted update verifier for [`HistoryIndex`], registered in the
+/// enclave's certificate program.
+#[derive(Debug, Clone)]
+pub struct HistoryVerifier {
+    name: String,
+    order: usize,
+}
+
+impl HistoryVerifier {
+    /// Creates the verifier matching [`HistoryIndex::new`] under `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_order(name, MbTree::DEFAULT_ORDER)
+    }
+
+    /// Creates the verifier with an explicit fanout (must match the SP's).
+    pub fn with_order(name: impl Into<String>, order: usize) -> Self {
+        HistoryVerifier {
+            name: name.into(),
+            order,
+        }
+    }
+}
+
+impl IndexVerifier for HistoryVerifier {
+    fn type_name(&self) -> &str {
+        &self.name
+    }
+
+    fn genesis_digest(&self) -> Hash {
+        // An empty trie.
+        Hash::ZERO
+    }
+
+    fn verify_update(
+        &self,
+        prev_digest: &Hash,
+        block: &Block,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+        aux: &[u8],
+    ) -> Result<Hash, CertError> {
+        let mut reader = Reader::new(aux);
+        let updates: Vec<KeyUpdate> =
+            decode_seq(&mut reader).map_err(|_| CertError::BadIndexUpdate("aux decode"))?;
+        if reader.remaining() != 0 {
+            return Err(CertError::BadIndexUpdate("trailing aux bytes"));
+        }
+        if updates.len() != writes.len() {
+            return Err(CertError::BadIndexUpdate("update count mismatch"));
+        }
+        let height = block.header.height;
+        let mut root = *prev_digest;
+        for ((key, value), update) in writes.iter().zip(&updates) {
+            let key_bytes = key.as_hash().as_bytes();
+            let version = encode_version(value);
+            let version_hash = hash_bytes(&version);
+
+            // Authenticate the key's current version-tree root (or its
+            // absence) against the chained upper root.
+            let proven = update
+                .mpt
+                .verify(&root, key_bytes)
+                .map_err(CertError::Proof)?;
+            let claimed = update
+                .prev_mb_root
+                .as_ref()
+                .map(|r| hash_bytes(r.as_bytes()));
+            if proven != claimed {
+                return Err(CertError::BadIndexUpdate("stale version-tree root"));
+            }
+
+            // Compute the new version-tree root statelessly.
+            let new_mb_root = match update.prev_mb_root {
+                None => MbTree::singleton_root(height, &version_hash),
+                Some(prev) => update
+                    .append
+                    .appended_root(&prev, self.order, height, &version_hash)
+                    .map_err(CertError::Proof)?,
+            };
+
+            // Chain the upper-trie root forward.
+            root = update
+                .mpt
+                .updated_root(&root, key_bytes, &hash_bytes(new_mb_root.as_bytes()))
+                .map_err(CertError::Proof)?;
+        }
+        Ok(root)
+    }
+}
+
+/// Proof returned with a historical query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryProof {
+    /// Upper-trie (non-)membership proof for the queried key.
+    mpt: MptProof,
+    /// The key's version-tree root (absent if the key is untracked).
+    mb_root: Option<Hash>,
+    /// Range-completeness proof within the version tree.
+    range: Option<MbRangeProof>,
+}
+
+impl HistoryProof {
+    /// Serialized proof size in bytes (the Fig. 11b metric).
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for HistoryProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mpt.encode(out);
+        self.mb_root.encode(out);
+        self.range.encode(out);
+    }
+}
+
+impl Decode for HistoryProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(HistoryProof {
+            mpt: MptProof::decode(r)?,
+            mb_root: Option::<Hash>::decode(r)?,
+            range: Option::<MbRangeProof>::decode(r)?,
+        })
+    }
+}
+
+/// Client-side verification of a historical query result against the
+/// certified index digest.
+///
+/// # Errors
+///
+/// [`QueryError`] describing the first failed check.
+pub fn verify_history(
+    digest: &Hash,
+    key: &StateKey,
+    t1: u64,
+    t2: u64,
+    results: &[(u64, Version)],
+    proof: &HistoryProof,
+) -> Result<(), QueryError> {
+    let key_bytes = key.as_hash().as_bytes();
+    let proven = proof.mpt.verify(digest, key_bytes)?;
+    match (&proof.mb_root, &proof.range) {
+        (None, None) => {
+            if proven.is_some() {
+                return Err(QueryError::ResultMismatch(
+                    "key is tracked but no version tree presented",
+                ));
+            }
+            if !results.is_empty() {
+                return Err(QueryError::ResultMismatch("results for an untracked key"));
+            }
+            Ok(())
+        }
+        (Some(mb_root), Some(range)) => {
+            if proven != Some(hash_bytes(mb_root.as_bytes())) {
+                return Err(QueryError::DigestMismatch);
+            }
+            let raw: Vec<(u64, Vec<u8>)> = results
+                .iter()
+                .map(|(ts, version)| (*ts, encode_version(version)))
+                .collect();
+            range.verify(mb_root, t1, t2, &raw)?;
+            Ok(())
+        }
+        _ => Err(QueryError::ResultMismatch("inconsistent proof shape")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_chain::consensus::ConsensusProof;
+    use dcert_chain::BlockHeader;
+    use dcert_primitives::hash::Address;
+
+    fn key(label: &str) -> StateKey {
+        StateKey::new("kvstore", label.as_bytes())
+    }
+
+    fn block_at(height: u64) -> Block {
+        Block {
+            header: BlockHeader {
+                height,
+                prev_hash: Hash::ZERO,
+                state_root: Hash::ZERO,
+                tx_root: Hash::ZERO,
+                timestamp: height,
+                miner: Address::default(),
+                consensus: ConsensusProof::Pow {
+                    difficulty_bits: 0,
+                    nonce: 0,
+                },
+            },
+            txs: Vec::new(),
+        }
+    }
+
+    fn writes(entries: &[(&str, Option<&str>)]) -> Vec<(StateKey, Option<Vec<u8>>)> {
+        let mut out: Vec<(StateKey, Option<Vec<u8>>)> = entries
+            .iter()
+            .map(|(k, v)| (key(k), v.map(|s| s.as_bytes().to_vec())))
+            .collect();
+        out.sort_by_key(|(k, _)| *k.as_hash());
+        out
+    }
+
+    #[test]
+    fn digest_tracks_updates_and_verifier_agrees() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        let verifier = HistoryVerifier::with_order("history", 4);
+        let mut digest = index.digest();
+        assert_eq!(digest, verifier.genesis_digest());
+
+        for height in 1..=30u64 {
+            let ws = writes(&[
+                ("a", Some("v-a")),
+                ("b", if height % 3 == 0 { None } else { Some("v-b") }),
+            ]);
+            let (aux, new_digest) = index.apply_block(height, &ws);
+            let recomputed = verifier
+                .verify_update(&digest, &block_at(height), &ws, &aux)
+                .unwrap_or_else(|e| panic!("height {height}: {e}"));
+            assert_eq!(recomputed, new_digest, "height {height}");
+            digest = new_digest;
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_tampered_aux() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        let verifier = HistoryVerifier::with_order("history", 4);
+        let digest = index.digest();
+        let ws = writes(&[("a", Some("v"))]);
+        let (aux, _) = index.apply_block(1, &ws);
+        let mut tampered = aux.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xff;
+        assert!(verifier
+            .verify_update(&digest, &block_at(1), &ws, &tampered)
+            .is_err());
+    }
+
+    #[test]
+    fn verifier_rejects_wrong_write_count() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        let verifier = HistoryVerifier::with_order("history", 4);
+        let digest = index.digest();
+        let ws = writes(&[("a", Some("v"))]);
+        let (aux, _) = index.apply_block(1, &ws);
+        let extra = writes(&[("a", Some("v")), ("b", Some("w"))]);
+        assert!(matches!(
+            verifier.verify_update(&digest, &block_at(1), &extra, &aux),
+            Err(CertError::BadIndexUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn query_returns_versions_in_window_with_valid_proof() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        for height in 1..=50u64 {
+            index.apply_block(height, &writes(&[("acct", Some(&format!("v{height}")))]));
+        }
+        let digest = index.digest();
+        let (results, proof) = index.query(&key("acct"), 10, 20);
+        assert_eq!(results.len(), 11);
+        assert_eq!(results[0], (10, Some(b"v10".to_vec())));
+        verify_history(&digest, &key("acct"), 10, 20, &results, &proof).unwrap();
+    }
+
+    #[test]
+    fn untracked_key_yields_verified_absence() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        index.apply_block(1, &writes(&[("known", Some("v"))]));
+        let digest = index.digest();
+        let (results, proof) = index.query(&key("unknown"), 0, 100);
+        assert!(results.is_empty());
+        verify_history(&digest, &key("unknown"), 0, 100, &results, &proof).unwrap();
+    }
+
+    #[test]
+    fn omitted_version_is_detected() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        for height in 1..=20u64 {
+            index.apply_block(height, &writes(&[("acct", Some(&format!("v{height}")))]));
+        }
+        let digest = index.digest();
+        let (mut results, proof) = index.query(&key("acct"), 5, 15);
+        results.remove(4);
+        assert!(verify_history(&digest, &key("acct"), 5, 15, &results, &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_version_value_is_detected() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        for height in 1..=20u64 {
+            index.apply_block(height, &writes(&[("acct", Some(&format!("v{height}")))]));
+        }
+        let digest = index.digest();
+        let (mut results, proof) = index.query(&key("acct"), 5, 15);
+        results[0].1 = Some(b"forged".to_vec());
+        assert!(verify_history(&digest, &key("acct"), 5, 15, &results, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_from_stale_digest_fails() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        index.apply_block(1, &writes(&[("acct", Some("v1"))]));
+        let stale_digest = index.digest();
+        index.apply_block(2, &writes(&[("acct", Some("v2"))]));
+        let (results, proof) = index.query(&key("acct"), 0, 10);
+        assert!(verify_history(&stale_digest, &key("acct"), 0, 10, &results, &proof).is_err());
+    }
+
+    #[test]
+    fn deletions_are_recorded_as_versions() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        index.apply_block(1, &writes(&[("acct", Some("v1"))]));
+        index.apply_block(2, &writes(&[("acct", None)]));
+        let digest = index.digest();
+        let (results, proof) = index.query(&key("acct"), 1, 2);
+        assert_eq!(
+            results,
+            vec![(1, Some(b"v1".to_vec())), (2, None)]
+        );
+        verify_history(&digest, &key("acct"), 1, 2, &results, &proof).unwrap();
+    }
+}

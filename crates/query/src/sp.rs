@@ -1,0 +1,353 @@
+//! The Query Service Provider (SP).
+//!
+//! A full node that maintains any number of authenticated indexes over the
+//! chain, stages per-block update proofs for the Certificate Issuer, and
+//! serves verifiable queries to superlight clients (Fig. 2 of the paper).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dcert_chain::{Block, ChainState, ChainError, ConsensusEngine, FullNode};
+use dcert_core::{Certificate, IndexInput, IndexVerifier};
+use dcert_primitives::hash::{Address, Hash};
+use dcert_vm::{Executor, StateKey};
+
+use crate::aggregate::{AggregateIndex, AggregateVerifier};
+use crate::history::{HistoryIndex, HistoryVerifier};
+use crate::inverted::{InvertedIndex, InvertedVerifier};
+
+/// An index the SP maintains block by block.
+///
+/// Implemented by [`HistoryIndex`] and [`InvertedIndex`]; the object-safe
+/// surface is what [`ServiceProvider`] drives, while querying goes through
+/// the concrete types.
+pub trait MaintainedIndex: Send {
+    /// The registered index-type name.
+    fn type_name(&self) -> &str;
+    /// The current digest `H_idx`.
+    fn digest(&self) -> Hash;
+    /// Applies one block, returning `(aux, new_digest)` for certification.
+    fn apply_block(
+        &mut self,
+        block: &Block,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+    ) -> (Vec<u8>, Hash);
+}
+
+impl MaintainedIndex for HistoryIndex {
+    fn type_name(&self) -> &str {
+        self.name()
+    }
+    fn digest(&self) -> Hash {
+        HistoryIndex::digest(self)
+    }
+    fn apply_block(
+        &mut self,
+        block: &Block,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+    ) -> (Vec<u8>, Hash) {
+        HistoryIndex::apply_block(self, block.header.height, writes)
+    }
+}
+
+impl MaintainedIndex for AggregateIndex {
+    fn type_name(&self) -> &str {
+        self.name()
+    }
+    fn digest(&self) -> Hash {
+        AggregateIndex::digest(self)
+    }
+    fn apply_block(
+        &mut self,
+        block: &Block,
+        writes: &[(StateKey, Option<Vec<u8>>)],
+    ) -> (Vec<u8>, Hash) {
+        AggregateIndex::apply_block(self, block.header.height, writes)
+    }
+}
+
+impl MaintainedIndex for InvertedIndex {
+    fn type_name(&self) -> &str {
+        self.name()
+    }
+    fn digest(&self) -> Hash {
+        InvertedIndex::digest(self)
+    }
+    fn apply_block(
+        &mut self,
+        block: &Block,
+        _writes: &[(StateKey, Option<Vec<u8>>)],
+    ) -> (Vec<u8>, Hash) {
+        InvertedIndex::apply_block(self, block)
+    }
+}
+
+/// Which kind of index to instantiate under a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Two-level historical index.
+    History,
+    /// Inverted keyword index.
+    Inverted,
+    /// Two-level window-aggregation index.
+    Aggregate,
+}
+
+/// The SP: a full node plus its maintained indexes and their certificate
+/// bookkeeping.
+pub struct ServiceProvider {
+    node: FullNode,
+    histories: BTreeMap<String, HistoryIndex>,
+    inverteds: BTreeMap<String, InvertedIndex>,
+    aggregates: BTreeMap<String, AggregateIndex>,
+    /// Last *certified* digest and certificate per index.
+    certified: BTreeMap<String, (Hash, Option<Certificate>)>,
+    /// Digests staged by the latest `stage_block`, awaiting certificates.
+    staged: Vec<(String, Hash)>,
+}
+
+impl std::fmt::Debug for ServiceProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceProvider")
+            .field("height", &self.node.height())
+            .field("histories", &self.histories.len())
+            .field("inverteds", &self.inverteds.len())
+            .finish()
+    }
+}
+
+impl ServiceProvider {
+    /// Creates an SP at genesis.
+    pub fn new(
+        genesis: &Block,
+        genesis_state: ChainState,
+        executor: Executor,
+        engine: Arc<dyn ConsensusEngine>,
+    ) -> Self {
+        ServiceProvider {
+            node: FullNode::new(
+                genesis,
+                genesis_state,
+                executor,
+                engine,
+                Address::default(),
+            ),
+            histories: BTreeMap::new(),
+            inverteds: BTreeMap::new(),
+            aggregates: BTreeMap::new(),
+            certified: BTreeMap::new(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Registers a new index under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index with the same name already exists, or if blocks
+    /// have already been processed (indexes must start from genesis).
+    pub fn add_index(&mut self, kind: IndexKind, name: &str) {
+        assert_eq!(self.node.height(), 0, "indexes must start from genesis");
+        let fresh = self
+            .certified
+            .insert(name.to_owned(), (Hash::ZERO, None))
+            .is_none();
+        assert!(fresh, "duplicate index name {name}");
+        match kind {
+            IndexKind::History => {
+                self.histories.insert(name.to_owned(), HistoryIndex::new(name));
+            }
+            IndexKind::Inverted => {
+                self.inverteds
+                    .insert(name.to_owned(), InvertedIndex::new(name));
+            }
+            IndexKind::Aggregate => {
+                self.aggregates
+                    .insert(name.to_owned(), AggregateIndex::new(name));
+            }
+        }
+    }
+
+    /// Builds the enclave-side verifiers matching the registered indexes —
+    /// hand these to [`CertificateIssuer::new`](dcert_core::CertificateIssuer::new).
+    pub fn verifiers(&self) -> Vec<Box<dyn IndexVerifier>> {
+        let mut out: Vec<Box<dyn IndexVerifier>> = Vec::new();
+        for name in self.histories.keys() {
+            out.push(Box::new(HistoryVerifier::new(name.clone())));
+        }
+        for name in self.inverteds.keys() {
+            out.push(Box::new(InvertedVerifier::new(name.clone())));
+        }
+        for name in self.aggregates.keys() {
+            out.push(Box::new(AggregateVerifier::new(name.clone())));
+        }
+        out
+    }
+
+    /// The SP's chain height.
+    pub fn height(&self) -> u64 {
+        self.node.height()
+    }
+
+    /// Access a history index for querying.
+    pub fn history(&self, name: &str) -> Option<&HistoryIndex> {
+        self.histories.get(name)
+    }
+
+    /// Access an inverted index for querying.
+    pub fn inverted(&self, name: &str) -> Option<&InvertedIndex> {
+        self.inverteds.get(name)
+    }
+
+    /// Access an aggregate index for querying.
+    pub fn aggregate(&self, name: &str) -> Option<&AggregateIndex> {
+        self.aggregates.get(name)
+    }
+
+    /// Processes one block: executes it, updates every index, advances the
+    /// chain, and returns the [`IndexInput`]s the CI needs (in the same
+    /// deterministic order as [`ServiceProvider::verifiers`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-validation errors; indexes are only updated when
+    /// the block is valid.
+    pub fn stage_block(&mut self, block: &Block) -> Result<Vec<IndexInput>, ChainError> {
+        let execution = self.node.execute(&block.txs);
+        let writes: Vec<(StateKey, Option<Vec<u8>>)> = execution
+            .writes
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        // Validate + advance the chain first; a bad block must not touch
+        // the indexes.
+        self.node.apply(block)?;
+
+        let mut inputs = Vec::new();
+        self.staged.clear();
+        for (name, index) in self
+            .histories
+            .iter_mut()
+            .map(|(n, i)| (n.clone(), i as &mut dyn MaintainedIndex))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .chain(
+                self.inverteds
+                    .iter_mut()
+                    .map(|(n, i)| (n.clone(), i as &mut dyn MaintainedIndex))
+                    .collect::<Vec<_>>(),
+            )
+            .chain(
+                self.aggregates
+                    .iter_mut()
+                    .map(|(n, i)| (n.clone(), i as &mut dyn MaintainedIndex))
+                    .collect::<Vec<_>>(),
+            )
+        {
+            let (prev_digest, prev_cert) = self
+                .certified
+                .get(&name)
+                .cloned()
+                .expect("registered index has bookkeeping");
+            let (aux, new_digest) = index.apply_block(block, &writes);
+            self.staged.push((name.clone(), new_digest));
+            inputs.push(IndexInput {
+                index_type: name,
+                prev_digest,
+                prev_cert,
+                new_digest,
+                aux,
+            });
+        }
+        Ok(inputs)
+    }
+
+    /// Records the certificates the CI issued for the last staged block,
+    /// in the same order as the returned [`IndexInput`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count does not match the staged updates.
+    pub fn record_certs(&mut self, certs: &[Certificate]) {
+        assert_eq!(certs.len(), self.staged.len(), "certificate count mismatch");
+        for ((name, digest), cert) in self.staged.drain(..).zip(certs) {
+            self.certified.insert(name, (digest, Some(cert.clone())));
+        }
+    }
+
+    /// The latest certified digest of an index (for serving clients).
+    pub fn certified_digest(&self, name: &str) -> Option<Hash> {
+        self.certified.get(name).map(|(d, _)| *d)
+    }
+
+    /// The latest certificate of an index.
+    pub fn certificate(&self, name: &str) -> Option<&Certificate> {
+        self.certified.get(name).and_then(|(_, c)| c.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_chain::{GenesisBuilder, ProofOfWork, Transaction};
+    use dcert_primitives::keys::Keypair;
+    use dcert_workloads::blockbench_registry;
+
+    fn setup() -> (FullNode, ServiceProvider) {
+        let executor = Executor::new(Arc::new(blockbench_registry()));
+        let engine: Arc<dyn ConsensusEngine> = Arc::new(ProofOfWork::new(2));
+        let (genesis, state) = GenesisBuilder::new().build();
+        let miner = FullNode::new(
+            &genesis,
+            state.clone(),
+            executor.clone(),
+            engine.clone(),
+            Address::from_seed(1),
+        );
+        let mut sp = ServiceProvider::new(&genesis, state, executor, engine);
+        sp.add_index(IndexKind::History, "history");
+        sp.add_index(IndexKind::Inverted, "inverted");
+        (miner, sp)
+    }
+
+    #[test]
+    fn stage_block_returns_one_input_per_index() {
+        let (mut miner, mut sp) = setup();
+        let kp = Keypair::from_seed([5; 32]);
+        let tx = Transaction::sign(
+            &kp,
+            0,
+            "kvstore",
+            dcert_workloads::kvstore::KvCall::Put {
+                key: b"acct".to_vec(),
+                value: b"stock bank memo".to_vec(),
+            }
+            .to_encoded_bytes(),
+        );
+        let block = miner.mine(vec![tx], 1).unwrap();
+        let inputs = sp.stage_block(&block).unwrap();
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(inputs[0].index_type, "history");
+        assert_eq!(inputs[1].index_type, "inverted");
+        assert_eq!(inputs[0].prev_digest, Hash::ZERO);
+        assert_ne!(inputs[0].new_digest, Hash::ZERO);
+        assert_eq!(sp.height(), 1);
+    }
+
+    #[test]
+    fn verifiers_match_indexes() {
+        let (_, sp) = setup();
+        let verifiers = sp.verifiers();
+        let names: Vec<&str> = verifiers.iter().map(|v| v.type_name()).collect();
+        assert_eq!(names, vec!["history", "inverted"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index name")]
+    fn duplicate_names_rejected() {
+        let (_, mut sp) = setup();
+        sp.add_index(IndexKind::History, "history");
+    }
+
+    use dcert_primitives::codec::Encode;
+}

@@ -1,0 +1,293 @@
+//! The enclave container: trust boundary, measurement, ECall dispatch.
+
+use std::time::{Duration, Instant};
+
+use dcert_primitives::hash::{hash_concat, Hash};
+use dcert_primitives::keys::{Keypair, PublicKey};
+use rand::rngs::OsRng;
+use rand::RngCore;
+
+use crate::attestation::Quote;
+use crate::cost::{spin, CostModel};
+use crate::error::SgxError;
+use crate::sealing::{self, SealedBlob};
+
+/// Domain tag for enclave measurements.
+const MEASUREMENT_DOMAIN: u8 = 0x30;
+
+/// A program loadable into an [`Enclave`].
+///
+/// The interface is deliberately byte-level: real ECalls marshal opaque
+/// buffers across the boundary, and the cost model charges by byte, so
+/// trusted programs must serialize their arguments (DCert's certificate
+/// program uses the workspace codec).
+///
+/// Implementations hold the enclave's secrets (e.g. `sk_enc`); because the
+/// only access path is [`Enclave::ecall`], those secrets never leave the
+/// boundary.
+pub trait TrustedApp: Send {
+    /// The bytes measured as this program's code identity (in real SGX:
+    /// the enclave image; here: a stable code/version string).
+    fn code_identity(&self) -> &[u8];
+
+    /// Handles one ECall. Input and output cross the enclave boundary and
+    /// are charged by the cost model.
+    fn call(&mut self, input: &[u8]) -> Vec<u8>;
+}
+
+/// A trusted program whose secret state can be sealed to disk and
+/// restored on the same platform (the SGX sealing workflow; see
+/// [`crate::sealing`]). Export/import never cross the enclave boundary in
+/// the clear — [`Enclave::seal_state`] encrypts inside the boundary.
+pub trait Sealable {
+    /// Serializes the secret state to seal.
+    fn export_state(&self) -> Vec<u8>;
+
+    /// Restores previously exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason if the bytes are malformed.
+    fn import_state(&mut self, state: &[u8]) -> Result<(), String>;
+}
+
+/// Counters describing everything the enclave boundary has done —
+/// the data behind the inside/outside breakdowns of Figures 8–10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnclaveStats {
+    /// Number of ECalls dispatched.
+    pub ecalls: u64,
+    /// Total bytes marshalled into the enclave.
+    pub bytes_in: u64,
+    /// Total bytes marshalled out of the enclave.
+    pub bytes_out: u64,
+    /// Simulated transition/marshalling overhead.
+    pub overhead: Duration,
+    /// Wall-clock time spent running trusted code.
+    pub trusted_time: Duration,
+}
+
+/// A simulated SGX enclave hosting a [`TrustedApp`].
+///
+/// On launch the "CPU" measures the program
+/// (`measurement = H(code_identity)`) and provisions a per-platform
+/// attestation key; [`Enclave::quote`] signs
+/// (measurement ‖ report-data) with it, to be validated by the
+/// [`AttestationService`](crate::AttestationService).
+pub struct Enclave<A: TrustedApp> {
+    app: A,
+    measurement: Hash,
+    platform: Keypair,
+    /// Raw platform secret (the simulated fuse key) for sealing-key
+    /// derivation; never exposed.
+    platform_secret: [u8; 32],
+    cost: CostModel,
+    stats: EnclaveStats,
+}
+
+impl<A: TrustedApp> std::fmt::Debug for Enclave<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enclave")
+            .field("measurement", &self.measurement)
+            .field("platform", &self.platform.public())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<A: TrustedApp> Enclave<A> {
+    /// Loads `app` into a fresh enclave with a random platform key.
+    pub fn launch(app: A, cost: CostModel) -> Self {
+        let mut seed = [0u8; 32];
+        OsRng.fill_bytes(&mut seed);
+        Self::launch_with_platform_seed(app, cost, seed)
+    }
+
+    /// Loads `app` with a deterministic platform key (tests, reproducible
+    /// benches).
+    pub fn launch_with_platform_seed(app: A, cost: CostModel, seed: [u8; 32]) -> Self {
+        let measurement = measure(app.code_identity());
+        Enclave {
+            app,
+            measurement,
+            platform: Keypair::from_seed(seed),
+            platform_secret: seed,
+            cost,
+            stats: EnclaveStats::default(),
+        }
+    }
+
+    /// The enclave's measurement (`MRENCLAVE` analogue).
+    pub fn measurement(&self) -> Hash {
+        self.measurement
+    }
+
+    /// The platform attestation public key (registered with the IAS during
+    /// provisioning).
+    pub fn platform_key(&self) -> PublicKey {
+        self.platform.public()
+    }
+
+    /// Boundary counters so far.
+    pub fn stats(&self) -> EnclaveStats {
+        self.stats
+    }
+
+    /// Resets the boundary counters (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = EnclaveStats::default();
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Dispatches one ECall: charges the inbound crossing, runs the trusted
+    /// program, charges the outbound crossing, and returns the output.
+    pub fn ecall(&mut self, input: &[u8]) -> Vec<u8> {
+        let in_cost = self.cost.crossing_cost(input.len());
+        spin(in_cost);
+        let started = Instant::now();
+        let output = self.app.call(input);
+        let trusted = started.elapsed();
+        // In-EPC execution slowdown (MEE on every cache-line fill).
+        let slowdown = self.cost.slowdown_cost(trusted);
+        spin(slowdown);
+        let out_cost = self.cost.crossing_cost(output.len());
+        spin(out_cost);
+
+        self.stats.ecalls += 1;
+        self.stats.bytes_in += input.len() as u64;
+        self.stats.bytes_out += output.len() as u64;
+        self.stats.overhead += in_cost + slowdown + out_cost;
+        self.stats.trusted_time += trusted;
+        output
+    }
+
+    /// Produces a quote binding `report_data` (e.g. `H(pk_enc)`) to this
+    /// enclave's measurement, signed by the platform key.
+    pub fn quote(&self, report_data: Hash) -> Quote {
+        Quote::sign(&self.platform, self.measurement, report_data)
+    }
+}
+
+impl<A: TrustedApp + Sealable> Enclave<A> {
+    /// Seals the trusted program's secret state to this platform and
+    /// measurement. The plaintext never leaves the boundary; the returned
+    /// blob can be persisted by untrusted code.
+    pub fn seal_state(&self) -> SealedBlob {
+        sealing::seal(
+            &self.platform_secret,
+            &self.measurement,
+            &self.app.export_state(),
+        )
+    }
+
+    /// Relaunches an enclave on the same platform (`platform_seed` must
+    /// match the sealing enclave's) and restores the sealed state into a
+    /// fresh `app`.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::BadSeal`] if the blob was sealed by a different
+    /// platform or measurement, or was tampered with.
+    pub fn restore(
+        mut app: A,
+        cost: CostModel,
+        platform_seed: [u8; 32],
+        blob: &SealedBlob,
+    ) -> Result<Self, SgxError> {
+        let measurement = measure(app.code_identity());
+        let state = sealing::unseal(&platform_seed, &measurement, blob)?;
+        app.import_state(&state).map_err(|_| SgxError::BadSeal)?;
+        Ok(Self::launch_with_platform_seed(app, cost, platform_seed))
+    }
+}
+
+/// The measurement function: `H(domain || code_identity)`.
+pub fn measure(code_identity: &[u8]) -> Hash {
+    hash_concat([&[MEASUREMENT_DOMAIN][..], code_identity])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Secret {
+        key: u8,
+        calls: u32,
+    }
+
+    impl TrustedApp for Secret {
+        fn code_identity(&self) -> &[u8] {
+            b"secret-app-v1"
+        }
+        fn call(&mut self, input: &[u8]) -> Vec<u8> {
+            self.calls += 1;
+            // "Sign" by xoring with the secret — stands in for sk_enc use.
+            input.iter().map(|b| b ^ self.key).collect()
+        }
+    }
+
+    #[test]
+    fn measurement_depends_on_code_only() {
+        let a = Enclave::launch(Secret { key: 1, calls: 0 }, CostModel::zero());
+        let b = Enclave::launch(Secret { key: 9, calls: 0 }, CostModel::zero());
+        // Same code identity → same measurement, regardless of data.
+        assert_eq!(a.measurement(), b.measurement());
+        assert_eq!(a.measurement(), measure(b"secret-app-v1"));
+    }
+
+    #[test]
+    fn ecall_round_trip_and_stats() {
+        let mut enclave = Enclave::launch(Secret { key: 0xff, calls: 0 }, CostModel::zero());
+        let out = enclave.ecall(&[0x0f, 0xf0]);
+        assert_eq!(out, vec![0xf0, 0x0f]);
+        let stats = enclave.stats();
+        assert_eq!(stats.ecalls, 1);
+        assert_eq!(stats.bytes_in, 2);
+        assert_eq!(stats.bytes_out, 2);
+    }
+
+    #[test]
+    fn cost_model_charges_overhead() {
+        let cost = CostModel {
+            transition_ns: 200_000, // 0.2 ms, clearly measurable
+            per_byte_ns: 0,
+            epc_budget_bytes: usize::MAX,
+            paging_per_byte_ns: 0,
+            in_enclave_slowdown_pct: 0,
+        };
+        let mut enclave = Enclave::launch(Secret { key: 0, calls: 0 }, cost);
+        let started = Instant::now();
+        enclave.ecall(b"x");
+        let elapsed = started.elapsed();
+        // Two crossings at 0.2 ms each.
+        assert!(elapsed >= Duration::from_micros(400), "elapsed = {elapsed:?}");
+        assert!(enclave.stats().overhead >= Duration::from_micros(400));
+    }
+
+    #[test]
+    fn distinct_enclaves_have_distinct_platform_keys() {
+        let a = Enclave::launch_with_platform_seed(
+            Secret { key: 0, calls: 0 },
+            CostModel::zero(),
+            [1; 32],
+        );
+        let b = Enclave::launch_with_platform_seed(
+            Secret { key: 0, calls: 0 },
+            CostModel::zero(),
+            [2; 32],
+        );
+        assert_ne!(a.platform_key(), b.platform_key());
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut enclave = Enclave::launch(Secret { key: 1, calls: 0 }, CostModel::zero());
+        enclave.ecall(b"abc");
+        enclave.reset_stats();
+        assert_eq!(enclave.stats(), EnclaveStats::default());
+    }
+}

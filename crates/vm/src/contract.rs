@@ -1,0 +1,101 @@
+//! The contract trait and registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dcert_primitives::hash::Address;
+
+use crate::error::VmError;
+use crate::exec::ExecCtx;
+
+/// Deterministic transaction logic over the global key-value state.
+///
+/// Implementations must be **pure functions of (state, sender, payload)**:
+/// no clocks, randomness, I/O, or iteration over unordered containers —
+/// the Certificate Issuer and the enclave replay every call and must reach
+/// byte-identical write sets.
+///
+/// The five Blockbench workloads (`dcert-workloads`) are the canonical
+/// implementations.
+pub trait Contract: Send + Sync {
+    /// The registry name this contract answers to.
+    fn name(&self) -> &str;
+
+    /// Executes one call.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error reverts the call: its buffered writes are
+    /// discarded and the failure is recorded in the block execution.
+    fn execute(&self, ctx: &mut ExecCtx<'_>, sender: Address, payload: &[u8])
+        -> Result<(), VmError>;
+}
+
+/// A name → contract lookup table shared by the miner, full nodes, the CI,
+/// and the enclave (all parties must agree on contract code, just as all
+/// Ethereum nodes agree on EVM semantics).
+#[derive(Default)]
+pub struct ContractRegistry {
+    contracts: HashMap<String, Arc<dyn Contract>>,
+}
+
+impl std::fmt::Debug for ContractRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.contracts.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("ContractRegistry")
+            .field("contracts", &names)
+            .finish()
+    }
+}
+
+impl ContractRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a contract under its [`Contract::name`], replacing any
+    /// previous registration of that name.
+    pub fn register(&mut self, contract: Arc<dyn Contract>) {
+        self.contracts.insert(contract.name().to_owned(), contract);
+    }
+
+    /// Looks up a contract by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Contract>> {
+        self.contracts.get(name)
+    }
+
+    /// Number of registered contracts.
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// Returns `true` if no contracts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::CounterContract;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut registry = ContractRegistry::new();
+        assert!(registry.is_empty());
+        registry.register(Arc::new(CounterContract));
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("counter").is_some());
+        assert!(registry.get("missing").is_none());
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let mut registry = ContractRegistry::new();
+        registry.register(Arc::new(CounterContract));
+        assert!(format!("{registry:?}").contains("counter"));
+    }
+}

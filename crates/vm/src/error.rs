@@ -1,0 +1,35 @@
+//! VM error types.
+
+use std::fmt;
+
+/// An error raised while executing a contract call.
+///
+/// A failed call aborts with **no effect on state** (its buffered writes are
+/// discarded), mirroring transaction revert semantics; the block itself
+/// still commits the other calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// No contract is registered under the called name.
+    ContractNotFound(String),
+    /// The call payload failed to decode for the target contract.
+    BadPayload(&'static str),
+    /// The contract aborted with a domain error (e.g. insufficient funds).
+    Aborted(&'static str),
+    /// A read touched a key outside the provided read set — only possible
+    /// when replaying against an authenticated read set with a hole, which
+    /// means the untrusted pre-processor supplied an incomplete set.
+    ReadSetMiss,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::ContractNotFound(name) => write!(f, "contract not found: {name}"),
+            VmError::BadPayload(what) => write!(f, "bad call payload: {what}"),
+            VmError::Aborted(why) => write!(f, "contract aborted: {why}"),
+            VmError::ReadSetMiss => write!(f, "read outside the provided read set"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,65 @@
+//! Tiny contracts for tests and documentation examples.
+//!
+//! Real workloads live in `dcert-workloads`; these exist so the VM (and
+//! crates building on it) can be tested without a workload dependency.
+
+use dcert_primitives::hash::Address;
+
+use crate::contract::Contract;
+use crate::error::VmError;
+use crate::exec::ExecCtx;
+
+/// A contract holding a single `u64` counter under the field `value`.
+///
+/// Payload `"bump"` increments it; anything else is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterContract;
+
+impl Contract for CounterContract {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        _sender: Address,
+        payload: &[u8],
+    ) -> Result<(), VmError> {
+        if payload != b"bump" {
+            return Err(VmError::BadPayload("expected \"bump\""));
+        }
+        let current = match ctx.get("counter", b"value")? {
+            None => 0u64,
+            Some(bytes) => u64::from_be_bytes(
+                bytes
+                    .try_into()
+                    .map_err(|_| VmError::Aborted("corrupt counter"))?,
+            ),
+        };
+        ctx.set("counter", b"value", (current + 1).to_be_bytes().to_vec());
+        ctx.burn(1);
+        Ok(())
+    }
+}
+
+/// A contract that writes a key and then aborts — used to test revert
+/// semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct FailingContract;
+
+impl Contract for FailingContract {
+    fn name(&self) -> &str {
+        "failing"
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        _sender: Address,
+        _payload: &[u8],
+    ) -> Result<(), VmError> {
+        ctx.set("failing", b"poison", b"must never commit".to_vec());
+        Err(VmError::Aborted("always fails"))
+    }
+}

@@ -1,0 +1,47 @@
+//! Blockbench `DoNothing`: the empty contract.
+//!
+//! Measures pure per-transaction protocol overhead — no state access, no
+//! compute. In DCert's Fig. 8 this isolates the fixed cost of certificate
+//! construction (signature verification, proof handling, ECall overhead).
+
+use dcert_primitives::hash::Address;
+use dcert_vm::{Contract, ExecCtx, VmError};
+
+/// The DoNothing contract (`DN`).
+#[derive(Debug, Clone, Copy)]
+pub struct DoNothing;
+
+impl Contract for DoNothing {
+    fn name(&self) -> &str {
+        "donothing"
+    }
+
+    fn execute(
+        &self,
+        _ctx: &mut ExecCtx<'_>,
+        _sender: Address,
+        _payload: &[u8],
+    ) -> Result<(), VmError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcert_vm::{Call, ContractRegistry, Executor, InMemoryState};
+    use std::sync::Arc;
+
+    #[test]
+    fn touches_nothing() {
+        let mut registry = ContractRegistry::new();
+        registry.register(Arc::new(DoNothing));
+        let executor = Executor::new(Arc::new(registry));
+        let calls = vec![Call::new(Address::from_seed(1), "donothing", Vec::new())];
+        let exec = executor.execute_block(&InMemoryState::new(), &calls);
+        assert_eq!(exec.committed(), 1);
+        assert!(exec.reads.is_empty());
+        assert!(exec.writes.is_empty());
+        assert_eq!(exec.compute_units, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fork resolution with certified branches.
+//!
+//! Two miners race and produce competing branches; two Certificate Issuers
+//! certify both. The example shows how (a) a fork-aware header store picks
+//! the longest branch, and (b) a superlight client enforces the
+//! chain-selection rule of Algorithm 3 — it follows height, never rolls
+//! back, and rejects stale certified blocks.
+//!
+//! Run with: `cargo run --example fork_resolution`
+
+use std::sync::Arc;
+
+use dcert::chain::{ChainStore, FullNode, GenesisBuilder, ProofOfWork};
+use dcert::core::{expected_measurement, CertificateIssuer, SuperlightClient};
+use dcert::primitives::hash::Address;
+use dcert::sgx::{AttestationService, CostModel};
+use dcert::vm::Executor;
+use dcert::workloads::{blockbench_registry, Workload, WorkloadGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let executor = Executor::new(Arc::new(blockbench_registry()));
+    let engine = Arc::new(ProofOfWork::new(8));
+    let (genesis, state) = GenesisBuilder::new().build();
+    let mut ias = AttestationService::with_seed([42; 32]);
+
+    // Two rival miners, each with their own CI, from the same genesis.
+    let mut make_side = |seed: u64| -> Result<(FullNode, CertificateIssuer), Box<dyn std::error::Error>> {
+        let miner = FullNode::new(
+            &genesis,
+            state.clone(),
+            executor.clone(),
+            engine.clone(),
+            Address::from_seed(seed),
+        );
+        let ci = CertificateIssuer::new(
+            &genesis,
+            state.clone(),
+            executor.clone(),
+            engine.clone(),
+            Vec::new(),
+            &mut ias,
+            CostModel::zero(),
+        )?;
+        Ok((miner, ci))
+    };
+    let (mut miner_a, mut ci_a) = make_side(0xA)?;
+    let (mut miner_b, mut ci_b) = make_side(0xB)?;
+
+    let mut gen_a = WorkloadGen::new(Workload::KvStore { keyspace: 16 }, 4, 1);
+    let mut gen_b = WorkloadGen::new(Workload::KvStore { keyspace: 16 }, 4, 2);
+
+    // Branch A mines 2 blocks; branch B mines 3.
+    let mut store = ChainStore::new(genesis.header.clone())?;
+    let mut certified_a = Vec::new();
+    for h in 1..=2u64 {
+        let block = miner_a.mine(gen_a.next_block(2), h)?;
+        let (cert, _) = ci_a.certify_block(&block)?;
+        store.insert(block.header.clone())?;
+        certified_a.push((block, cert));
+    }
+    let mut certified_b = Vec::new();
+    for h in 1..=3u64 {
+        let block = miner_b.mine(gen_b.next_block(2), h)?;
+        let (cert, _) = ci_b.certify_block(&block)?;
+        store.insert(block.header.clone())?;
+        certified_b.push((block, cert));
+    }
+
+    println!("fork-aware store view:");
+    println!("  branch A tip height 2: {}", certified_a[1].0.hash());
+    println!("  branch B tip height 3: {}", certified_b[2].0.hash());
+    println!("  canonical tip:         {} (height {})",
+        store.best_hash(), store.best_header().height);
+    assert_eq!(store.best_hash(), certified_b[2].0.hash());
+
+    // The superlight client first hears about branch A...
+    let mut client = SuperlightClient::new(ias.public_key(), expected_measurement());
+    let (a2, ca2) = &certified_a[1];
+    client.validate_chain(&a2.header, ca2)?;
+    println!("\nclient adopted branch A at height {}", client.height().unwrap());
+
+    // ...then branch B's longer tip arrives: adopted.
+    let (b3, cb3) = &certified_b[2];
+    client.validate_chain(&b3.header, cb3)?;
+    println!("client switched to branch B at height {}", client.height().unwrap());
+
+    // A replay of branch A's certified tip is refused (chain selection).
+    match client.validate_chain(&a2.header, ca2) {
+        Err(e) => println!("stale branch A replay refused: {e}"),
+        Ok(()) => unreachable!("chain selection must refuse rollbacks"),
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Shared fixtures for the integration tests: a mined chain, a Certificate
+//! Issuer, a Service Provider, the simulated IAS, and a superlight client,
+//! all wired to the same genesis and Blockbench contract semantics.
+
+use std::sync::Arc;
+
+use dcert::chain::{Block, ChainState, ConsensusEngine, FullNode, GenesisBuilder, ProofOfWork};
+use dcert::core::{expected_measurement, CertificateIssuer, SuperlightClient};
+use dcert::primitives::hash::Address;
+use dcert::query::sp::IndexKind;
+use dcert::query::ServiceProvider;
+use dcert::sgx::{AttestationService, CostModel};
+use dcert::vm::Executor;
+use dcert::workloads::blockbench_registry;
+
+/// Difficulty used by integration tests (fast to mine, non-trivial to
+/// fake).
+pub const TEST_POW_BITS: u8 = 4;
+
+/// Everything a test needs to drive the full DCert pipeline.
+#[allow(dead_code)] // different integration tests use different fields
+pub struct World {
+    pub executor: Executor,
+    pub engine: Arc<dyn ConsensusEngine>,
+    pub genesis: Block,
+    pub genesis_state: ChainState,
+    pub miner: FullNode,
+    pub ias: AttestationService,
+    pub ci: CertificateIssuer,
+    pub client: SuperlightClient,
+}
+
+impl World {
+    /// Builds a world without SP indexes.
+    #[allow(dead_code)] // not every test binary uses both constructors
+    pub fn new() -> Self {
+        Self::with_setup(Vec::new()).0
+    }
+
+    /// Builds a world plus a Service Provider with the given indexes.
+    pub fn with_setup(indexes: Vec<(IndexKind, &str)>) -> (Self, ServiceProvider) {
+        let executor = Executor::new(Arc::new(blockbench_registry()));
+        let engine: Arc<dyn ConsensusEngine> = Arc::new(ProofOfWork::new(TEST_POW_BITS));
+        let (genesis, genesis_state) = GenesisBuilder::new().timestamp(1_700_000_000).build();
+
+        let miner = FullNode::new(
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+            Address::from_seed(0xBEEF),
+        );
+
+        let mut sp = ServiceProvider::new(
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+        );
+        for (kind, name) in indexes {
+            sp.add_index(kind, name);
+        }
+
+        let mut ias = AttestationService::with_seed([0xA5; 32]);
+        let ci = CertificateIssuer::new(
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+            sp.verifiers(),
+            &mut ias,
+            CostModel::zero(),
+        )
+        .expect("CI boots");
+
+        let client = SuperlightClient::new(ias.public_key(), expected_measurement());
+        (
+            World {
+                executor,
+                engine,
+                genesis,
+                genesis_state,
+                miner,
+                ias,
+                ci,
+                client,
+            },
+            sp,
+        )
+    }
+}

@@ -1,0 +1,313 @@
+//! Security tests: every forgery path of Definition 1 (block certificate
+//! security) must be rejected, at the layer that is supposed to catch it.
+//!
+//! The trusted program is exercised directly (`CertProgram::handle`) so
+//! assertions can match *typed* errors; client-side attacks go through
+//! `SuperlightClient`.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{World, TEST_POW_BITS};
+use dcert::chain::consensus::ConsensusProof;
+use dcert::chain::{ChainError, GenesisBuilder, ProofOfWork};
+use dcert::core::{
+    expected_measurement, BlockInput, CertError, CertProgram, Certificate, EcallRequest,
+    EcallResponse, SuperlightClient,
+};
+use dcert::primitives::codec::Decode;
+use dcert::primitives::hash::hash_bytes;
+use dcert::primitives::keys::Keypair;
+use dcert::sgx::AttestationService;
+use dcert::vm::Executor;
+use dcert::workloads::{blockbench_registry, Workload, WorkloadGen};
+
+/// A trusted program outside any enclave, plus a valid `BlockInput` for
+/// block 1 — the raw material for request-level attacks.
+fn program_and_input() -> (CertProgram, BlockInput) {
+    let executor = Executor::new(Arc::new(blockbench_registry()));
+    let engine = Arc::new(ProofOfWork::new(TEST_POW_BITS));
+    let (genesis, state) = GenesisBuilder::new().timestamp(1_700_000_000).build();
+    let ias = AttestationService::with_seed([0xA5; 32]);
+
+    let miner = dcert::chain::FullNode::new(
+        &genesis,
+        state.clone(),
+        executor.clone(),
+        engine.clone(),
+        dcert::primitives::hash::Address::from_seed(1),
+    );
+    let mut gen = WorkloadGen::new(Workload::KvStore { keyspace: 16 }, 4, 11);
+    let txs = gen.next_block(4);
+    let block = miner.propose(txs, 1).unwrap();
+
+    let execution = {
+        let calls: Vec<_> = block.txs.iter().map(|t| t.call.clone()).collect();
+        executor.execute_block(state_reader(&state), &calls)
+    };
+    let touched = execution.touched_keys();
+    let state_proof = state.prove(&touched);
+    let input = BlockInput {
+        prev_header: genesis.header.clone(),
+        prev_cert: None,
+        block,
+        reads: execution.reads.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        state_proof,
+    };
+
+    let mut program = CertProgram::new(
+        genesis.hash(),
+        ias.public_key(),
+        executor,
+        engine,
+        Vec::new(),
+    );
+    program.handle(EcallRequest::Init).unwrap();
+    (program, input)
+}
+
+fn state_reader(state: &dcert::chain::ChainState) -> &dcert::chain::ChainState {
+    state
+}
+
+fn expect_sig(program: &mut CertProgram, input: BlockInput) -> Result<(), CertError> {
+    match program.handle(EcallRequest::SigGen(input))? {
+        EcallResponse::Signature(_) => Ok(()),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn honest_input_is_signed() {
+    let (mut program, input) = program_and_input();
+    expect_sig(&mut program, input).unwrap();
+}
+
+#[test]
+fn tampered_state_root_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.block.header.state_root = hash_bytes(b"forged");
+    // Reseal so the consensus check passes and the state check trips.
+    let engine = ProofOfWork::new(TEST_POW_BITS);
+    dcert::chain::ConsensusEngine::seal(&engine, &mut input.block.header).unwrap();
+    assert_eq!(
+        expect_sig(&mut program, input),
+        Err(CertError::StateRootMismatch)
+    );
+}
+
+#[test]
+fn broken_parent_link_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.block.header.prev_hash = hash_bytes(b"elsewhere");
+    let engine = ProofOfWork::new(TEST_POW_BITS);
+    dcert::chain::ConsensusEngine::seal(&engine, &mut input.block.header).unwrap();
+    assert!(matches!(
+        expect_sig(&mut program, input),
+        Err(CertError::Chain(ChainError::BrokenLink { .. }))
+    ));
+}
+
+#[test]
+fn wrong_height_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.block.header.height = 7;
+    let engine = ProofOfWork::new(TEST_POW_BITS);
+    dcert::chain::ConsensusEngine::seal(&engine, &mut input.block.header).unwrap();
+    assert!(matches!(
+        expect_sig(&mut program, input),
+        Err(CertError::Chain(ChainError::BadHeight { .. }))
+    ));
+}
+
+#[test]
+fn unsealed_block_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.block.header.state_root = hash_bytes(b"changed-without-resealing");
+    // Old nonce, new content: the consensus check must trip first.
+    assert!(matches!(
+        expect_sig(&mut program, input),
+        Err(CertError::Chain(ChainError::BadConsensus(_)))
+    ));
+}
+
+#[test]
+fn weak_difficulty_claim_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.block.header.consensus = ConsensusProof::Pow {
+        difficulty_bits: 0,
+        nonce: 0,
+    };
+    assert!(matches!(
+        expect_sig(&mut program, input),
+        Err(CertError::Chain(ChainError::BadConsensus(_)))
+    ));
+}
+
+#[test]
+fn tampered_tx_body_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.block.txs[0].call.payload = b"evil".to_vec();
+    assert!(matches!(
+        expect_sig(&mut program, input),
+        Err(CertError::Chain(ChainError::TxRootMismatch))
+    ));
+}
+
+#[test]
+fn forged_read_value_rejected() {
+    let (mut program, mut input) = program_and_input();
+    if input.reads.is_empty() {
+        panic!("fixture must produce reads");
+    }
+    input.reads[0].1 = Some(b"lies about pre-state".to_vec());
+    assert_eq!(
+        expect_sig(&mut program, input),
+        Err(CertError::ReadSetMismatch)
+    );
+}
+
+#[test]
+fn incomplete_read_set_rejected() {
+    let (mut program, mut input) = program_and_input();
+    input.reads.clear();
+    // With no reads provided, replay reverts with ReadSetMiss.
+    assert_eq!(
+        expect_sig(&mut program, input),
+        Err(CertError::ReadSetMismatch)
+    );
+}
+
+#[test]
+fn wrong_genesis_rejected() {
+    let (mut program, mut input) = program_and_input();
+    // Present a different "genesis" as the parent.
+    let (other_genesis, _) = GenesisBuilder::new().timestamp(1).build();
+    input.prev_header = other_genesis.header;
+    assert_eq!(
+        expect_sig(&mut program, input),
+        Err(CertError::GenesisMismatch)
+    );
+}
+
+#[test]
+fn missing_prev_cert_rejected() {
+    let (mut program, mut input) = program_and_input();
+    // Claim the parent is height 3 (non-genesis) without a certificate.
+    input.prev_header.height = 3;
+    input.block.header.height = 4;
+    assert_eq!(
+        expect_sig(&mut program, input),
+        Err(CertError::MissingPrevCert)
+    );
+}
+
+#[test]
+fn self_signed_prev_cert_rejected() {
+    // An attacker fabricates a parent "certificate" with their own key;
+    // the report binding cannot be faked.
+    let (mut program, mut input) = program_and_input();
+    let attacker = Keypair::from_seed([66; 32]);
+    let fake_ias = AttestationService::with_seed([66; 32]);
+    let mut attacker_ias = fake_ias;
+    let platform = Keypair::from_seed([67; 32]);
+    attacker_ias.register_platform(platform.public());
+    let quote = dcert::sgx::Quote::sign(
+        &platform,
+        expected_measurement(),
+        Certificate::key_binding(&attacker.public()),
+    );
+    let report = attacker_ias.attest(&quote).unwrap();
+
+    input.prev_header.height = 1;
+    input.block.header.height = 2;
+    let digest = input.prev_header.hash();
+    input.prev_cert = Some(Certificate {
+        pk_enc: attacker.public(),
+        report,
+        digest,
+        signature: attacker.sign(digest.as_bytes()),
+    });
+    // The report was signed by the wrong IAS root.
+    assert!(matches!(
+        expect_sig(&mut program, input),
+        Err(CertError::Attestation(_))
+    ));
+}
+
+// --- client-side attacks ---------------------------------------------------
+
+#[test]
+fn client_rejects_cert_from_unexpected_program() {
+    let mut world = World::new();
+    let block = world.miner.mine(Vec::new(), 1).unwrap();
+    let (cert, _) = world.ci.certify_block(&block).unwrap();
+
+    // A client pinning a *different* program measurement must reject.
+    let mut paranoid = SuperlightClient::new(
+        world.ias.public_key(),
+        hash_bytes(b"some-other-program"),
+    );
+    assert_eq!(
+        paranoid.validate_chain(&block.header, &cert),
+        Err(CertError::WrongMeasurement)
+    );
+}
+
+#[test]
+fn client_rejects_cert_for_different_header() {
+    let mut world = World::new();
+    let b1 = world.miner.mine(Vec::new(), 1).unwrap();
+    let (c1, _) = world.ci.certify_block(&b1).unwrap();
+    let b2 = world.miner.mine(Vec::new(), 2).unwrap();
+    let (_c2, _) = world.ci.certify_block(&b2).unwrap();
+    // Presenting b2's header with b1's certificate must fail.
+    assert_eq!(
+        world.client.validate_chain(&b2.header, &c1),
+        Err(CertError::DigestMismatch)
+    );
+}
+
+#[test]
+fn client_rejects_tampered_header() {
+    let mut world = World::new();
+    let block = world.miner.mine(Vec::new(), 1).unwrap();
+    let (cert, _) = world.ci.certify_block(&block).unwrap();
+    let mut tampered = block.header.clone();
+    tampered.state_root = hash_bytes(b"parallel universe");
+    assert_eq!(
+        world.client.validate_chain(&tampered, &cert),
+        Err(CertError::DigestMismatch)
+    );
+}
+
+#[test]
+fn client_rejects_resigned_certificate() {
+    let mut world = World::new();
+    let block = world.miner.mine(Vec::new(), 1).unwrap();
+    let (cert, _) = world.ci.certify_block(&block).unwrap();
+
+    // Attacker swaps in their own digest+signature under their own key.
+    let attacker = Keypair::from_seed([13; 32]);
+    let mut forged = cert.clone();
+    forged.pk_enc = attacker.public();
+    let fake = world.miner.tip().clone();
+    forged.digest = fake.hash();
+    forged.signature = attacker.sign(forged.digest.as_bytes());
+    assert_eq!(
+        world.client.validate_chain(&fake, &forged),
+        Err(CertError::KeyBindingMismatch)
+    );
+}
+
+#[test]
+fn malformed_ecall_bytes_are_rejected_not_crashing() {
+    // Garbage at the enclave boundary must produce a rejection, never a
+    // panic or a signature.
+    let (mut program, _) = program_and_input();
+    use dcert::sgx::TrustedApp;
+    let response = program.call(&[0xde, 0xad, 0xbe, 0xef]);
+    let decoded = EcallResponse::decode_all(&response).unwrap();
+    assert!(matches!(decoded, EcallResponse::Rejected(_)));
+}

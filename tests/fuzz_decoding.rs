@@ -1,0 +1,176 @@
+//! Adversarial decoding: every wire type in the system is fed random and
+//! mutated bytes. Decoders must return errors — never panic, never hang,
+//! never allocate unboundedly — because certificates, proofs, and blocks
+//! arrive from untrusted peers.
+
+use dcert::chain::{Block, BlockHeader, Transaction};
+use dcert::core::{Certificate, EcallRequest, EcallResponse};
+use dcert::merkle::{MbAppendProof, MbRangeProof, MhtProof, MptProof, SmtProof};
+use dcert::primitives::codec::{Decode, Encode};
+use dcert::primitives::hash::{hash_bytes, Hash};
+use dcert::primitives::keys::Keypair;
+use dcert::sgx::AttestationReport;
+use proptest::prelude::*;
+
+/// Decodes `bytes` as every wire type; all failures must be graceful.
+fn try_decode_everything(bytes: &[u8]) {
+    let _ = BlockHeader::decode_all(bytes);
+    let _ = Block::decode_all(bytes);
+    let _ = Transaction::decode_all(bytes);
+    let _ = Certificate::decode_all(bytes);
+    let _ = AttestationReport::decode_all(bytes);
+    let _ = EcallRequest::decode_all(bytes);
+    let _ = EcallResponse::decode_all(bytes);
+    let _ = SmtProof::decode_all(bytes);
+    let _ = MhtProof::decode_all(bytes);
+    let _ = MptProof::decode_all(bytes);
+    let _ = MbRangeProof::decode_all(bytes);
+    let _ = MbAppendProof::decode_all(bytes);
+    let _ = dcert::query::history::HistoryProof::decode_all(bytes);
+    let _ = dcert::query::inverted::KeywordProof::decode_all(bytes);
+    let _ = dcert::baselines::skiplist::SkipRangeProof::decode_all(bytes);
+    let _ = dcert::baselines::lineage::LineageProof::decode_all(bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure junk never panics any decoder.
+    #[test]
+    fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        try_decode_everything(&bytes);
+    }
+
+    /// Structured prefixes (valid-looking tags + lengths) never panic.
+    #[test]
+    fn prop_tagged_junk_never_panics(
+        tag in 0u8..8,
+        len in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&len.to_be_bytes());
+        bytes.extend_from_slice(&body);
+        try_decode_everything(&bytes);
+    }
+
+    /// Mutating one byte of a *valid* encoding either still decodes (to a
+    /// different value the verifier will reject) or fails cleanly.
+    #[test]
+    fn prop_bitflipped_transactions_never_panic(pos in 0usize..160, flip in 1u8..=255) {
+        let tx = Transaction::sign(&Keypair::from_seed([9; 32]), 7, "kvstore", b"payload".to_vec());
+        let mut bytes = tx.to_encoded_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= flip;
+        if let Ok(decoded) = Transaction::decode_all(&bytes) {
+            // A decodable mutation must fail signature verification or
+            // decode to the identical transaction (flip in ignored
+            // range is impossible: every byte is significant).
+            if decoded != tx {
+                prop_assert!(decoded.verify().is_err() || decoded.id() != tx.id());
+            }
+        }
+    }
+
+    /// Mutated SMT proofs never panic the verifier, and when a mutation
+    /// still verifies (e.g. a flipped bit turned an absent key into a
+    /// *different* absent key — a legitimately different proof), it must
+    /// not change any authenticated claim about the original keys.
+    #[test]
+    fn prop_bitflipped_smt_proofs_sound(pos in 0usize..4096, flip in 1u8..=255) {
+        let mut tree = dcert::merkle::SparseMerkleTree::new();
+        for i in 0..20u32 {
+            tree.insert(hash_bytes(format!("k{i}")), vec![i as u8]);
+        }
+        let root = tree.root();
+        let original_keys = [hash_bytes("k3"), hash_bytes("missing")];
+        let proof = tree.prove(&original_keys);
+        let mut bytes = proof.to_encoded_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= flip;
+        if let Ok(decoded) = SmtProof::decode_all(&bytes) {
+            if decoded.verify(&root).is_ok() {
+                // Soundness: every original key the mutated proof still
+                // covers must carry the true pre-state value.
+                for key in &original_keys {
+                    if let Ok(claimed) = decoded.pre_value_hash(key) {
+                        let truth = tree.get(key).map(hash_bytes);
+                        prop_assert_eq!(claimed, truth);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mutated certificates never panic and never validate.
+    #[test]
+    fn prop_bitflipped_certificates_safe(pos in 0usize..512, flip in 1u8..=255) {
+        // Assemble one valid certificate.
+        let mut ias = dcert::sgx::AttestationService::with_seed([1; 32]);
+        let platform = Keypair::from_seed([2; 32]);
+        ias.register_platform(platform.public());
+        let enclave_key = Keypair::from_seed([3; 32]);
+        let measurement = hash_bytes(b"program");
+        let quote = dcert::sgx::Quote::sign(
+            &platform,
+            measurement,
+            Certificate::key_binding(&enclave_key.public()),
+        );
+        let digest = hash_bytes(b"hdr");
+        let cert = Certificate {
+            pk_enc: enclave_key.public(),
+            report: ias.attest(&quote).unwrap(),
+            digest,
+            signature: enclave_key.sign(digest.as_bytes()),
+        };
+        cert.verify(&ias.public_key(), &measurement, &digest).unwrap();
+
+        let mut bytes = cert.to_encoded_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= flip;
+        if let Ok(decoded) = Certificate::decode_all(&bytes) {
+            if decoded != cert {
+                prop_assert!(
+                    decoded.verify(&ias.public_key(), &measurement, &digest).is_err(),
+                    "a mutated certificate must never verify"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_input_is_rejected_by_every_decoder() {
+    // Most types need at least one byte; none may panic on zero bytes.
+    try_decode_everything(&[]);
+}
+
+#[test]
+fn truncated_valid_encodings_fail_cleanly() {
+    let tx = Transaction::sign(&Keypair::from_seed([9; 32]), 7, "kvstore", b"payload".to_vec());
+    let bytes = tx.to_encoded_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            Transaction::decode_all(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+}
+
+#[test]
+fn length_prefix_bombs_are_bounded() {
+    // A 4 GB length prefix must be rejected before any allocation.
+    let mut bytes = Vec::new();
+    u32::MAX.encode(&mut bytes);
+    bytes.extend_from_slice(&[0u8; 64]);
+    assert!(Vec::<u8>::decode_all(&bytes).is_err());
+    let _ = Block::decode_all(&bytes);
+    let _ = SmtProof::decode_all(&bytes);
+}
+
+#[test]
+fn hash_decode_requires_exactly_32_bytes() {
+    assert!(Hash::decode_all(&[0u8; 31]).is_err());
+    assert!(Hash::decode_all(&[0u8; 33]).is_err());
+    assert!(Hash::decode_all(&[0u8; 32]).is_ok());
+}

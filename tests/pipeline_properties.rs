@@ -1,0 +1,99 @@
+//! Property-based tests over the whole pipeline: random workload mixes,
+//! block sizes, and chain lengths must always certify and validate, and
+//! determinism must hold across independent replicas.
+
+mod common;
+
+use common::World;
+use dcert::query::sp::IndexKind;
+use dcert::workloads::{Workload, WorkloadGen};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::DoNothing),
+        (16u32..256).prop_map(|size| Workload::CpuHeavy { size }),
+        (1u32..8).prop_map(|batch| Workload::IoHeavy { batch }),
+        (4u64..64).prop_map(|keyspace| Workload::KvStore { keyspace }),
+        (4u64..64).prop_map(|customers| Workload::SmallBank { customers }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Any random chain certifies block by block and the final certificate
+    /// validates on a fresh superlight client.
+    #[test]
+    fn prop_random_chains_certify(
+        workload in arb_workload(),
+        seed in any::<u64>(),
+        blocks in 1u64..5,
+        block_size in 1usize..6,
+    ) {
+        let mut world = World::new();
+        let mut gen = WorkloadGen::new(workload, 6, seed);
+        let mut latest = None;
+        for height in 1..=blocks {
+            let block = world.miner.mine(gen.next_block(block_size), height).unwrap();
+            let (cert, _) = world.ci.certify_block(&block).unwrap();
+            latest = Some((block, cert));
+        }
+        let (block, cert) = latest.unwrap();
+        prop_assert!(world.client.validate_chain(&block.header, &cert).is_ok());
+        prop_assert_eq!(world.client.height(), Some(blocks));
+    }
+
+    /// Two independent replicas fed the same transactions produce
+    /// byte-identical blocks, certificates digests, and index digests.
+    #[test]
+    fn prop_replicas_are_deterministic(
+        seed in any::<u64>(),
+        blocks in 1u64..4,
+    ) {
+        let (mut wa, mut sa) = World::with_setup(vec![(IndexKind::History, "h")]);
+        let (mut wb, mut sb) = World::with_setup(vec![(IndexKind::History, "h")]);
+        let mut gen = WorkloadGen::new(Workload::KvStore { keyspace: 16 }, 4, seed);
+        for height in 1..=blocks {
+            let txs = gen.next_block(3);
+            let ba = wa.miner.mine(txs.clone(), height).unwrap();
+            let bb = wb.miner.mine(txs, height).unwrap();
+            prop_assert_eq!(ba.hash(), bb.hash());
+
+            let ia = sa.stage_block(&ba).unwrap();
+            let ib = sb.stage_block(&bb).unwrap();
+            prop_assert_eq!(ia[0].new_digest, ib[0].new_digest);
+
+            let (ca, _) = wa.ci.certify_augmented(&ba, &ia).unwrap();
+            let (cb, _) = wb.ci.certify_augmented(&bb, &ib).unwrap();
+            // Signatures differ (different enclave keys) but the certified
+            // digests agree.
+            prop_assert_eq!(ca[0].digest, cb[0].digest);
+            sa.record_certs(&ca);
+            sb.record_certs(&cb);
+        }
+    }
+
+    /// Superlight storage is the same constant regardless of workload,
+    /// block size, or chain length.
+    #[test]
+    fn prop_client_storage_constant(
+        workload in arb_workload(),
+        seed in any::<u64>(),
+        blocks in 1u64..4,
+    ) {
+        let mut world = World::new();
+        let mut gen = WorkloadGen::new(workload, 4, seed);
+        let mut sizes = Vec::new();
+        for height in 1..=blocks {
+            let block = world.miner.mine(gen.next_block(2), height).unwrap();
+            let (cert, _) = world.ci.certify_block(&block).unwrap();
+            world.client.validate_chain(&block.header, &cert).unwrap();
+            sizes.push(world.client.storage_bytes());
+        }
+        prop_assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes: {sizes:?}");
+    }
+}
