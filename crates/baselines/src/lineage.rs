@@ -54,7 +54,8 @@ impl LineageIndex {
             let key_bytes = key.as_hash().as_bytes().to_vec();
             let list = self.lower.entry(key_bytes.clone()).or_default();
             list.append(height, encode_version(value));
-            self.upper.insert(&key_bytes, list.head().as_bytes().to_vec());
+            self.upper
+                .insert(&key_bytes, list.head().as_bytes().to_vec());
         }
     }
 

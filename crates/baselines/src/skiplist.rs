@@ -14,10 +14,10 @@
 //! while they land at or above `t2`, and collection walks level 0 down
 //! through one boundary node below `t1`, so omissions are detectable.
 
+use dcert_merkle::{domain, ProofError};
 use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
 use dcert_primitives::hash::{hash_bytes, Hash};
-use dcert_merkle::{domain, ProofError};
 
 fn node_hash(ts: u64, value_hash: &Hash, link_hashes: &[Hash]) -> Hash {
     let mut buf = Vec::with_capacity(1 + 8 + 32 + 1 + link_hashes.len() * 32);
@@ -292,12 +292,7 @@ impl SkipRangeProof {
                 reached_below_t1_or_start = true;
             }
             // List start: all links zero at level 0.
-            if node
-                .link_hashes
-                .first()
-                .map(Hash::is_zero)
-                .unwrap_or(true)
-            {
+            if node.link_hashes.first().map(Hash::is_zero).unwrap_or(true) {
                 reached_below_t1_or_start = true;
             }
         }

@@ -26,7 +26,11 @@ fn prepare(workload: Workload, txs: usize) -> (Rig, EcallRequest) {
         prev_header: rig.genesis.header.clone(),
         prev_cert: None,
         block,
-        reads: execution.reads.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        reads: execution
+            .reads
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect(),
         state_proof,
     };
     (rig, EcallRequest::SigGen(input))
@@ -42,7 +46,7 @@ fn enclave_for(rig: &Rig, cost: CostModel) -> Enclave<CertProgram> {
         rig.engine.clone(),
         Vec::new(),
     );
-    let mut enclave = Enclave::launch(program, cost);
+    let enclave = Enclave::launch(program, cost);
     enclave.ecall(&EcallRequest::Init.to_encoded_bytes());
     enclave
 }
@@ -54,13 +58,13 @@ fn bench_certification(c: &mut Criterion) {
         let (rig, request) = prepare(workload, 32);
         let encoded = request.to_encoded_bytes();
 
-        let mut with_sgx = enclave_for(&rig, CostModel::calibrated());
+        let with_sgx = enclave_for(&rig, CostModel::calibrated());
         group.bench_with_input(
             BenchmarkId::new("ecall_sig_gen_sgx", workload.label()),
             &encoded,
             |b, req| b.iter(|| with_sgx.ecall(req)),
         );
-        let mut no_sgx = enclave_for(&rig, CostModel::zero());
+        let no_sgx = enclave_for(&rig, CostModel::zero());
         group.bench_with_input(
             BenchmarkId::new("ecall_sig_gen_untrusted", workload.label()),
             &encoded,
@@ -88,7 +92,7 @@ fn bench_certification(c: &mut Criterion) {
     for &txs in &[8usize, 32, 128] {
         let (rig, request) = prepare(Workload::KvStore { keyspace: 500 }, txs);
         let encoded = request.to_encoded_bytes();
-        let mut enclave = enclave_for(&rig, CostModel::calibrated());
+        let enclave = enclave_for(&rig, CostModel::calibrated());
         group.bench_with_input(BenchmarkId::new("KV", txs), &encoded, |b, req| {
             b.iter(|| enclave.ecall(req))
         });

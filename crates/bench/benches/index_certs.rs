@@ -34,32 +34,23 @@ fn bench_index_certs(c: &mut Criterion) {
             (Scheme::Augmented, "augmented"),
             (Scheme::Hierarchical, "hierarchical"),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, count),
-                &count,
-                |b, &count| {
-                    b.iter_custom(|iters| {
-                        let mut total = std::time::Duration::ZERO;
-                        // Amortize rig construction across the requested
-                        // iterations: one rig, `iters` consecutive blocks.
-                        let mut rig = Rig::new(RigConfig {
-                            cost: CostModel::calibrated(),
-                            indexes: indexes(count),
-                        });
-                        let result = rig.run(
-                            Workload::KvStore { keyspace: 500 },
-                            iters,
-                            32,
-                            42,
-                            scheme,
-                        );
-                        for breakdown in &result.breakdowns {
-                            total += breakdown.total();
-                        }
-                        total
+            group.bench_with_input(BenchmarkId::new(label, count), &count, |b, &count| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    // Amortize rig construction across the requested
+                    // iterations: one rig, `iters` consecutive blocks.
+                    let mut rig = Rig::new(RigConfig {
+                        cost: CostModel::calibrated(),
+                        indexes: indexes(count),
                     });
-                },
-            );
+                    let result =
+                        rig.run(Workload::KvStore { keyspace: 500 }, iters, 32, 42, scheme);
+                    for breakdown in &result.breakdowns {
+                        total += breakdown.total();
+                    }
+                    total
+                });
+            });
         }
     }
     group.finish();

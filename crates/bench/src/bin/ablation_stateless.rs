@@ -75,11 +75,8 @@ fn main() {
         );
 
         // One block of KV traffic over the existing keyspace.
-        let mut gen = dcert_workloads::WorkloadGen::new(
-            Workload::KvStore { keyspace: entries },
-            64,
-            42,
-        );
+        let mut gen =
+            dcert_workloads::WorkloadGen::new(Workload::KvStore { keyspace: entries }, 64, 42);
         let block = miner.propose(gen.next_block(32), 1).expect("proposes");
 
         // Stateless request (Algorithm 1 pre-processing).
@@ -90,7 +87,11 @@ fn main() {
             prev_header: genesis.header.clone(),
             prev_cert: None,
             block: block.clone(),
-            reads: execution.reads.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            reads: execution
+                .reads
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
             state_proof: state.prove(&execution.touched_keys()),
         })
         .to_encoded_bytes();
@@ -105,7 +106,7 @@ fn main() {
         .to_encoded_bytes();
 
         // Stateless enclave.
-        let mut stateless_enclave = Enclave::launch(
+        let stateless_enclave = Enclave::launch(
             CertProgram::new(
                 genesis.hash(),
                 ias.public_key(),
@@ -125,7 +126,7 @@ fn main() {
         ));
 
         // Naive enclave.
-        let mut naive_enclave = Enclave::launch(
+        let naive_enclave = Enclave::launch(
             NaiveCertProgram::new(
                 genesis.hash(),
                 ias.public_key(),
@@ -166,7 +167,10 @@ fn main() {
         }));
     }
     println!();
-    println!("(EPC budget reduced to {} for a visible paging cliff)", fmt_bytes(EPC_BUDGET));
+    println!(
+        "(EPC budget reduced to {} for a visible paging cliff)",
+        fmt_bytes(EPC_BUDGET)
+    );
     if json_mode() {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
     }

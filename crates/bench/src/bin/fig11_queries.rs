@@ -42,10 +42,8 @@ fn main() {
     let mut lineage_idx = LineageIndex::new();
     let mut rng = StdRng::seed_from_u64(42);
     for height in 1..=chain_len {
-        let mut writes: Vec<(StateKey, Option<Vec<u8>>)> = vec![(
-            probe,
-            Some(format!("probe-balance-{height}").into_bytes()),
-        )];
+        let mut writes: Vec<(StateKey, Option<Vec<u8>>)> =
+            vec![(probe, Some(format!("probe-balance-{height}").into_bytes()))];
         for _ in 0..4 {
             let acct = rng.gen_range(1..accounts);
             writes.push((

@@ -63,7 +63,9 @@ fn main() {
                 .expect("header syncs");
         }
         let started = Instant::now();
-        light.validate_all(rig.engine.as_ref()).expect("chain valid");
+        light
+            .validate_all(rig.engine.as_ref())
+            .expect("chain valid");
         let light_time = started.elapsed();
 
         // Superlight client: one header + one certificate.

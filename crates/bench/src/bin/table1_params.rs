@@ -16,7 +16,10 @@ fn main() {
     println!(
         "{:<38} {}",
         "block size / #txs (Figs. 8-9)",
-        list(BLOCK_SIZES, BLOCK_SIZES.iter().position(|&b| b == DEFAULT_BLOCK_SIZE))
+        list(
+            BLOCK_SIZES,
+            BLOCK_SIZES.iter().position(|&b| b == DEFAULT_BLOCK_SIZE)
+        )
     );
     println!(
         "{:<38} {}",

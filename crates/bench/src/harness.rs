@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use dcert_chain::{Block, ChainState, ConsensusEngine, FullNode, GenesisBuilder, ProofOfAuthority};
 use dcert_core::{
-    expected_measurement, CertBreakdown, CertificateIssuer, Certificate, SuperlightClient,
+    expected_measurement, CertBreakdown, Certificate, CertificateIssuer, SuperlightClient,
 };
 use dcert_primitives::hash::Address;
 use dcert_primitives::keys::Keypair;
@@ -123,7 +123,9 @@ impl Rig {
     /// Mines the next block with `txs`.
     pub fn mine(&mut self, txs: Vec<dcert_chain::Transaction>) -> Block {
         self.timestamp += 15;
-        self.miner.mine(txs, self.timestamp).expect("mining succeeds")
+        self.miner
+            .mine(txs, self.timestamp)
+            .expect("mining succeeds")
     }
 
     /// Mines + certifies `blocks` blocks of `workload` under `scheme`,
@@ -147,8 +149,10 @@ impl Rig {
                         self.sp.verifiers().is_empty(),
                         "block-only runs must not register indexes"
                     );
-                    let (cert, breakdown) =
-                        self.ci.certify_block(&block).expect("certification succeeds");
+                    let (cert, breakdown) = self
+                        .ci
+                        .certify_block(&block)
+                        .expect("certification succeeds");
                     breakdowns.push(breakdown);
                     latest = Some((block, cert));
                 }
@@ -263,7 +267,13 @@ mod tests {
             cost: CostModel::zero(),
             indexes: vec![(IndexKind::History, "history".into())],
         });
-        let result = rig.run(Workload::KvStore { keyspace: 16 }, 3, 2, 1, Scheme::Hierarchical);
+        let result = rig.run(
+            Workload::KvStore { keyspace: 16 },
+            3,
+            2,
+            1,
+            Scheme::Hierarchical,
+        );
         assert_eq!(result.breakdowns.len(), 3);
         assert!(result.average().total() > Duration::ZERO);
 
@@ -271,7 +281,13 @@ mod tests {
             cost: CostModel::zero(),
             indexes: vec![(IndexKind::History, "history".into())],
         });
-        let result2 = rig2.run(Workload::KvStore { keyspace: 16 }, 2, 2, 1, Scheme::Augmented);
+        let result2 = rig2.run(
+            Workload::KvStore { keyspace: 16 },
+            2,
+            2,
+            1,
+            Scheme::Augmented,
+        );
         assert_eq!(result2.breakdowns.len(), 2);
 
         let mut rig3 = Rig::new(RigConfig::default());

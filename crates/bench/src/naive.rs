@@ -102,7 +102,10 @@ impl NaiveCertProgram {
                 return Err(CertError::GenesisMismatch);
             }
         } else {
-            let cert = request.prev_cert.as_ref().ok_or(CertError::MissingPrevCert)?;
+            let cert = request
+                .prev_cert
+                .as_ref()
+                .ok_or(CertError::MissingPrevCert)?;
             cert.verify(
                 &self.ias_key,
                 &dcert_sgx::enclave::measure(NAIVE_CODE_IDENTITY),
@@ -259,7 +262,7 @@ mod tests {
             rig.executor.clone(),
             rig.engine.clone(),
         );
-        let mut enclave = Enclave::launch(program, CostModel::zero());
+        let enclave = Enclave::launch(program, CostModel::zero());
         let init = Response::decode_all(&enclave.ecall(&[])).unwrap();
         assert!(matches!(init, Response::Initialized(_)));
 

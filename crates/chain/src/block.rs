@@ -275,10 +275,7 @@ mod tests {
     #[test]
     fn header_codec_round_trip() {
         let h = header();
-        assert_eq!(
-            BlockHeader::decode_all(&h.to_encoded_bytes()).unwrap(),
-            h
-        );
+        assert_eq!(BlockHeader::decode_all(&h.to_encoded_bytes()).unwrap(), h);
     }
 
     #[test]

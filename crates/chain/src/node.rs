@@ -275,7 +275,12 @@ mod tests {
     }
 
     fn bump_tx(seed: u8, nonce: u64) -> Transaction {
-        Transaction::sign(&Keypair::from_seed([seed; 32]), nonce, "counter", b"bump".to_vec())
+        Transaction::sign(
+            &Keypair::from_seed([seed; 32]),
+            nonce,
+            "counter",
+            b"bump".to_vec(),
+        )
     }
 
     #[test]

@@ -236,7 +236,10 @@ mod tests {
         skip.height = 5;
         assert!(matches!(
             store.insert(skip),
-            Err(ChainError::BadHeight { parent: 1, child: 5 })
+            Err(ChainError::BadHeight {
+                parent: 1,
+                child: 5
+            })
         ));
     }
 }

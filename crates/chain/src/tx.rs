@@ -38,7 +38,12 @@ pub struct Transaction {
 impl Transaction {
     /// Builds and signs a transaction. The call's sender is forced to the
     /// key's address.
-    pub fn sign(keypair: &Keypair, nonce: u64, contract: impl Into<String>, payload: Vec<u8>) -> Self {
+    pub fn sign(
+        keypair: &Keypair,
+        nonce: u64,
+        contract: impl Into<String>,
+        payload: Vec<u8>,
+    ) -> Self {
         let public_key = keypair.public();
         let call = Call::new(address_of(&public_key), contract, payload);
         let digest = Self::signing_digest(nonce, &call);

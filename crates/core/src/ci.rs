@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use dcert_chain::{Block, ChainState, ConsensusEngine, FullNode};
 use dcert_primitives::codec::{Decode, Encode};
 use dcert_primitives::hash::Address;
-use dcert_primitives::keys::PublicKey;
+use dcert_primitives::keys::{PublicKey, Signature};
 use dcert_sgx::{AttestationReport, AttestationService, CostModel, Enclave};
 use dcert_vm::{Executor, StateKey};
 
@@ -61,12 +61,29 @@ impl CertBreakdown {
 }
 
 /// The SGX-enabled Certificate Issuer.
+///
+/// The enclave handle is `Arc`-shared: ECalls serialize inside the
+/// enclave itself, so the certification pipeline
+/// ([`crate::pipeline::CertPipeline`]) can drive the same enclave from a
+/// dedicated issuer thread while this struct's sequential methods remain
+/// available for single-threaded callers.
 pub struct CertificateIssuer {
     node: FullNode,
-    enclave: Enclave<CertProgram>,
+    enclave: Arc<Enclave<CertProgram>>,
     pk_enc: PublicKey,
     report: AttestationReport,
     prev_block_cert: Option<Certificate>,
+}
+
+/// The CI deconstructed into the pieces the pipeline's stages own while
+/// running; [`CertificateIssuer::from_parts`] reassembles them at
+/// shutdown.
+pub(crate) struct CiParts {
+    pub(crate) node: FullNode,
+    pub(crate) enclave: Arc<Enclave<CertProgram>>,
+    pub(crate) pk_enc: PublicKey,
+    pub(crate) report: AttestationReport,
+    pub(crate) prev_block_cert: Option<Certificate>,
 }
 
 impl std::fmt::Debug for CertificateIssuer {
@@ -205,7 +222,7 @@ impl CertificateIssuer {
 
     /// Shared boot tail: register the platform, run `Init`, attest.
     fn finish_boot(
-        mut enclave: Enclave<CertProgram>,
+        enclave: Enclave<CertProgram>,
         node: FullNode,
         ias: &mut AttestationService,
         prev_block_cert: Option<Certificate>,
@@ -223,11 +240,47 @@ impl CertificateIssuer {
         let report = ias.attest(&quote)?;
         Ok(CertificateIssuer {
             node,
-            enclave,
+            enclave: Arc::new(enclave),
             pk_enc,
             report,
             prev_block_cert,
         })
+    }
+
+    /// Like [`CertificateIssuer::new_on_platform`], but also pre-seeds the
+    /// enclave signing key, making the whole boot — and, because ed25519
+    /// signing is deterministic, every certificate the CI will ever issue —
+    /// reproducible. Two CIs booted with the same seeds against the same
+    /// IAS sign byte-identically; the pipeline-equivalence tests and
+    /// benches rely on this. Production deployments keep `sk_enc`
+    /// enclave-generated and use [`CertificateIssuer::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CertificateIssuer::new`].
+    #[allow(clippy::too_many_arguments)] // mirrors `new_on_platform` plus the key seed
+    pub fn new_deterministic(
+        platform_seed: [u8; 32],
+        signing_seed: [u8; 32],
+        genesis: &Block,
+        genesis_state: ChainState,
+        executor: Executor,
+        engine: Arc<dyn ConsensusEngine>,
+        verifiers: Vec<Box<dyn IndexVerifier>>,
+        ias: &mut AttestationService,
+        cost: CostModel,
+    ) -> Result<Self, CertError> {
+        let program = CertProgram::new(
+            genesis.hash(),
+            ias.public_key(),
+            executor.clone(),
+            engine.clone(),
+            verifiers,
+        )
+        .with_signing_seed(signing_seed);
+        let enclave = Enclave::launch_with_platform_seed(program, cost, platform_seed);
+        let node = FullNode::new(genesis, genesis_state, executor, engine, Address::default());
+        Self::finish_boot(enclave, node, ias, None)
     }
 
     /// Boots a CI **mid-chain** from a certified checkpoint instead of
@@ -279,19 +332,7 @@ impl CertificateIssuer {
             engine.clone(),
             verifiers,
         );
-        let mut enclave = Enclave::launch(program, cost);
-        ias.register_platform(enclave.platform_key());
-        let response = enclave.ecall(&EcallRequest::Init.to_encoded_bytes());
-        let pk_enc = match EcallResponse::decode_all(&response)? {
-            EcallResponse::Initialized(pk) => pk,
-            EcallResponse::Rejected(reason) => return Err(CertError::EnclaveRejected(reason)),
-            EcallResponse::Signature(_) => {
-                return Err(CertError::EnclaveRejected("unexpected response".into()))
-            }
-        };
-        let quote = enclave.quote(Certificate::key_binding(&pk_enc));
-        let report = ias.attest(&quote)?;
-
+        let enclave = Enclave::launch(program, cost);
         let node = FullNode::new_at_checkpoint(
             checkpoint.clone(),
             snapshot,
@@ -299,13 +340,7 @@ impl CertificateIssuer {
             engine,
             Address::default(),
         );
-        Ok(CertificateIssuer {
-            node,
-            enclave,
-            pk_enc,
-            report,
-            prev_block_cert: Some(checkpoint_cert.clone()),
-        })
+        Self::finish_boot(enclave, node, ias, Some(checkpoint_cert.clone()))
     }
 
     /// The chain view of this CI.
@@ -341,7 +376,10 @@ impl CertificateIssuer {
     ///
     /// Enclave-side rejections surface as [`CertError::EnclaveRejected`];
     /// local validation failures as their typed variants.
-    pub fn certify_block(&mut self, block: &Block) -> Result<(Certificate, CertBreakdown), CertError> {
+    pub fn certify_block(
+        &mut self,
+        block: &Block,
+    ) -> Result<(Certificate, CertBreakdown), CertError> {
         let mut breakdown = CertBreakdown::default();
         let input = self.prepare_block_input(block, &mut breakdown);
         let request = EcallRequest::SigGen(input);
@@ -476,8 +514,7 @@ impl CertificateIssuer {
         let mut links = Vec::with_capacity(blocks.len());
         for block in blocks {
             let started = Instant::now();
-            let calls: Vec<dcert_vm::Call> =
-                block.txs.iter().map(|tx| tx.call.clone()).collect();
+            let calls: Vec<dcert_vm::Call> = block.txs.iter().map(|tx| tx.call.clone()).collect();
             let execution = self.node.executor().execute_block(&state, &calls);
             breakdown.rw_set_gen += started.elapsed();
             let started = Instant::now();
@@ -544,24 +581,60 @@ impl CertificateIssuer {
         &mut self,
         request: &EcallRequest,
         breakdown: &mut CertBreakdown,
-    ) -> Result<dcert_primitives::keys::Signature, CertError> {
-        let encoded = request.to_encoded_bytes();
-        self.enclave.reset_stats();
-        let started = Instant::now();
-        let response = self.enclave.ecall(&encoded);
-        breakdown.enclave_total += started.elapsed();
-        let stats = self.enclave.stats();
-        breakdown.enclave_overhead += stats.overhead;
-        breakdown.enclave_trusted += stats.trusted_time;
-        breakdown.ecalls += stats.ecalls;
-        breakdown.request_bytes += stats.bytes_in;
-        breakdown.response_bytes += stats.bytes_out;
-        match EcallResponse::decode_all(&response)? {
-            EcallResponse::Signature(sig) => Ok(sig),
-            EcallResponse::Rejected(reason) => Err(CertError::EnclaveRejected(reason)),
-            EcallResponse::Initialized(_) => {
-                Err(CertError::EnclaveRejected("unexpected response".into()))
-            }
+    ) -> Result<Signature, CertError> {
+        issue_encoded(&self.enclave, &request.to_encoded_bytes(), breakdown)
+    }
+
+    /// Tears the CI apart for the pipeline's stages.
+    pub(crate) fn into_parts(self) -> CiParts {
+        CiParts {
+            node: self.node,
+            enclave: self.enclave,
+            pk_enc: self.pk_enc,
+            report: self.report,
+            prev_block_cert: self.prev_block_cert,
+        }
+    }
+
+    /// Reassembles a CI from pipeline-owned parts.
+    pub(crate) fn from_parts(parts: CiParts) -> Self {
+        CertificateIssuer {
+            node: parts.node,
+            enclave: parts.enclave,
+            pk_enc: parts.pk_enc,
+            report: parts.report,
+            prev_block_cert: parts.prev_block_cert,
+        }
+    }
+}
+
+/// Dispatches one pre-encoded ECall request and extracts a signature,
+/// charging the boundary's cost-model delta into `breakdown`.
+///
+/// This is the single signing path shared by the sequential CI methods
+/// and the pipeline's issuer stage; the stats delta (instead of a
+/// reset/read) keeps the enclave's cumulative counters intact for other
+/// observers of a shared handle.
+pub(crate) fn issue_encoded(
+    enclave: &Enclave<CertProgram>,
+    encoded: &[u8],
+    breakdown: &mut CertBreakdown,
+) -> Result<Signature, CertError> {
+    let before = enclave.stats();
+    let started = Instant::now();
+    let response = enclave.ecall(encoded);
+    breakdown.enclave_total += started.elapsed();
+    let after = enclave.stats();
+    breakdown.enclave_overhead += after.overhead - before.overhead;
+    breakdown.enclave_trusted += after.trusted_time - before.trusted_time;
+    breakdown.ecalls += after.ecalls - before.ecalls;
+    breakdown.request_bytes += after.bytes_in - before.bytes_in;
+    breakdown.response_bytes += after.bytes_out - before.bytes_out;
+    match EcallResponse::decode_all(&response)? {
+        EcallResponse::Signature(sig) => Ok(sig),
+        EcallResponse::Rejected(reason) => Err(CertError::EnclaveRejected(reason)),
+        EcallResponse::Initialized(_) => {
+            Err(CertError::EnclaveRejected("unexpected response".into()))
         }
     }
 }

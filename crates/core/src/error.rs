@@ -53,6 +53,9 @@ pub enum CertError {
     /// The enclave rejected the request; the reason string is the trusted
     /// program's error rendered across the byte-level boundary.
     EnclaveRejected(String),
+    /// The certification pipeline has stopped accepting work
+    /// (shutdown in progress or a stage died).
+    PipelineClosed,
     /// The presented header violates the chain-selection rule
     /// (Algorithm 3, line 8).
     ChainSelection {
@@ -81,7 +84,10 @@ impl fmt::Display for CertError {
                 write!(f, "read set disagrees with its authenticated proof")
             }
             CertError::StateRootMismatch => {
-                write!(f, "replayed execution does not reach the claimed state root")
+                write!(
+                    f,
+                    "replayed execution does not reach the claimed state root"
+                )
             }
             CertError::IndexDigestMismatch => write!(f, "index digest mismatch"),
             CertError::WriteSetMismatch => {
@@ -92,6 +98,7 @@ impl fmt::Display for CertError {
             CertError::NotInitialized => write!(f, "enclave key not initialized"),
             CertError::Codec(e) => write!(f, "ecall boundary codec error: {e}"),
             CertError::EnclaveRejected(reason) => write!(f, "enclave rejected: {reason}"),
+            CertError::PipelineClosed => write!(f, "certification pipeline closed"),
             CertError::ChainSelection { current, offered } => write!(
                 f,
                 "chain selection violated: have height {current}, offered {offered}"

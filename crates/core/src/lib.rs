@@ -15,6 +15,9 @@
 //!   (augmented), Algorithm 5's per-index step (hierarchical),
 //! - [`CertificateIssuer`]: the untrusted full-node half — Algorithm 1's
 //!   pre-processing, enclave boot, attestation, and certificate assembly,
+//! - [`CertPipeline`]: the staged, concurrent certification engine — a
+//!   preparer pool feeding a single enclave-bound issuer stage over
+//!   bounded channels, byte-identical to sequential issuance,
 //! - [`SuperlightClient`]: Algorithm 3 plus index-certificate tracking,
 //! - [`IndexVerifier`]: the extension point through which authenticated
 //!   indexes (in `dcert-query`) plug their trusted update checks into the
@@ -66,6 +69,7 @@ pub mod ci;
 pub mod error;
 pub mod messages;
 pub mod network;
+pub mod pipeline;
 pub mod program;
 pub mod quorum;
 pub mod superlight;
@@ -76,6 +80,7 @@ pub use ci::{CertBreakdown, CertificateIssuer};
 pub use error::CertError;
 pub use messages::{BatchLink, BlockInput, EcallRequest, EcallResponse, IdxRequest, IndexInput};
 pub use network::{Gossip, NetMessage};
+pub use pipeline::{CertJob, CertPipeline, PipelineConfig, PipelineReport};
 pub use program::{expected_measurement, CertProgram, CODE_IDENTITY};
 pub use quorum::{QuorumClient, TrustDomain};
 pub use superlight::SuperlightClient;

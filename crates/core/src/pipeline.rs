@@ -1,0 +1,1005 @@
+//! The pipelined certification engine.
+//!
+//! The paper's Fig. 2 runtime loop — sync → enclave-certify → broadcast —
+//! is inherently staged, and only one stage actually needs the enclave.
+//! [`CertPipeline`] exploits that: it splits the sequential
+//! [`CertificateIssuer`] into four concurrent stages connected by bounded
+//! crossbeam channels (bounded = backpressure; a slow enclave throttles
+//! submission instead of buffering unboundedly):
+//!
+//! 1. **Sequencer** (one thread): owns the chain view. Validates each
+//!    job's linkage against the tip, executes its transactions *once*,
+//!    snapshots the pre-state for proof generation, and advances. This is
+//!    the stage that fixes chain order — everything downstream is
+//!    order-preserving.
+//! 2. **Preparers** (a pool of untrusted workers): the expensive
+//!    outside-enclave work of Algorithm 1 — Merkle update proofs over the
+//!    pre-state snapshot and request serialization — runs here, in
+//!    parallel across in-flight blocks.
+//! 3. **Issuer** (one thread): re-orders prepared requests back into
+//!    chain order and drains them through the shared enclave. ECalls stay
+//!    serialized, exactly as a real single-enclave signer requires, and
+//!    the recursive `prev_cert` — which only exists once the previous
+//!    certificate has been issued — is spliced into the pre-encoded
+//!    request here.
+//! 4. **Publisher** (one thread): broadcasts certificates on the
+//!    [`Gossip`] bus in issuance order and accumulates the
+//!    [`PipelineReport`].
+//!
+//! Compared to the sequential path, each block is executed once (the
+//! issuer adopts the sequencer-validated state the way
+//! [`CertificateIssuer::certify_batch`] does, instead of re-executing in
+//! `apply`), proofs for block *i+1* are built while block *i* is inside
+//! the enclave, and the certificates that come out are **byte-identical**
+//! to sequential issuance — `tests/pipeline_equivalence.rs` proves this
+//! property over arbitrary mixed workloads.
+//!
+//! Shutdown is orderly: dropping the submission side (or the whole
+//! pipeline) closes the channel cascade, every stage drains its in-flight
+//! work, and [`CertPipeline::shutdown`] hands back the reassembled
+//! [`CertificateIssuer`] positioned at the last successfully certified
+//! block.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use dcert_chain::{Block, BlockHeader, ChainError, ChainState, FullNode};
+use dcert_primitives::codec::{encode_seq, Encode};
+use dcert_primitives::hash::Hash;
+use dcert_sgx::{AttestationReport, Enclave};
+use dcert_vm::{Call, Executor, StateKey};
+
+use crate::cert::Certificate;
+use crate::ci::{issue_encoded, CertBreakdown, CertificateIssuer, CiParts};
+use crate::error::CertError;
+use crate::messages::{BatchLink, IndexInput, ReadSet, WriteSet};
+use crate::network::{Gossip, NetMessage};
+use crate::program::CertProgram;
+
+/// One unit of certification work, in submission order.
+#[derive(Debug, Clone)]
+pub enum CertJob {
+    /// Algorithm 1: a plain block certificate.
+    Block(Block),
+    /// Algorithm 4: one augmented certificate per index (no standalone
+    /// block certificate; `prev_block_cert` is left untouched, exactly as
+    /// in the sequential scheme).
+    Augmented {
+        /// The block to certify.
+        block: Block,
+        /// Staged index updates (their `prev_cert` fields are filled by
+        /// the issuer stage — see [`CertPipeline`] docs).
+        indexes: Vec<IndexInput>,
+    },
+    /// Algorithm 5: a block certificate plus one light per-index
+    /// certificate each.
+    Hierarchical {
+        /// The block to certify.
+        block: Block,
+        /// Staged index updates.
+        indexes: Vec<IndexInput>,
+    },
+    /// Batch coalescing: consecutive blocks certified with **one** ECall,
+    /// producing a single certificate for the last block
+    /// (the [`CertificateIssuer::certify_batch`] amortization, preserved
+    /// under the pipeline).
+    Batch(Vec<Block>),
+}
+
+/// Tuning knobs for [`CertPipeline::spawn`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of preparer workers (proof generation + serialization).
+    pub preparers: usize,
+    /// Capacity of each inter-stage channel; bounds in-flight jobs and
+    /// therefore memory (each in-flight job pins a state snapshot).
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            preparers: 4,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// What the pipeline did, returned by [`CertPipeline::shutdown`].
+#[derive(Debug, Default)]
+pub struct PipelineReport {
+    /// Jobs processed (success or failure).
+    pub jobs: u64,
+    /// Block certificates broadcast.
+    pub block_certs: u64,
+    /// Index certificates broadcast.
+    pub index_certs: u64,
+    /// Per-job construction breakdowns, in chain order (successes only).
+    pub breakdowns: Vec<CertBreakdown>,
+    /// Failed jobs as `(sequence number, error)`, in chain order.
+    pub errors: Vec<(u64, CertError)>,
+}
+
+impl PipelineReport {
+    /// Sum of all successful jobs' construction times.
+    pub fn total_construction(&self) -> Duration {
+        self.breakdowns.iter().map(CertBreakdown::total).sum()
+    }
+}
+
+/// One executed block with everything a preparer needs to build its
+/// proofs off-thread.
+struct LinkPrep {
+    block: Block,
+    reads: ReadSet,
+    touched: Vec<StateKey>,
+    pre_state: ChainState,
+}
+
+/// The job-type-specific remainder of a sequenced job.
+enum JobKind {
+    Block,
+    Augmented {
+        indexes: Vec<IndexInput>,
+    },
+    Hierarchical {
+        indexes: Vec<IndexInput>,
+        writes: WriteSet,
+    },
+    Batch,
+}
+
+/// Sequencer → preparer: an executed, chain-ordered job.
+struct PrepTask {
+    seq: u64,
+    /// The tip the job extends (the request's `prev_header` / batch anchor).
+    prev_header: BlockHeader,
+    links: Vec<LinkPrep>,
+    kind: JobKind,
+    /// The job's resulting tip, for CI adoption at shutdown.
+    tip_header: BlockHeader,
+    post_state: ChainState,
+    rw_set_gen: Duration,
+}
+
+/// An index update with its request bytes pre-encoded around the
+/// `prev_cert` splice point.
+struct PreparedIndex {
+    index_type: String,
+    new_digest: Hash,
+    /// `enc(index_type) ++ enc(prev_digest)`.
+    head: Vec<u8>,
+    /// `enc(new_digest) ++ enc(aux)`.
+    tail: Vec<u8>,
+}
+
+/// Pre-encoded request parts. Each payload splits the canonical
+/// [`crate::messages::EcallRequest`] encoding at the fields only the
+/// issuer knows (`prev_cert`, `block_cert`): the issuer splices those in
+/// and the resulting bytes are identical to a full sequential encode.
+enum PreparedPayload {
+    /// `SigGen = [1] ++ head ++ enc(prev_cert) ++ tail`.
+    Block {
+        header: BlockHeader,
+        /// `enc(prev_header)`.
+        head: Vec<u8>,
+        /// `enc(block) ++ enc(reads) ++ enc(state_proof)`.
+        tail: Vec<u8>,
+    },
+    /// `AugSigGen = [2] ++ head ++ enc(prev_cert) ++ tail ++ index` per index.
+    Augmented {
+        header: BlockHeader,
+        head: Vec<u8>,
+        tail: Vec<u8>,
+        indexes: Vec<PreparedIndex>,
+    },
+    /// `SigGen` as above, then
+    /// `IdxSigGen = [3] ++ idx_head ++ enc(block_cert) ++ idx_mid ++ index`
+    /// per index.
+    Hierarchical {
+        header: BlockHeader,
+        head: Vec<u8>,
+        tail: Vec<u8>,
+        /// `enc(prev_header) ++ enc(header) ++ enc(block)`.
+        idx_head: Vec<u8>,
+        /// `enc(writes) ++ enc(write_proof)`.
+        idx_mid: Vec<u8>,
+        indexes: Vec<PreparedIndex>,
+    },
+    /// `BatchSigGen = [4] ++ head ++ enc(prev_cert) ++ links_enc`.
+    Batch {
+        last_header: BlockHeader,
+        head: Vec<u8>,
+        links_enc: Vec<u8>,
+    },
+}
+
+/// Preparer → issuer (or sequencer → issuer for jobs that failed before
+/// preparation).
+struct Prepared {
+    seq: u64,
+    payload: Result<PreparedPayload, CertError>,
+    /// `(tip header, post state)` to adopt if issuance succeeds.
+    tip: Option<(BlockHeader, ChainState)>,
+    rw_set_gen: Duration,
+    proof_gen: Duration,
+}
+
+impl Prepared {
+    fn failed(seq: u64, error: CertError) -> Self {
+        Prepared {
+            seq,
+            payload: Err(error),
+            tip: None,
+            rw_set_gen: Duration::default(),
+            proof_gen: Duration::default(),
+        }
+    }
+}
+
+/// Issuer → publisher: one job's outcome, in chain order.
+struct JobOutcome {
+    seq: u64,
+    result: Result<(Vec<NetMessage>, CertBreakdown), CertError>,
+}
+
+/// What the issuer thread hands back at shutdown.
+struct IssuerFinal {
+    enclave: Arc<Enclave<CertProgram>>,
+    pk_enc: dcert_primitives::keys::PublicKey,
+    report: AttestationReport,
+    prev_block_cert: Option<Certificate>,
+    adopted: Option<(BlockHeader, ChainState)>,
+}
+
+/// The staged, concurrent certification engine. See the module docs for
+/// the stage layout.
+///
+/// Jobs submitted through [`CertPipeline::submit`] are certified in
+/// submission order; certificates appear on the gossip bus in the same
+/// order. A failed job is reported in the [`PipelineReport`] and does not
+/// advance the certificate chain (subsequent jobs that depended on it
+/// fail too — the enclave is the authority).
+pub struct CertPipeline {
+    submit_tx: Option<Sender<CertJob>>,
+    sequencer: Option<JoinHandle<()>>,
+    preparers: Vec<JoinHandle<()>>,
+    issuer: Option<JoinHandle<IssuerFinal>>,
+    publisher: Option<JoinHandle<PipelineReport>>,
+    node: Option<FullNode>,
+}
+
+impl CertPipeline {
+    /// Spawns the pipeline's stages around `ci`'s enclave and chain view.
+    /// Certificates are broadcast on `gossip` as they are issued.
+    pub fn spawn(ci: CertificateIssuer, config: PipelineConfig, gossip: Arc<Gossip>) -> Self {
+        let parts = ci.into_parts();
+        let node = parts.node;
+        let state = node.state().clone();
+        let tip = node.tip().clone();
+        let executor = node.executor().clone();
+
+        let depth = config.queue_depth.max(1);
+        let workers = config.preparers.max(1);
+        let (submit_tx, submit_rx) = bounded::<CertJob>(depth);
+        let (prep_tx, prep_rx) = bounded::<PrepTask>(depth);
+        // Room for every preparer to have one result in flight on top of
+        // the reorder window, so a fast preparer never blocks the slow
+        // one holding the next sequence number.
+        let (issue_tx, issue_rx) = bounded::<Prepared>(depth + workers);
+        let (publish_tx, publish_rx) = bounded::<JobOutcome>(depth);
+
+        let fail_tx = issue_tx.clone();
+        let sequencer = thread::Builder::new()
+            .name("dcert-sequencer".into())
+            .spawn(move || sequencer_loop(submit_rx, prep_tx, fail_tx, state, tip, executor))
+            .expect("spawn sequencer");
+
+        let preparers = (0..workers)
+            .map(|i| {
+                let rx = prep_rx.clone();
+                let tx = issue_tx.clone();
+                thread::Builder::new()
+                    .name(format!("dcert-preparer-{i}"))
+                    .spawn(move || {
+                        for task in rx {
+                            if tx.send(prepare(task)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn preparer")
+            })
+            .collect();
+        // The loops above hold the only remaining clones; dropping these
+        // lets each channel close when its senders finish.
+        drop(prep_rx);
+        drop(issue_tx);
+
+        let enclave = parts.enclave;
+        let pk_enc = parts.pk_enc;
+        let report = parts.report;
+        let prev_block_cert = parts.prev_block_cert;
+        let issuer = thread::Builder::new()
+            .name("dcert-issuer".into())
+            .spawn(move || {
+                issuer_loop(
+                    issue_rx,
+                    publish_tx,
+                    enclave,
+                    pk_enc,
+                    report,
+                    prev_block_cert,
+                )
+            })
+            .expect("spawn issuer");
+
+        let publisher = thread::Builder::new()
+            .name("dcert-publisher".into())
+            .spawn(move || publisher_loop(publish_rx, gossip))
+            .expect("spawn publisher");
+
+        CertPipeline {
+            submit_tx: Some(submit_tx),
+            sequencer: Some(sequencer),
+            preparers,
+            issuer: Some(issuer),
+            publisher: Some(publisher),
+            node: Some(node),
+        }
+    }
+
+    /// Submits a job for certification. Blocks when the pipeline is at
+    /// capacity (`queue_depth`) — this is the backpressure that keeps a
+    /// fast block producer from outrunning the enclave.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::PipelineClosed`] if the pipeline has stopped
+    /// accepting work (a stage died).
+    pub fn submit(&self, job: CertJob) -> Result<(), CertError> {
+        let tx = self.submit_tx.as_ref().expect("pipeline already shut down");
+        tx.send(job).map_err(|_| CertError::PipelineClosed)
+    }
+
+    /// Closes submission, drains every in-flight job through all stages,
+    /// and returns the reassembled [`CertificateIssuer`] — positioned at
+    /// the last successfully certified block — plus the run's report.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any stage thread (none are expected; a
+    /// rejected block is an error, not a panic).
+    pub fn shutdown(mut self) -> (CertificateIssuer, PipelineReport) {
+        let (fin, pipeline_report) = self.drain();
+        let fin = fin.expect("pipeline stages already joined");
+        let mut node = self.node.take().expect("node present until shutdown");
+        if let Some((header, state)) = fin.adopted {
+            // Every adopted transition was validated by the sequencer
+            // (and certified by the enclave); no re-execution needed.
+            node.adopt_validated(header, state);
+        }
+        let ci = CertificateIssuer::from_parts(CiParts {
+            node,
+            enclave: fin.enclave,
+            pk_enc: fin.pk_enc,
+            report: fin.report,
+            prev_block_cert: fin.prev_block_cert,
+        });
+        (ci, pipeline_report)
+    }
+
+    /// Closes submission and joins every stage in cascade order.
+    fn drain(&mut self) -> (Option<IssuerFinal>, PipelineReport) {
+        // Dropping the submission sender starts the cascade: sequencer
+        // finishes → preparer queue closes → issuer queue closes →
+        // publisher queue closes.
+        drop(self.submit_tx.take());
+        if let Some(h) = self.sequencer.take() {
+            h.join().expect("sequencer panicked");
+        }
+        for h in self.preparers.drain(..) {
+            h.join().expect("preparer panicked");
+        }
+        let fin = self
+            .issuer
+            .take()
+            .map(|h| h.join().expect("issuer panicked"));
+        let report = self
+            .publisher
+            .take()
+            .map(|h| h.join().expect("publisher panicked"))
+            .unwrap_or_default();
+        (fin, report)
+    }
+}
+
+impl Drop for CertPipeline {
+    /// Dropping the pipeline without [`CertPipeline::shutdown`] still
+    /// drains in-flight jobs (certificates reach the bus) — only the
+    /// reassembled CI and the report are lost.
+    fn drop(&mut self) {
+        drop(self.submit_tx.take());
+        if let Some(h) = self.sequencer.take() {
+            let _ = h.join();
+        }
+        for h in self.preparers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.issuer.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.publisher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// --- sequencer -------------------------------------------------------------
+
+fn sequencer_loop(
+    jobs: Receiver<CertJob>,
+    prep_tx: Sender<PrepTask>,
+    fail_tx: Sender<Prepared>,
+    mut state: ChainState,
+    mut tip: BlockHeader,
+    executor: Executor,
+) {
+    let mut seq = 0u64;
+    for job in jobs {
+        let sent = match sequence_job(job, &mut state, &mut tip, &executor, seq) {
+            Ok(task) => prep_tx.send(task).is_ok(),
+            // Route the failure straight to the issuer so the sequence
+            // numbering stays contiguous for its reorder buffer.
+            Err(error) => fail_tx.send(Prepared::failed(seq, error)).is_ok(),
+        };
+        if !sent {
+            break;
+        }
+        seq += 1;
+    }
+}
+
+fn sequence_job(
+    job: CertJob,
+    state: &mut ChainState,
+    tip: &mut BlockHeader,
+    executor: &Executor,
+    seq: u64,
+) -> Result<PrepTask, CertError> {
+    let prev_header = tip.clone();
+    match job {
+        CertJob::Block(block) => {
+            let (link, _writes, rw_set_gen) = advance(state, tip, executor, &block)?;
+            Ok(PrepTask {
+                seq,
+                prev_header,
+                links: vec![link],
+                kind: JobKind::Block,
+                tip_header: tip.clone(),
+                post_state: state.clone(),
+                rw_set_gen,
+            })
+        }
+        CertJob::Augmented { block, indexes } => {
+            let (link, _writes, rw_set_gen) = advance(state, tip, executor, &block)?;
+            Ok(PrepTask {
+                seq,
+                prev_header,
+                links: vec![link],
+                kind: JobKind::Augmented { indexes },
+                tip_header: tip.clone(),
+                post_state: state.clone(),
+                rw_set_gen,
+            })
+        }
+        CertJob::Hierarchical { block, indexes } => {
+            let (link, writes, rw_set_gen) = advance(state, tip, executor, &block)?;
+            Ok(PrepTask {
+                seq,
+                prev_header,
+                links: vec![link],
+                kind: JobKind::Hierarchical { indexes, writes },
+                tip_header: tip.clone(),
+                post_state: state.clone(),
+                rw_set_gen,
+            })
+        }
+        CertJob::Batch(blocks) => {
+            if blocks.is_empty() {
+                return Err(CertError::EnclaveRejected("empty batch".into()));
+            }
+            // A batch certifies atomically: roll the chain view back if
+            // any link fails.
+            let saved_state = state.clone();
+            let saved_tip = tip.clone();
+            let mut links = Vec::with_capacity(blocks.len());
+            let mut rw_set_gen = Duration::default();
+            for block in &blocks {
+                match advance(state, tip, executor, block) {
+                    Ok((link, _writes, rw)) => {
+                        links.push(link);
+                        rw_set_gen += rw;
+                    }
+                    Err(error) => {
+                        *state = saved_state;
+                        *tip = saved_tip;
+                        return Err(error);
+                    }
+                }
+            }
+            Ok(PrepTask {
+                seq,
+                prev_header,
+                links,
+                kind: JobKind::Batch,
+                tip_header: tip.clone(),
+                post_state: state.clone(),
+                rw_set_gen,
+            })
+        }
+    }
+}
+
+/// Validates `block` against the sequencer's tip, executes it once, and
+/// advances the chain view. On error the view is untouched.
+///
+/// Linkage and the post-state root are checked here because the
+/// sequencer *advances* on them; everything else (tx signatures, tx
+/// root, consensus proof, read-set authenticity) is the enclave's call —
+/// it re-validates the lot, so a bad block fails at issuance and the
+/// certificate chain simply does not advance past it.
+fn advance(
+    state: &mut ChainState,
+    tip: &mut BlockHeader,
+    executor: &Executor,
+    block: &Block,
+) -> Result<(LinkPrep, WriteSet, Duration), CertError> {
+    let parent = tip.hash();
+    if block.header.prev_hash != parent {
+        return Err(CertError::Chain(ChainError::BrokenLink {
+            claimed: block.header.prev_hash,
+            actual: parent,
+        }));
+    }
+    if block.header.height != tip.height + 1 {
+        return Err(CertError::Chain(ChainError::BadHeight {
+            parent: tip.height,
+            child: block.header.height,
+        }));
+    }
+    let started = Instant::now();
+    let calls: Vec<Call> = block.txs.iter().map(|tx| tx.call.clone()).collect();
+    let execution = executor.execute_block(state, &calls);
+    let rw_set_gen = started.elapsed();
+
+    let reads: ReadSet = execution
+        .reads
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
+    let writes: WriteSet = execution
+        .writes
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
+    let touched = execution.touched_keys();
+
+    let pre_state = state.clone();
+    state.apply_writes(execution.writes.iter());
+    if state.root() != block.header.state_root {
+        *state = pre_state;
+        return Err(CertError::Chain(ChainError::StateRootMismatch));
+    }
+    *tip = block.header.clone();
+    Ok((
+        LinkPrep {
+            block: block.clone(),
+            reads,
+            touched,
+            pre_state,
+        },
+        writes,
+        rw_set_gen,
+    ))
+}
+
+// --- preparers -------------------------------------------------------------
+
+fn prepare(task: PrepTask) -> Prepared {
+    let PrepTask {
+        seq,
+        prev_header,
+        mut links,
+        kind,
+        tip_header,
+        post_state,
+        rw_set_gen,
+    } = task;
+    let mut proof_gen = Duration::default();
+    let payload = match kind {
+        JobKind::Block => {
+            let link = links.pop().expect("block job has one link");
+            let (head, tail) = encode_block_parts(&prev_header, &link, &mut proof_gen);
+            PreparedPayload::Block {
+                header: link.block.header,
+                head,
+                tail,
+            }
+        }
+        JobKind::Augmented { indexes } => {
+            let link = links.pop().expect("augmented job has one link");
+            let (head, tail) = encode_block_parts(&prev_header, &link, &mut proof_gen);
+            PreparedPayload::Augmented {
+                header: link.block.header,
+                head,
+                tail,
+                indexes: indexes.into_iter().map(encode_index_parts).collect(),
+            }
+        }
+        JobKind::Hierarchical { indexes, writes } => {
+            let link = links.pop().expect("hierarchical job has one link");
+            let (head, tail) = encode_block_parts(&prev_header, &link, &mut proof_gen);
+
+            let started = Instant::now();
+            let write_keys: Vec<StateKey> = writes.iter().map(|(k, _)| *k).collect();
+            let write_proof = link.pre_state.prove(&write_keys);
+            proof_gen += started.elapsed();
+
+            let mut idx_head = Vec::new();
+            prev_header.encode(&mut idx_head);
+            link.block.header.encode(&mut idx_head);
+            link.block.encode(&mut idx_head);
+            let mut idx_mid = Vec::new();
+            encode_seq(&writes, &mut idx_mid);
+            write_proof.encode(&mut idx_mid);
+
+            PreparedPayload::Hierarchical {
+                header: link.block.header,
+                head,
+                tail,
+                idx_head,
+                idx_mid,
+                indexes: indexes.into_iter().map(encode_index_parts).collect(),
+            }
+        }
+        JobKind::Batch => {
+            let mut batch_links = Vec::with_capacity(links.len());
+            for link in links {
+                let started = Instant::now();
+                let state_proof = link.pre_state.prove(&link.touched);
+                proof_gen += started.elapsed();
+                batch_links.push(BatchLink {
+                    block: link.block,
+                    reads: link.reads,
+                    state_proof,
+                });
+            }
+            let last_header = batch_links
+                .last()
+                .expect("batch job has links")
+                .block
+                .header
+                .clone();
+            let mut head = Vec::new();
+            prev_header.encode(&mut head);
+            let mut links_enc = Vec::new();
+            encode_seq(&batch_links, &mut links_enc);
+            PreparedPayload::Batch {
+                last_header,
+                head,
+                links_enc,
+            }
+        }
+    };
+    Prepared {
+        seq,
+        payload: Ok(payload),
+        tip: Some((tip_header, post_state)),
+        rw_set_gen,
+        proof_gen,
+    }
+}
+
+/// Builds the `prev_cert` splice parts of a `SigGen`/`AugSigGen` body
+/// (see [`crate::messages::BlockInput`]'s field order).
+fn encode_block_parts(
+    prev_header: &BlockHeader,
+    link: &LinkPrep,
+    proof_gen: &mut Duration,
+) -> (Vec<u8>, Vec<u8>) {
+    let started = Instant::now();
+    let state_proof = link.pre_state.prove(&link.touched);
+    *proof_gen += started.elapsed();
+
+    let mut head = Vec::new();
+    prev_header.encode(&mut head);
+    let mut tail = Vec::new();
+    link.block.encode(&mut tail);
+    encode_seq(&link.reads, &mut tail);
+    state_proof.encode(&mut tail);
+    (head, tail)
+}
+
+/// Pre-encodes an [`IndexInput`] around its `prev_cert` splice point.
+fn encode_index_parts(index: IndexInput) -> PreparedIndex {
+    let mut head = Vec::new();
+    index.index_type.encode(&mut head);
+    index.prev_digest.encode(&mut head);
+    let mut tail = Vec::new();
+    index.new_digest.encode(&mut tail);
+    index.aux.encode(&mut tail);
+    PreparedIndex {
+        index_type: index.index_type,
+        new_digest: index.new_digest,
+        head,
+        tail,
+    }
+}
+
+// --- issuer ----------------------------------------------------------------
+
+struct Issuer {
+    enclave: Arc<Enclave<CertProgram>>,
+    pk_enc: dcert_primitives::keys::PublicKey,
+    report: AttestationReport,
+    prev_block_cert: Option<Certificate>,
+    /// The last certificate issued per index name: the `cert_{i-1}^{idx}`
+    /// each next [`IndexInput`] chains from. The issuer owns this (rather
+    /// than trusting the staged input's `prev_cert` field) because the
+    /// previous index certificate does not exist yet when a job is
+    /// submitted — filling it here is what lets preparation run ahead of
+    /// issuance.
+    prev_index_certs: HashMap<String, Certificate>,
+    adopted: Option<(BlockHeader, ChainState)>,
+}
+
+fn issuer_loop(
+    issue_rx: Receiver<Prepared>,
+    publish_tx: Sender<JobOutcome>,
+    enclave: Arc<Enclave<CertProgram>>,
+    pk_enc: dcert_primitives::keys::PublicKey,
+    report: AttestationReport,
+    prev_block_cert: Option<Certificate>,
+) -> IssuerFinal {
+    let mut issuer = Issuer {
+        enclave,
+        pk_enc,
+        report,
+        prev_block_cert,
+        prev_index_certs: HashMap::new(),
+        adopted: None,
+    };
+    // Preparers finish out of order; issue strictly by sequence number.
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, Prepared> = BTreeMap::new();
+    for prepared in issue_rx {
+        pending.insert(prepared.seq, prepared);
+        while let Some(ready) = pending.remove(&next) {
+            let outcome = issuer.process(ready);
+            next += 1;
+            if publish_tx.send(outcome).is_err() {
+                break;
+            }
+        }
+    }
+    // A panicked preparer leaves a gap; surface anything stranded behind
+    // it (out of chain order, so the enclave will reject) rather than
+    // dropping it silently.
+    for (_, stranded) in std::mem::take(&mut pending) {
+        let outcome = issuer.process(stranded);
+        if publish_tx.send(outcome).is_err() {
+            break;
+        }
+    }
+    IssuerFinal {
+        enclave: issuer.enclave,
+        pk_enc: issuer.pk_enc,
+        report: issuer.report,
+        prev_block_cert: issuer.prev_block_cert,
+        adopted: issuer.adopted,
+    }
+}
+
+impl Issuer {
+    fn process(&mut self, prepared: Prepared) -> JobOutcome {
+        let Prepared {
+            seq,
+            payload,
+            tip,
+            rw_set_gen,
+            proof_gen,
+        } = prepared;
+        let mut breakdown = CertBreakdown {
+            rw_set_gen,
+            proof_gen,
+            ..CertBreakdown::default()
+        };
+        let result = payload.and_then(|payload| {
+            let messages = self.issue_payload(payload, &mut breakdown)?;
+            // Certified: the CI returned at shutdown stands at this tip.
+            self.adopted = tip;
+            Ok(messages)
+        });
+        JobOutcome {
+            seq,
+            result: result.map(|messages| (messages, breakdown)),
+        }
+    }
+
+    /// Splices the previous certificates into the pre-encoded request(s),
+    /// crosses the enclave boundary, and assembles the certificates. The
+    /// certificate chain state (`prev_block_cert`, `prev_index_certs`)
+    /// commits only if the whole job succeeds — matching the sequential
+    /// methods, which bail before `apply` on any index failure.
+    fn issue_payload(
+        &mut self,
+        payload: PreparedPayload,
+        breakdown: &mut CertBreakdown,
+    ) -> Result<Vec<NetMessage>, CertError> {
+        match payload {
+            PreparedPayload::Block { header, head, tail } => {
+                let cert = self.issue_block_cert(1, &head, &tail, &header, breakdown)?;
+                self.prev_block_cert = Some(cert.clone());
+                Ok(vec![NetMessage::BlockCert { header, cert }])
+            }
+            PreparedPayload::Augmented {
+                header,
+                head,
+                tail,
+                indexes,
+            } => {
+                // Algorithm 4 issues no standalone block certificate and
+                // leaves prev_block_cert untouched.
+                let mut issued = Vec::with_capacity(indexes.len());
+                for index in &indexes {
+                    let mut encoded =
+                        Vec::with_capacity(2 + head.len() + tail.len() + index.head.len());
+                    encoded.push(2u8);
+                    encoded.extend_from_slice(&head);
+                    self.prev_block_cert.encode(&mut encoded);
+                    encoded.extend_from_slice(&tail);
+                    self.splice_index(index, &mut encoded);
+                    let signature = issue_encoded(&self.enclave, &encoded, breakdown)?;
+                    issued.push(Certificate {
+                        pk_enc: self.pk_enc,
+                        report: self.report.clone(),
+                        digest: Certificate::index_digest(&header.hash(), &index.new_digest),
+                        signature,
+                    });
+                }
+                Ok(self.commit_index_certs(&header, indexes, issued))
+            }
+            PreparedPayload::Hierarchical {
+                header,
+                head,
+                tail,
+                idx_head,
+                idx_mid,
+                indexes,
+            } => {
+                let block_cert = self.issue_block_cert(1, &head, &tail, &header, breakdown)?;
+                let mut issued = Vec::with_capacity(indexes.len());
+                for index in &indexes {
+                    let mut encoded =
+                        Vec::with_capacity(2 + idx_head.len() + idx_mid.len() + index.head.len());
+                    encoded.push(3u8);
+                    encoded.extend_from_slice(&idx_head);
+                    block_cert.encode(&mut encoded);
+                    encoded.extend_from_slice(&idx_mid);
+                    self.splice_index(index, &mut encoded);
+                    let signature = issue_encoded(&self.enclave, &encoded, breakdown)?;
+                    issued.push(Certificate {
+                        pk_enc: self.pk_enc,
+                        report: self.report.clone(),
+                        digest: Certificate::index_digest(&header.hash(), &index.new_digest),
+                        signature,
+                    });
+                }
+                self.prev_block_cert = Some(block_cert.clone());
+                let mut messages = vec![NetMessage::BlockCert {
+                    header: header.clone(),
+                    cert: block_cert,
+                }];
+                messages.extend(self.commit_index_certs(&header, indexes, issued));
+                Ok(messages)
+            }
+            PreparedPayload::Batch {
+                last_header,
+                head,
+                links_enc,
+            } => {
+                let cert = self.issue_block_cert(4, &head, &links_enc, &last_header, breakdown)?;
+                self.prev_block_cert = Some(cert.clone());
+                Ok(vec![NetMessage::BlockCert {
+                    header: last_header,
+                    cert,
+                }])
+            }
+        }
+    }
+
+    /// One `prev_block_cert`-spliced ECall producing a certificate over
+    /// `H(header)` (`SigGen` and `BatchSigGen` share this shape).
+    fn issue_block_cert(
+        &self,
+        tag: u8,
+        head: &[u8],
+        tail: &[u8],
+        header: &BlockHeader,
+        breakdown: &mut CertBreakdown,
+    ) -> Result<Certificate, CertError> {
+        let mut encoded = Vec::with_capacity(1 + head.len() + tail.len() + 256);
+        encoded.push(tag);
+        encoded.extend_from_slice(head);
+        self.prev_block_cert.encode(&mut encoded);
+        encoded.extend_from_slice(tail);
+        let signature = issue_encoded(&self.enclave, &encoded, breakdown)?;
+        Ok(Certificate {
+            pk_enc: self.pk_enc,
+            report: self.report.clone(),
+            digest: header.hash(),
+            signature,
+        })
+    }
+
+    /// Appends `index` with its tracked `prev_cert` spliced in.
+    fn splice_index(&self, index: &PreparedIndex, encoded: &mut Vec<u8>) {
+        encoded.extend_from_slice(&index.head);
+        let prev = self.prev_index_certs.get(&index.index_type).cloned();
+        prev.encode(encoded);
+        encoded.extend_from_slice(&index.tail);
+    }
+
+    /// Records the issued index certificates and turns them into gossip
+    /// messages.
+    fn commit_index_certs(
+        &mut self,
+        header: &BlockHeader,
+        indexes: Vec<PreparedIndex>,
+        issued: Vec<Certificate>,
+    ) -> Vec<NetMessage> {
+        indexes
+            .into_iter()
+            .zip(issued)
+            .map(|(index, cert)| {
+                self.prev_index_certs
+                    .insert(index.index_type.clone(), cert.clone());
+                NetMessage::IndexCert {
+                    header: header.clone(),
+                    index: index.index_type,
+                    digest: index.new_digest,
+                    cert,
+                }
+            })
+            .collect()
+    }
+}
+
+// --- publisher -------------------------------------------------------------
+
+fn publisher_loop(publish_rx: Receiver<JobOutcome>, gossip: Arc<Gossip>) -> PipelineReport {
+    let mut report = PipelineReport::default();
+    for outcome in publish_rx {
+        report.jobs += 1;
+        match outcome.result {
+            Ok((messages, breakdown)) => {
+                for message in messages {
+                    match &message {
+                        NetMessage::BlockCert { .. } => report.block_certs += 1,
+                        NetMessage::IndexCert { .. } => report.index_certs += 1,
+                        _ => {}
+                    }
+                    gossip.publish(message);
+                }
+                report.breakdowns.push(breakdown);
+            }
+            Err(error) => report.errors.push((outcome.seq, error)),
+        }
+    }
+    report
+}

@@ -77,6 +77,17 @@ impl CertProgram {
         }
     }
 
+    /// Pre-seeds the signing key so the `Init` ECall becomes
+    /// deterministic: ed25519 signatures are deterministic, so two
+    /// programs seeded alike produce byte-identical certificates. This is
+    /// what the pipeline-equivalence tests and reproducible benches boot
+    /// with; a production enclave generates `sk_enc` internally.
+    #[must_use]
+    pub fn with_signing_seed(mut self, seed: [u8; 32]) -> Self {
+        self.keypair = Some(Keypair::from_seed(seed));
+        self
+    }
+
     fn own_measurement(&self) -> Hash {
         expected_measurement()
     }
@@ -198,8 +209,7 @@ impl CertProgram {
             return Err(CertError::IndexDigestMismatch);
         }
         // Line 12: sign H(H(hdr_i) ‖ H_i^idx).
-        let digest =
-            Certificate::index_digest(&block_input.block.header.hash(), &new_digest);
+        let digest = Certificate::index_digest(&block_input.block.header.hash(), &new_digest);
         let kp = self.keypair()?;
         Ok(kp.sign(digest.as_bytes()))
     }
@@ -348,8 +358,7 @@ impl CertProgram {
         }
         // Lines 18–21: replay every transaction on the read set.
         let backend = ReadSetState::new(read_map);
-        let calls: Vec<dcert_vm::Call> =
-            input.block.txs.iter().map(|tx| tx.call.clone()).collect();
+        let calls: Vec<dcert_vm::Call> = input.block.txs.iter().map(|tx| tx.call.clone()).collect();
         let replay = self.executor.execute_block(&backend, &calls);
         if replay
             .statuses
@@ -360,11 +369,7 @@ impl CertProgram {
         }
         // Lines 22–23: authenticate the write neighborhood and recompute
         // the post-state root.
-        let writes: WriteSet = replay
-            .writes
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let writes: WriteSet = replay.writes.iter().map(|(k, v)| (*k, v.clone())).collect();
         let write_hashes = hash_writes(&writes);
         let reached = input
             .state_proof

@@ -185,8 +185,7 @@ impl Node {
 
     fn new_internal(separators: Vec<u64>, children: Vec<Node>) -> Node {
         debug_assert_eq!(children.len(), separators.len() + 1);
-        let pairs: Vec<(Hash, Aggregate)> =
-            children.iter().map(|c| (c.hash(), c.agg())).collect();
+        let pairs: Vec<(Hash, Aggregate)> = children.iter().map(|c| (c.hash(), c.agg())).collect();
         let hash = node_hash(&separators, &pairs);
         let mut agg = Aggregate::EMPTY;
         for (_, child_agg) in &pairs {
@@ -576,9 +575,7 @@ impl AggProof {
                             pairs.push((*hash, *child_agg));
                         }
                         ProofChild::Open(sub) => {
-                            pairs.push(Self::verify_rec(
-                                sub, child_lo, child_hi, lo, hi, agg,
-                            )?);
+                            pairs.push(Self::verify_rec(sub, child_lo, child_hi, lo, hi, agg)?);
                         }
                     }
                 }
@@ -694,7 +691,8 @@ impl AggAppendProof {
         }
         let mut new_entries = entries.clone();
         new_entries.push((ts, value));
-        let leaf_state = |entries: &[(u64, u64)]| (leaf_hash(entries), aggregate_of_entries(entries));
+        let leaf_state =
+            |entries: &[(u64, u64)]| (leaf_hash(entries), aggregate_of_entries(entries));
         let mut applied = if new_entries.len() > order {
             let mid = new_entries.len() / 2;
             let right = new_entries.split_off(mid);
@@ -925,7 +923,14 @@ mod tests {
             let n = 200u64;
             let tree = build(n, order);
             let root = tree.root();
-            for (lo, hi) in [(0, 199), (50, 99), (0, 0), (199, 199), (150, 400), (300, 400)] {
+            for (lo, hi) in [
+                (0, 199),
+                (50, 99),
+                (0, 0),
+                (199, 199),
+                (150, 400),
+                (300, 400),
+            ] {
                 let (agg, proof) = tree.aggregate(lo, hi);
                 assert_eq!(agg, expected(lo, hi, n), "order={order} [{lo},{hi}]");
                 proof
@@ -992,7 +997,10 @@ mod tests {
             }
             false
         }
-        assert!(inflate(forged.root.as_mut().unwrap()), "fixture has pruned children");
+        assert!(
+            inflate(forged.root.as_mut().unwrap()),
+            "fixture has pruned children"
+        );
         let mut claimed = agg;
         claimed.sum += 1_000;
         assert!(forged.verify(&tree.root(), 20, 180, &claimed).is_err());

@@ -79,8 +79,7 @@ impl MbNode {
     }
 
     fn new_leaf(entries: Vec<(u64, Vec<u8>)>) -> MbNode {
-        let hashed: Vec<(u64, Hash)> =
-            entries.iter().map(|(ts, v)| (*ts, hash_bytes(v))).collect();
+        let hashed: Vec<(u64, Hash)> = entries.iter().map(|(ts, v)| (*ts, hash_bytes(v))).collect();
         let hash = leaf_hash(&hashed);
         MbNode::Leaf { entries, hash }
     }
@@ -295,7 +294,11 @@ impl MbTree {
                     .iter()
                     .enumerate()
                     .map(|(i, child)| {
-                        let child_lo = if i == 0 { None } else { Some(separators[i - 1]) };
+                        let child_lo = if i == 0 {
+                            None
+                        } else {
+                            Some(separators[i - 1])
+                        };
                         let child_hi = separators.get(i).copied();
                         if interval_intersects(child_lo, child_hi, lo, hi) {
                             ProofChild::Open(Box::new(Self::range_rec(child, lo, hi, results)))
@@ -478,9 +481,8 @@ impl MbRangeProof {
                             hashes.push(*h);
                         }
                         ProofChild::Open(sub) => {
-                            hashes.push(Self::verify_rec(
-                                sub, child_lo, child_hi, lo, hi, in_range,
-                            )?);
+                            hashes
+                                .push(Self::verify_rec(sub, child_lo, child_hi, lo, hi, in_range)?);
                         }
                     }
                 }

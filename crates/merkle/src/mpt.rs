@@ -136,10 +136,7 @@ impl MptNode {
         Box::new(MptNode::Ext { path, child, hash })
     }
 
-    fn new_branch(
-        children: [Option<Box<MptNode>>; 16],
-        value: Option<Vec<u8>>,
-    ) -> Box<MptNode> {
+    fn new_branch(children: [Option<Box<MptNode>>; 16], value: Option<Vec<u8>>) -> Box<MptNode> {
         let child_hashes = child_hash_array(&children);
         let vh = value.as_ref().map(hash_bytes);
         let hash = branch_node_hash(&child_hashes, &vh);
@@ -385,8 +382,14 @@ impl Mpt {
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ProofNode {
-    Leaf { path: Vec<u8>, value_hash: Hash },
-    Ext { path: Vec<u8>, child: Hash },
+    Leaf {
+        path: Vec<u8>,
+        value_hash: Hash,
+    },
+    Ext {
+        path: Vec<u8>,
+        child: Hash,
+    },
     Branch {
         children: [Hash; 16],
         value_hash: Option<Hash>,
@@ -489,15 +492,13 @@ impl MptProof {
                     if lrest.is_empty() {
                         bvalue = Some(*value_hash);
                     } else {
-                        children[lrest[0] as usize] =
-                            leaf_node_hash(&lrest[1..], value_hash);
+                        children[lrest[0] as usize] = leaf_node_hash(&lrest[1..], value_hash);
                     }
                     let prest = &rest[common..];
                     if prest.is_empty() {
                         bvalue = Some(*new_value_hash);
                     } else {
-                        children[prest[0] as usize] =
-                            leaf_node_hash(&prest[1..], new_value_hash);
+                        children[prest[0] as usize] = leaf_node_hash(&prest[1..], new_value_hash);
                     }
                     let branch = branch_node_hash(&children, &bvalue);
                     if common > 0 {
@@ -524,8 +525,7 @@ impl MptProof {
                 if prest.is_empty() {
                     bvalue = Some(*new_value_hash);
                 } else {
-                    children[prest[0] as usize] =
-                        leaf_node_hash(&prest[1..], new_value_hash);
+                    children[prest[0] as usize] = leaf_node_hash(&prest[1..], new_value_hash);
                 }
                 let branch = branch_node_hash(&children, &bvalue);
                 if common > 0 {
@@ -798,7 +798,10 @@ mod tests {
     fn membership_proofs_verify() {
         let mut trie = Mpt::new();
         for i in 0..50u32 {
-            trie.insert(format!("key-{i}").as_bytes(), format!("val-{i}").into_bytes());
+            trie.insert(
+                format!("key-{i}").as_bytes(),
+                format!("val-{i}").into_bytes(),
+            );
         }
         let root = trie.root();
         for i in 0..50u32 {
@@ -821,7 +824,11 @@ mod tests {
         let root = trie.root();
         for probe in ["key-99", "other", "", "key-1x"] {
             let proof = trie.prove(probe.as_bytes());
-            assert_eq!(proof.verify(&root, probe.as_bytes()).unwrap(), None, "{probe}");
+            assert_eq!(
+                proof.verify(&root, probe.as_bytes()).unwrap(),
+                None,
+                "{probe}"
+            );
         }
     }
 
@@ -842,7 +849,9 @@ mod tests {
         let proof = trie.prove(b"alice");
         // Verifying a different key with this proof either errors or proves
         // nothing about bob's value.
-        if let Ok(Some(vh)) = proof.verify(&root, b"bob") { assert_ne!(vh, hash_bytes(b"2")) }
+        if let Ok(Some(vh)) = proof.verify(&root, b"bob") {
+            assert_ne!(vh, hash_bytes(b"2"))
+        }
     }
 
     #[test]

@@ -76,11 +76,7 @@ pub fn leaf_hash(key: &Hash, value_hash: &Hash) -> Hash {
 
 /// Hash of a subtree whose two sides both hold leaves.
 pub fn branch_hash(left: &Hash, right: &Hash) -> Hash {
-    hash_concat([
-        &[domain::SMT_BRANCH][..],
-        left.as_bytes(),
-        right.as_bytes(),
-    ])
+    hash_concat([&[domain::SMT_BRANCH][..], left.as_bytes(), right.as_bytes()])
 }
 
 /// Returns the index of the first bit at which `a` and `b` differ, or
@@ -223,9 +219,7 @@ impl SparseMerkleTree {
     fn insert_rec(node: Node, key: Hash, value_hash: Hash) -> Node {
         match node {
             Node::Empty => Node::Leaf { key, value_hash },
-            Node::Leaf { key: existing, .. } if existing == key => {
-                Node::Leaf { key, value_hash }
-            }
+            Node::Leaf { key: existing, .. } if existing == key => Node::Leaf { key, value_hash },
             leaf @ Node::Leaf { .. } => {
                 let d = diverge_bit(leaf.rep(), &key);
                 let new_leaf = Node::Leaf { key, value_hash };
@@ -400,7 +394,10 @@ impl<'a> NodeView<'a> {
                         (self, NodeView::Empty)
                     }
                 } else {
-                    (NodeView::from(left.as_ref()), NodeView::from(right.as_ref()))
+                    (
+                        NodeView::from(left.as_ref()),
+                        NodeView::from(right.as_ref()),
+                    )
                 }
             }
         }

@@ -134,9 +134,7 @@ impl Decode for Vec<Hash> {
 }
 
 /// A 20-byte account address, in the style of Ethereum addresses.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Address([u8; 20]);
 
 impl Address {

@@ -17,8 +17,8 @@ use std::collections::HashMap;
 
 use dcert_chain::Block;
 use dcert_core::{CertError, IndexVerifier};
-use dcert_merkle::aggmb::{AggAppendProof, AggMbTree, AggProof};
 pub use dcert_merkle::aggmb::Aggregate;
+use dcert_merkle::aggmb::{AggAppendProof, AggMbTree, AggProof};
 use dcert_merkle::{Mpt, MptProof};
 use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
@@ -112,7 +112,8 @@ impl AggregateIndex {
                 .entry(key_bytes.clone())
                 .or_insert_with(|| AggMbTree::new(self.order));
             tree.insert(height, value);
-            self.upper.insert(&key_bytes, tree.root().as_bytes().to_vec());
+            self.upper
+                .insert(&key_bytes, tree.root().as_bytes().to_vec());
         }
         let mut aux = Vec::new();
         encode_seq(&updates, &mut aux);

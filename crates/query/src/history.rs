@@ -119,12 +119,7 @@ impl HistoryIndex {
     }
 
     /// Answers "all versions of `key` in `[t1, t2]`" with a proof.
-    pub fn query(
-        &self,
-        key: &StateKey,
-        t1: u64,
-        t2: u64,
-    ) -> (Vec<(u64, Version)>, HistoryProof) {
+    pub fn query(&self, key: &StateKey, t1: u64, t2: u64) -> (Vec<(u64, Version)>, HistoryProof) {
         let key_bytes = key.as_hash().as_bytes().to_vec();
         let mpt_proof = self.upper.prove(&key_bytes);
         match self.lower.get(&key_bytes) {
@@ -508,10 +503,7 @@ mod tests {
         index.apply_block(2, &writes(&[("acct", None)]));
         let digest = index.digest();
         let (results, proof) = index.query(&key("acct"), 1, 2);
-        assert_eq!(
-            results,
-            vec![(1, Some(b"v1".to_vec())), (2, None)]
-        );
+        assert_eq!(results, vec![(1, Some(b"v1".to_vec())), (2, None)]);
         verify_history(&digest, &key("acct"), 1, 2, &results, &proof).unwrap();
     }
 }

@@ -63,16 +63,14 @@ fn keyword_key(keyword: &str) -> Hash {
 }
 
 fn chain_append(head: &Hash, tx_id: &Hash) -> Hash {
-    hash_concat([
-        &[domain::INV_ENTRY][..],
-        head.as_bytes(),
-        tx_id.as_bytes(),
-    ])
+    hash_concat([&[domain::INV_ENTRY][..], head.as_bytes(), tx_id.as_bytes()])
 }
 
 /// Recomputes a posting-list chain head from scratch.
 fn chain_head(tx_ids: &[Hash]) -> Hash {
-    tx_ids.iter().fold(Hash::ZERO, |head, id| chain_append(&head, id))
+    tx_ids
+        .iter()
+        .fold(Hash::ZERO, |head, id| chain_append(&head, id))
 }
 
 /// The SP-side inverted keyword index.
@@ -177,8 +175,7 @@ impl InvertedIndex {
     /// Answers a conjunctive keyword query ("w1 AND w2 AND ..."),
     /// returning the matching transaction ids and a proof.
     pub fn query(&self, keywords: &[&str]) -> (Vec<Hash>, KeywordProof) {
-        let mut normalized: Vec<String> =
-            keywords.iter().map(|k| k.to_ascii_lowercase()).collect();
+        let mut normalized: Vec<String> = keywords.iter().map(|k| k.to_ascii_lowercase()).collect();
         normalized.sort_unstable();
         normalized.dedup();
 
@@ -261,8 +258,8 @@ impl IndexVerifier for InvertedVerifier {
         _writes: &[(StateKey, Option<Vec<u8>>)],
         aux: &[u8],
     ) -> Result<Hash, CertError> {
-        let update = InvertedUpdate::decode_all(aux)
-            .map_err(|_| CertError::BadIndexUpdate("aux decode"))?;
+        let update =
+            InvertedUpdate::decode_all(aux).map_err(|_| CertError::BadIndexUpdate("aux decode"))?;
         // The enclave independently derives the appends from the certified
         // block body.
         let appends = InvertedIndex::block_appends(block);
@@ -275,10 +272,7 @@ impl IndexVerifier for InvertedVerifier {
         {
             return Err(CertError::BadIndexUpdate("keyword set mismatch"));
         }
-        update
-            .proof
-            .verify(prev_digest)
-            .map_err(CertError::Proof)?;
+        update.proof.verify(prev_digest).map_err(CertError::Proof)?;
         let mut new_values = Vec::with_capacity(appends.len());
         for ((keyword, prev_head), ids) in update.prev_heads.iter().zip(appends.values()) {
             let key = keyword_key(keyword);
@@ -440,7 +434,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, memo)| {
-                Transaction::sign(&kp, height * 100 + i as u64, "kvstore", memo.as_bytes().to_vec())
+                Transaction::sign(
+                    &kp,
+                    height * 100 + i as u64,
+                    "kvstore",
+                    memo.as_bytes().to_vec(),
+                )
             })
             .collect();
         Block {

@@ -33,7 +33,7 @@ pub mod history;
 pub mod inverted;
 pub mod sp;
 
-pub use aggregate::{AggregateIndex, AggregateVerifier, AggQueryProof};
+pub use aggregate::{AggQueryProof, AggregateIndex, AggregateVerifier};
 pub use error::QueryError;
 pub use history::{HistoryIndex, HistoryProof, HistoryVerifier};
 pub use inverted::{extract_keywords, InvertedIndex, InvertedVerifier, KeywordProof};

@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dcert_chain::{Block, ChainState, ChainError, ConsensusEngine, FullNode};
+use dcert_chain::{Block, ChainError, ChainState, ConsensusEngine, FullNode};
 use dcert_core::{Certificate, IndexInput, IndexVerifier};
 use dcert_primitives::hash::{Address, Hash};
 use dcert_vm::{Executor, StateKey};
@@ -125,13 +125,7 @@ impl ServiceProvider {
         engine: Arc<dyn ConsensusEngine>,
     ) -> Self {
         ServiceProvider {
-            node: FullNode::new(
-                genesis,
-                genesis_state,
-                executor,
-                engine,
-                Address::default(),
-            ),
+            node: FullNode::new(genesis, genesis_state, executor, engine, Address::default()),
             histories: BTreeMap::new(),
             inverteds: BTreeMap::new(),
             aggregates: BTreeMap::new(),
@@ -155,7 +149,8 @@ impl ServiceProvider {
         assert!(fresh, "duplicate index name {name}");
         match kind {
             IndexKind::History => {
-                self.histories.insert(name.to_owned(), HistoryIndex::new(name));
+                self.histories
+                    .insert(name.to_owned(), HistoryIndex::new(name));
             }
             IndexKind::Inverted => {
                 self.inverteds
@@ -272,6 +267,24 @@ impl ServiceProvider {
         assert_eq!(certs.len(), self.staged.len(), "certificate count mismatch");
         for ((name, digest), cert) in self.staged.drain(..).zip(certs) {
             self.certified.insert(name, (digest, Some(cert.clone())));
+        }
+    }
+
+    /// Marks the last staged updates as headed for certification without
+    /// waiting for the certificates themselves.
+    ///
+    /// In pipelined mode the issuer stage owns the `prev_cert` chain and
+    /// splices freshly issued certificates into each request, so the SP
+    /// only needs its digest bookkeeping advanced before staging the next
+    /// block. The certificates recorded here stay at their last
+    /// [`ServiceProvider::record_certs`] value (`None` if never recorded).
+    pub fn advance_staged(&mut self) {
+        for (name, digest) in self.staged.drain(..) {
+            let entry = self
+                .certified
+                .get_mut(&name)
+                .expect("registered index has bookkeeping");
+            entry.0 = digest;
         }
     }
 

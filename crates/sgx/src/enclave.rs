@@ -4,6 +4,7 @@ use std::time::{Duration, Instant};
 
 use dcert_primitives::hash::{hash_concat, Hash};
 use dcert_primitives::keys::{Keypair, PublicKey};
+use parking_lot::Mutex;
 use rand::rngs::OsRng;
 use rand::RngCore;
 
@@ -67,6 +68,14 @@ pub struct EnclaveStats {
     pub trusted_time: Duration,
 }
 
+/// Everything behind the trust boundary: the trusted program plus the
+/// boundary counters its ECalls update. One lock guards both so a
+/// concurrent caller can never observe a call without its accounting.
+struct Boundary<A> {
+    app: A,
+    stats: EnclaveStats,
+}
+
 /// A simulated SGX enclave hosting a [`TrustedApp`].
 ///
 /// On launch the "CPU" measures the program
@@ -74,15 +83,20 @@ pub struct EnclaveStats {
 /// attestation key; [`Enclave::quote`] signs
 /// (measurement ‖ report-data) with it, to be validated by the
 /// [`AttestationService`](crate::AttestationService).
+///
+/// The handle is shareable: [`Enclave::ecall`] takes `&self` and
+/// serializes callers through an internal lock, mirroring a real
+/// single-TCS enclave where hardware admits one logical ECall at a time.
+/// Wrap the enclave in an `Arc` to drive it from several threads (the
+/// certification pipeline does exactly this).
 pub struct Enclave<A: TrustedApp> {
-    app: A,
+    boundary: Mutex<Boundary<A>>,
     measurement: Hash,
     platform: Keypair,
     /// Raw platform secret (the simulated fuse key) for sealing-key
     /// derivation; never exposed.
     platform_secret: [u8; 32],
     cost: CostModel,
-    stats: EnclaveStats,
 }
 
 impl<A: TrustedApp> std::fmt::Debug for Enclave<A> {
@@ -90,7 +104,7 @@ impl<A: TrustedApp> std::fmt::Debug for Enclave<A> {
         f.debug_struct("Enclave")
             .field("measurement", &self.measurement)
             .field("platform", &self.platform.public())
-            .field("stats", &self.stats)
+            .field("stats", &self.boundary.lock().stats)
             .finish()
     }
 }
@@ -108,12 +122,14 @@ impl<A: TrustedApp> Enclave<A> {
     pub fn launch_with_platform_seed(app: A, cost: CostModel, seed: [u8; 32]) -> Self {
         let measurement = measure(app.code_identity());
         Enclave {
-            app,
+            boundary: Mutex::new(Boundary {
+                app,
+                stats: EnclaveStats::default(),
+            }),
             measurement,
             platform: Keypair::from_seed(seed),
             platform_secret: seed,
             cost,
-            stats: EnclaveStats::default(),
         }
     }
 
@@ -130,12 +146,12 @@ impl<A: TrustedApp> Enclave<A> {
 
     /// Boundary counters so far.
     pub fn stats(&self) -> EnclaveStats {
-        self.stats
+        self.boundary.lock().stats
     }
 
     /// Resets the boundary counters (between benchmark phases).
-    pub fn reset_stats(&mut self) {
-        self.stats = EnclaveStats::default();
+    pub fn reset_stats(&self) {
+        self.boundary.lock().stats = EnclaveStats::default();
     }
 
     /// The active cost model.
@@ -145,11 +161,16 @@ impl<A: TrustedApp> Enclave<A> {
 
     /// Dispatches one ECall: charges the inbound crossing, runs the trusted
     /// program, charges the outbound crossing, and returns the output.
-    pub fn ecall(&mut self, input: &[u8]) -> Vec<u8> {
+    ///
+    /// Concurrent callers serialize on the boundary lock — the simulated
+    /// crossing/slowdown costs are paid inside it, so throughput under
+    /// contention degrades exactly like a single-TCS enclave.
+    pub fn ecall(&self, input: &[u8]) -> Vec<u8> {
+        let mut boundary = self.boundary.lock();
         let in_cost = self.cost.crossing_cost(input.len());
         spin(in_cost);
         let started = Instant::now();
-        let output = self.app.call(input);
+        let output = boundary.app.call(input);
         let trusted = started.elapsed();
         // In-EPC execution slowdown (MEE on every cache-line fill).
         let slowdown = self.cost.slowdown_cost(trusted);
@@ -157,11 +178,11 @@ impl<A: TrustedApp> Enclave<A> {
         let out_cost = self.cost.crossing_cost(output.len());
         spin(out_cost);
 
-        self.stats.ecalls += 1;
-        self.stats.bytes_in += input.len() as u64;
-        self.stats.bytes_out += output.len() as u64;
-        self.stats.overhead += in_cost + slowdown + out_cost;
-        self.stats.trusted_time += trusted;
+        boundary.stats.ecalls += 1;
+        boundary.stats.bytes_in += input.len() as u64;
+        boundary.stats.bytes_out += output.len() as u64;
+        boundary.stats.overhead += in_cost + slowdown + out_cost;
+        boundary.stats.trusted_time += trusted;
         output
     }
 
@@ -180,7 +201,7 @@ impl<A: TrustedApp + Sealable> Enclave<A> {
         sealing::seal(
             &self.platform_secret,
             &self.measurement,
-            &self.app.export_state(),
+            &self.boundary.lock().app.export_state(),
         )
     }
 
@@ -213,6 +234,8 @@ pub fn measure(code_identity: &[u8]) -> Hash {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use std::thread;
 
     struct Secret {
         key: u8,
@@ -241,7 +264,13 @@ mod tests {
 
     #[test]
     fn ecall_round_trip_and_stats() {
-        let mut enclave = Enclave::launch(Secret { key: 0xff, calls: 0 }, CostModel::zero());
+        let enclave = Enclave::launch(
+            Secret {
+                key: 0xff,
+                calls: 0,
+            },
+            CostModel::zero(),
+        );
         let out = enclave.ecall(&[0x0f, 0xf0]);
         assert_eq!(out, vec![0xf0, 0x0f]);
         let stats = enclave.stats();
@@ -259,12 +288,15 @@ mod tests {
             paging_per_byte_ns: 0,
             in_enclave_slowdown_pct: 0,
         };
-        let mut enclave = Enclave::launch(Secret { key: 0, calls: 0 }, cost);
+        let enclave = Enclave::launch(Secret { key: 0, calls: 0 }, cost);
         let started = Instant::now();
         enclave.ecall(b"x");
         let elapsed = started.elapsed();
         // Two crossings at 0.2 ms each.
-        assert!(elapsed >= Duration::from_micros(400), "elapsed = {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_micros(400),
+            "elapsed = {elapsed:?}"
+        );
         assert!(enclave.stats().overhead >= Duration::from_micros(400));
     }
 
@@ -285,9 +317,42 @@ mod tests {
 
     #[test]
     fn reset_stats_zeroes_counters() {
-        let mut enclave = Enclave::launch(Secret { key: 1, calls: 0 }, CostModel::zero());
+        let enclave = Enclave::launch(Secret { key: 1, calls: 0 }, CostModel::zero());
         enclave.ecall(b"abc");
         enclave.reset_stats();
         assert_eq!(enclave.stats(), EnclaveStats::default());
+    }
+
+    #[test]
+    fn concurrent_ecalls_serialize_and_account_exactly() {
+        const THREADS: u64 = 8;
+        const CALLS_PER_THREAD: u64 = 32;
+        let enclave = Arc::new(Enclave::launch(
+            Secret {
+                key: 0x55,
+                calls: 0,
+            },
+            CostModel::zero(),
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let enclave = Arc::clone(&enclave);
+                thread::spawn(move || {
+                    for _ in 0..CALLS_PER_THREAD {
+                        let out = enclave.ecall(&[0x00, 0xff]);
+                        // Each call sees a consistent trusted program.
+                        assert_eq!(out, vec![0x55, 0xaa]);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = enclave.stats();
+        // No lost updates: every crossing is counted under the lock.
+        assert_eq!(stats.ecalls, THREADS * CALLS_PER_THREAD);
+        assert_eq!(stats.bytes_in, THREADS * CALLS_PER_THREAD * 2);
+        assert_eq!(stats.bytes_out, THREADS * CALLS_PER_THREAD * 2);
     }
 }

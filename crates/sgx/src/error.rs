@@ -33,7 +33,10 @@ impl fmt::Display for SgxError {
             SgxError::BadReport => write!(f, "attestation report signature invalid"),
             SgxError::BadSeal => write!(f, "sealed blob cannot be recovered here"),
             SgxError::EpcExceeded { needed, budget } => {
-                write!(f, "EPC budget exceeded: needed {needed} bytes, budget {budget}")
+                write!(
+                    f,
+                    "EPC budget exceeded: needed {needed} bytes, budget {budget}"
+                )
             }
         }
     }

@@ -37,7 +37,7 @@
 //! }
 //!
 //! let mut ias = AttestationService::with_seed([7; 32]);
-//! let mut enclave = Enclave::launch(Echo, CostModel::zero());
+//! let enclave = Enclave::launch(Echo, CostModel::zero());
 //! ias.register_platform(enclave.platform_key());
 //!
 //! let report = ias.attest(&enclave.quote(hash_bytes(b"pk_enc")))?;

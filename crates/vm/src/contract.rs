@@ -27,8 +27,12 @@ pub trait Contract: Send + Sync {
     ///
     /// Returning an error reverts the call: its buffered writes are
     /// discarded and the failure is recorded in the block execution.
-    fn execute(&self, ctx: &mut ExecCtx<'_>, sender: Address, payload: &[u8])
-        -> Result<(), VmError>;
+    fn execute(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        sender: Address,
+        payload: &[u8],
+    ) -> Result<(), VmError>;
 }
 
 /// A name → contract lookup table shared by the miner, full nodes, the CI,

@@ -186,7 +186,12 @@ impl BlockExecution {
     /// Every key the block touched (reads ∪ writes) — the key set Merkle
     /// proofs must cover.
     pub fn touched_keys(&self) -> Vec<StateKey> {
-        let mut keys: Vec<StateKey> = self.reads.keys().chain(self.writes.keys()).copied().collect();
+        let mut keys: Vec<StateKey> = self
+            .reads
+            .keys()
+            .chain(self.writes.keys())
+            .copied()
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         keys
@@ -240,15 +245,13 @@ impl Executor {
                     ctx.revert_call();
                     CallStatus::Reverted(VmError::ContractNotFound(call.contract.clone()))
                 }
-                Some(contract) => {
-                    match contract.execute(&mut ctx, call.sender, &call.payload) {
-                        Ok(()) => CallStatus::Ok,
-                        Err(err) => {
-                            ctx.revert_call();
-                            CallStatus::Reverted(err)
-                        }
+                Some(contract) => match contract.execute(&mut ctx, call.sender, &call.payload) {
+                    Ok(()) => CallStatus::Ok,
+                    Err(err) => {
+                        ctx.revert_call();
+                        CallStatus::Reverted(err)
                     }
-                }
+                },
             };
             statuses.push(status);
         }
@@ -302,7 +305,10 @@ mod tests {
     #[test]
     fn pre_block_state_is_read() {
         let mut state = InMemoryState::new();
-        state.set(StateKey::new("counter", b"value"), 41u64.to_be_bytes().to_vec());
+        state.set(
+            StateKey::new("counter", b"value"),
+            41u64.to_be_bytes().to_vec(),
+        );
         let exec = executor().execute_block(&state, &[bump(1)]);
         let key = StateKey::new("counter", b"value");
         assert_eq!(exec.reads[&key], Some(41u64.to_be_bytes().to_vec()));
@@ -313,7 +319,11 @@ mod tests {
     fn failed_call_reverts_its_writes_only() {
         let calls = vec![
             bump(1),
-            Call::new(Address::from_seed(9), "failing", b"write-then-fail".to_vec()),
+            Call::new(
+                Address::from_seed(9),
+                "failing",
+                b"write-then-fail".to_vec(),
+            ),
             bump(2),
         ];
         let exec = executor().execute_block(&InMemoryState::new(), &calls);
@@ -343,7 +353,10 @@ mod tests {
         // Execute against full state; then replay against just the read set
         // (what the enclave does) and compare executions.
         let mut state = InMemoryState::new();
-        state.set(StateKey::new("counter", b"value"), 7u64.to_be_bytes().to_vec());
+        state.set(
+            StateKey::new("counter", b"value"),
+            7u64.to_be_bytes().to_vec(),
+        );
         let calls = vec![bump(1), bump(2), bump(3)];
         let exec = executor().execute_block(&state, &calls);
 

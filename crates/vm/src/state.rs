@@ -167,10 +167,7 @@ impl ReadSetState {
 
 impl StateReader for ReadSetState {
     fn read(&self, key: &StateKey) -> Result<Option<Vec<u8>>, VmError> {
-        self.entries
-            .get(key)
-            .cloned()
-            .ok_or(VmError::ReadSetMiss)
+        self.entries.get(key).cloned().ok_or(VmError::ReadSetMiss)
     }
 }
 

@@ -54,8 +54,8 @@ impl Contract for CpuHeavy {
         _sender: Address,
         payload: &[u8],
     ) -> Result<(), VmError> {
-        let call = CpuHeavyCall::decode_all(payload)
-            .map_err(|_| VmError::BadPayload("cpuheavy call"))?;
+        let call =
+            CpuHeavyCall::decode_all(payload).map_err(|_| VmError::BadPayload("cpuheavy call"))?;
         if call.size > MAX_SIZE {
             return Err(VmError::Aborted("array too large"));
         }
@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn sorts_without_state_access() {
-        let payload = CpuHeavyCall { seed: 7, size: 4096 }.to_encoded_bytes();
+        let payload = CpuHeavyCall {
+            seed: 7,
+            size: 4096,
+        }
+        .to_encoded_bytes();
         let result = exec(payload);
         assert_eq!(result.committed(), 1);
         assert!(result.reads.is_empty());

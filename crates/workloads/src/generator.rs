@@ -235,9 +235,8 @@ mod tests {
             let mut gen = WorkloadGen::new(workload, 4, 7);
             let txs = gen.next_block(16);
             for tx in &txs {
-                tx.verify().unwrap_or_else(|e| {
-                    panic!("{}: invalid generated tx: {e}", workload.label())
-                });
+                tx.verify()
+                    .unwrap_or_else(|e| panic!("{}: invalid generated tx: {e}", workload.label()));
             }
             let calls: Vec<_> = txs.iter().map(|t| t.call.clone()).collect();
             let exec = executor.execute_block(&InMemoryState::new(), &calls);

@@ -132,7 +132,11 @@ mod tests {
         let calls = vec![Call::new(
             Address::from_seed(1),
             "ioheavy",
-            IoHeavyCall::WriteBatch { start: 0, count: 50 }.to_encoded_bytes(),
+            IoHeavyCall::WriteBatch {
+                start: 0,
+                count: 50,
+            }
+            .to_encoded_bytes(),
         )];
         let exec = executor().execute_block(&InMemoryState::new(), &calls);
         assert_eq!(exec.committed(), 1);
@@ -148,7 +152,11 @@ mod tests {
         let calls = vec![Call::new(
             Address::from_seed(1),
             "ioheavy",
-            IoHeavyCall::ReadBatch { start: 0, count: 20 }.to_encoded_bytes(),
+            IoHeavyCall::ReadBatch {
+                start: 0,
+                count: 20,
+            }
+            .to_encoded_bytes(),
         )];
         let exec = executor().execute_block(&state, &calls);
         assert_eq!(exec.committed(), 1);

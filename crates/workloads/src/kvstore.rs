@@ -139,7 +139,9 @@ mod tests {
     fn get_of_missing_key_reads_pre_state() {
         let exec = executor().execute_block(
             &InMemoryState::new(),
-            &[call(KvCall::Get { key: b"nope".to_vec() })],
+            &[call(KvCall::Get {
+                key: b"nope".to_vec(),
+            })],
         );
         assert_eq!(exec.committed(), 1);
         assert_eq!(exec.reads.len(), 1);

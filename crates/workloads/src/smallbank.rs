@@ -178,7 +178,11 @@ impl Contract for SmallBank {
         match call {
             BankCall::TransactSavings { customer, amount } => {
                 let balance = load(ctx, &savings_field(customer))?;
-                store(ctx, &savings_field(customer), balance.saturating_add(amount));
+                store(
+                    ctx,
+                    &savings_field(customer),
+                    balance.saturating_add(amount),
+                );
             }
             BankCall::DepositChecking { customer, amount } => {
                 let balance = load(ctx, &checking_field(customer))?;

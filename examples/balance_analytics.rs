@@ -97,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  min / max  {} / {}", agg.min, agg.max);
     println!("\nquery   {query_time:?}");
     println!("verify  {verify_time:?}  (against the enclave-certified digest)");
-    println!("proof   {} bytes — independent of the window size", proof.size_bytes());
+    println!(
+        "proof   {} bytes — independent of the window size",
+        proof.size_bytes()
+    );
 
     // Fraud demo: the provider understates the minimum balance.
     let mut doctored = agg;

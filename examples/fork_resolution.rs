@@ -24,25 +24,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ias = AttestationService::with_seed([42; 32]);
 
     // Two rival miners, each with their own CI, from the same genesis.
-    let mut make_side = |seed: u64| -> Result<(FullNode, CertificateIssuer), Box<dyn std::error::Error>> {
-        let miner = FullNode::new(
-            &genesis,
-            state.clone(),
-            executor.clone(),
-            engine.clone(),
-            Address::from_seed(seed),
-        );
-        let ci = CertificateIssuer::new(
-            &genesis,
-            state.clone(),
-            executor.clone(),
-            engine.clone(),
-            Vec::new(),
-            &mut ias,
-            CostModel::zero(),
-        )?;
-        Ok((miner, ci))
-    };
+    let mut make_side =
+        |seed: u64| -> Result<(FullNode, CertificateIssuer), Box<dyn std::error::Error>> {
+            let miner = FullNode::new(
+                &genesis,
+                state.clone(),
+                executor.clone(),
+                engine.clone(),
+                Address::from_seed(seed),
+            );
+            let ci = CertificateIssuer::new(
+                &genesis,
+                state.clone(),
+                executor.clone(),
+                engine.clone(),
+                Vec::new(),
+                &mut ias,
+                CostModel::zero(),
+            )?;
+            Ok((miner, ci))
+        };
     let (mut miner_a, mut ci_a) = make_side(0xA)?;
     let (mut miner_b, mut ci_b) = make_side(0xB)?;
 
@@ -69,20 +70,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fork-aware store view:");
     println!("  branch A tip height 2: {}", certified_a[1].0.hash());
     println!("  branch B tip height 3: {}", certified_b[2].0.hash());
-    println!("  canonical tip:         {} (height {})",
-        store.best_hash(), store.best_header().height);
+    println!(
+        "  canonical tip:         {} (height {})",
+        store.best_hash(),
+        store.best_header().height
+    );
     assert_eq!(store.best_hash(), certified_b[2].0.hash());
 
     // The superlight client first hears about branch A...
     let mut client = SuperlightClient::new(ias.public_key(), expected_measurement());
     let (a2, ca2) = &certified_a[1];
     client.validate_chain(&a2.header, ca2)?;
-    println!("\nclient adopted branch A at height {}", client.height().unwrap());
+    println!(
+        "\nclient adopted branch A at height {}",
+        client.height().unwrap()
+    );
 
     // ...then branch B's longer tip arrives: adopted.
     let (b3, cb3) = &certified_b[2];
     client.validate_chain(&b3.header, cb3)?;
-    println!("client switched to branch B at height {}", client.height().unwrap());
+    println!(
+        "client switched to branch B at height {}",
+        client.height().unwrap()
+    );
 
     // A replay of branch A's certified tip is refused (chain selection).
     match client.validate_chain(&a2.header, ca2) {

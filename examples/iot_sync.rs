@@ -65,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!("{:>8} | {:>22} | {:>22}", "height", "light client", "superlight client");
-    println!("{:>8} | {:>10} {:>11} | {:>10} {:>11}", "", "storage", "bootstrap", "storage", "bootstrap");
+    println!(
+        "{:>8} | {:>22} | {:>22}",
+        "height", "light client", "superlight client"
+    );
+    println!(
+        "{:>8} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "storage", "bootstrap", "storage", "bootstrap"
+    );
     println!("{}", "-".repeat(62));
     for &height in CHECKPOINTS {
         // Traditional light client: sync & validate all headers.

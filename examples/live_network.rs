@@ -1,10 +1,12 @@
 //! The full Fig. 2 workflow, live: miner, Certificate Issuer, and
 //! superlight client running as concurrent actors over a gossip network.
 //!
-//! The miner publishes blocks; the CI (with its simulated SGX enclave)
-//! certifies each and broadcasts the certificate; the superlight client
-//! follows the chain purely from the certificate stream — never seeing a
-//! block body.
+//! The miner publishes blocks; the CI feeds them into its pipelined
+//! certification engine ([`CertPipeline`]) — untrusted preparer workers
+//! build proofs in parallel while the simulated SGX enclave signs in
+//! chain order — and each certificate is broadcast as soon as it is
+//! issued; the superlight client follows the chain purely from the
+//! certificate stream, never seeing a block body.
 //!
 //! Run with: `cargo run --release --example live_network`
 
@@ -13,7 +15,8 @@ use std::thread;
 
 use dcert::chain::{FullNode, GenesisBuilder, ProofOfWork};
 use dcert::core::{
-    expected_measurement, CertificateIssuer, Gossip, NetMessage, SuperlightClient,
+    expected_measurement, CertJob, CertPipeline, CertificateIssuer, Gossip, NetMessage,
+    PipelineConfig, SuperlightClient,
 };
 use dcert::primitives::hash::Address;
 use dcert::sgx::{AttestationService, CostModel};
@@ -35,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Address::from_seed(1),
     );
     let mut ias = AttestationService::with_seed([42; 32]);
-    let mut ci = CertificateIssuer::new(
+    let ci = CertificateIssuer::new(
         &genesis,
         state,
         executor,
@@ -62,28 +65,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         miner_bus.publish(NetMessage::Shutdown);
     });
 
-    // Certificate Issuer: enclave-backed certification loop.
+    // Certificate Issuer: blocks flow into the pipelined engine, whose
+    // publisher stage broadcasts each certificate the moment the enclave
+    // signs it. `submit` blocks when the queue is full — backpressure,
+    // not unbounded buffering, absorbs a fast miner.
     let ci_bus = bus.clone();
     let ci_thread = thread::spawn(move || {
+        let pipeline = CertPipeline::spawn(ci, PipelineConfig::default(), ci_bus.clone());
         for msg in ci_rx {
             match msg {
                 NetMessage::Block(block) => {
-                    let header = block.header.clone();
-                    let (cert, breakdown) = ci.certify_block(&block).expect("certifies");
-                    println!(
-                        "[  CI  ] block {:>3} certified in {:>8.2?}",
-                        header.height,
-                        breakdown.total()
-                    );
-                    ci_bus.publish(NetMessage::BlockCert { header, cert });
+                    let height = block.header.height;
+                    pipeline.submit(CertJob::Block(block)).expect("accepts");
+                    println!("[  CI  ] block {height:>3} queued");
                 }
-                NetMessage::Shutdown => {
-                    ci_bus.publish(NetMessage::Shutdown);
-                    break;
-                }
+                NetMessage::Shutdown => break,
                 _ => {}
             }
         }
+        // Drain every in-flight job before passing the marker on.
+        let (_ci, report) = pipeline.shutdown();
+        println!(
+            "[  CI  ] pipeline drained: {} jobs, {} certificates, {} errors, \
+             {:>8.2?} total construction",
+            report.jobs,
+            report.block_certs + report.index_certs,
+            report.errors.len(),
+            report.total_construction()
+        );
+        ci_bus.publish(NetMessage::Shutdown);
     });
 
     // Superlight client: follows the certificate stream only.

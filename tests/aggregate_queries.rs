@@ -38,7 +38,10 @@ fn run(world: &mut World, sp: &mut dcert::query::ServiceProvider, blocks: u64) -
         let inputs = sp.stage_block(&block).unwrap();
         let (block_cert, idx_certs, _) = world.ci.certify_hierarchical(&block, &inputs).unwrap();
         sp.record_certs(&idx_certs);
-        world.client.validate_chain(&block.header, &block_cert).unwrap();
+        world
+            .client
+            .validate_chain(&block.header, &block_cert)
+            .unwrap();
         for (cert, input) in idx_certs.iter().zip(&inputs) {
             world
                 .client

@@ -13,7 +13,12 @@ use dcert::workloads::{Workload, WorkloadGen};
 
 /// Runs a chain to height 5, returning the world plus the checkpoint
 /// block/cert and the CI's state snapshot.
-fn certified_prefix() -> (World, dcert::chain::Block, dcert::core::Certificate, ChainState) {
+fn certified_prefix() -> (
+    World,
+    dcert::chain::Block,
+    dcert::core::Certificate,
+    ChainState,
+) {
     let mut world = World::new();
     let mut gen = WorkloadGen::new(Workload::KvStore { keyspace: 32 }, 8, 5);
     let mut latest = None;
@@ -64,7 +69,10 @@ fn tampered_snapshot_is_rejected() {
     let (mut world, checkpoint, cert, mut snapshot) = certified_prefix();
     // Flip one state entry: the snapshot no longer matches the certified
     // state root.
-    snapshot.set(StateKey::new("kvstore", b"injected"), b"stolen funds".to_vec());
+    snapshot.set(
+        StateKey::new("kvstore", b"injected"),
+        b"stolen funds".to_vec(),
+    );
     let result = CertificateIssuer::new_from_checkpoint(
         world.genesis.hash(),
         &checkpoint.header,

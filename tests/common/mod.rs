@@ -11,11 +11,22 @@ use dcert::query::sp::IndexKind;
 use dcert::query::ServiceProvider;
 use dcert::sgx::{AttestationService, CostModel};
 use dcert::vm::Executor;
-use dcert::workloads::blockbench_registry;
+use dcert::workloads::{blockbench_registry, Workload, WorkloadGen};
 
 /// Difficulty used by integration tests (fast to mine, non-trivial to
 /// fake).
 pub const TEST_POW_BITS: u8 = 4;
+
+/// Platform seed for [`World::deterministic`] worlds: CIs booted with it
+/// share a platform identity (and therefore attestation quotes).
+#[allow(dead_code)] // not every test binary uses the deterministic world
+pub const TEST_PLATFORM_SEED: [u8; 32] = [0xC1; 32];
+
+/// Enclave signing-key seed for [`World::deterministic`] worlds: ed25519
+/// signing is deterministic, so CIs booted with it issue byte-identical
+/// certificates — what the pipeline-equivalence suite compares.
+#[allow(dead_code)]
+pub const TEST_SIGNING_SEED: [u8; 32] = [0x51; 32];
 
 /// Everything a test needs to drive the full DCert pipeline.
 #[allow(dead_code)] // different integration tests use different fields
@@ -39,6 +50,24 @@ impl World {
 
     /// Builds a world plus a Service Provider with the given indexes.
     pub fn with_setup(indexes: Vec<(IndexKind, &str)>) -> (Self, ServiceProvider) {
+        Self::build(indexes, None)
+    }
+
+    /// Builds a fully deterministic world: fixed genesis, fixed IAS seed,
+    /// and a CI with pinned platform **and** enclave-signing seeds. Two
+    /// worlds built by this constructor produce byte-identical
+    /// certificates for the same blocks; tests assert on counts, bytes,
+    /// and digests — never wall-clock (the enclave runs
+    /// [`CostModel::zero`]).
+    #[allow(dead_code)]
+    pub fn deterministic(indexes: Vec<(IndexKind, &str)>) -> (Self, ServiceProvider) {
+        Self::build(indexes, Some((TEST_PLATFORM_SEED, TEST_SIGNING_SEED)))
+    }
+
+    fn build(
+        indexes: Vec<(IndexKind, &str)>,
+        seeds: Option<([u8; 32], [u8; 32])>,
+    ) -> (Self, ServiceProvider) {
         let executor = Executor::new(Arc::new(blockbench_registry()));
         let engine: Arc<dyn ConsensusEngine> = Arc::new(ProofOfWork::new(TEST_POW_BITS));
         let (genesis, genesis_state) = GenesisBuilder::new().timestamp(1_700_000_000).build();
@@ -62,15 +91,28 @@ impl World {
         }
 
         let mut ias = AttestationService::with_seed([0xA5; 32]);
-        let ci = CertificateIssuer::new(
-            &genesis,
-            genesis_state.clone(),
-            executor.clone(),
-            engine.clone(),
-            sp.verifiers(),
-            &mut ias,
-            CostModel::zero(),
-        )
+        let ci = match seeds {
+            Some((platform_seed, signing_seed)) => CertificateIssuer::new_deterministic(
+                platform_seed,
+                signing_seed,
+                &genesis,
+                genesis_state.clone(),
+                executor.clone(),
+                engine.clone(),
+                sp.verifiers(),
+                &mut ias,
+                CostModel::zero(),
+            ),
+            None => CertificateIssuer::new(
+                &genesis,
+                genesis_state.clone(),
+                executor.clone(),
+                engine.clone(),
+                sp.verifiers(),
+                &mut ias,
+                CostModel::zero(),
+            ),
+        }
         .expect("CI boots");
 
         let client = SuperlightClient::new(ias.public_key(), expected_measurement());
@@ -87,5 +129,25 @@ impl World {
             },
             sp,
         )
+    }
+
+    /// Mines `count` blocks of `workload` with `txs` transactions each on
+    /// this world's miner (heights double as timestamps, keeping the
+    /// chain fully seed-determined).
+    #[allow(dead_code)]
+    pub fn mine_blocks(
+        &mut self,
+        workload: Workload,
+        count: usize,
+        txs: usize,
+        seed: u64,
+    ) -> Vec<Block> {
+        let mut gen = WorkloadGen::new(workload, 8, seed);
+        (0..count)
+            .map(|_| {
+                let height = self.miner.height() + 1;
+                self.miner.mine(gen.next_block(txs), height).expect("mines")
+            })
+            .collect()
     }
 }

@@ -58,7 +58,9 @@ fn superlight_storage_is_constant_while_light_client_grows() {
     for height in 1..=20u64 {
         let block = world.miner.mine(gen.next_block(1), height).unwrap();
         let (cert, _) = world.ci.certify_block(&block).unwrap();
-        light.sync(block.header.clone(), world.engine.as_ref()).unwrap();
+        light
+            .sync(block.header.clone(), world.engine.as_ref())
+            .unwrap();
         world.client.validate_chain(&block.header, &cert).unwrap();
         client_storage_samples.push(world.client.storage_bytes());
     }

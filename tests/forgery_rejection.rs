@@ -52,7 +52,11 @@ fn program_and_input() -> (CertProgram, BlockInput) {
         prev_header: genesis.header.clone(),
         prev_cert: None,
         block,
-        reads: execution.reads.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        reads: execution
+            .reads
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect(),
         state_proof,
     };
 
@@ -245,10 +249,8 @@ fn client_rejects_cert_from_unexpected_program() {
     let (cert, _) = world.ci.certify_block(&block).unwrap();
 
     // A client pinning a *different* program measurement must reject.
-    let mut paranoid = SuperlightClient::new(
-        world.ias.public_key(),
-        hash_bytes(b"some-other-program"),
-    );
+    let mut paranoid =
+        SuperlightClient::new(world.ias.public_key(), hash_bytes(b"some-other-program"));
     assert_eq!(
         paranoid.validate_chain(&block.header, &cert),
         Err(CertError::WrongMeasurement)

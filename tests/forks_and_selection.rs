@@ -4,7 +4,6 @@
 
 mod common;
 
-
 use common::World;
 use dcert::chain::{ChainStore, FullNode};
 use dcert::primitives::hash::Address;

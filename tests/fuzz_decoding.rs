@@ -147,7 +147,12 @@ fn empty_input_is_rejected_by_every_decoder() {
 
 #[test]
 fn truncated_valid_encodings_fail_cleanly() {
-    let tx = Transaction::sign(&Keypair::from_seed([9; 32]), 7, "kvstore", b"payload".to_vec());
+    let tx = Transaction::sign(
+        &Keypair::from_seed([9; 32]),
+        7,
+        "kvstore",
+        b"payload".to_vec(),
+    );
     let bytes = tx.to_encoded_bytes();
     for cut in 0..bytes.len() {
         assert!(

@@ -15,8 +15,10 @@ fn kv_gen() -> WorkloadGen {
 
 #[test]
 fn augmented_scheme_certifies_multi_block_chain() {
-    let (mut world, mut sp) =
-        World::with_setup(vec![(IndexKind::History, "history"), (IndexKind::Inverted, "inverted")]);
+    let (mut world, mut sp) = World::with_setup(vec![
+        (IndexKind::History, "history"),
+        (IndexKind::Inverted, "inverted"),
+    ]);
     let mut gen = kv_gen();
     for height in 1..=6u64 {
         let block = world.miner.mine(gen.next_block(4), height).unwrap();
@@ -32,8 +34,10 @@ fn augmented_scheme_certifies_multi_block_chain() {
 
 #[test]
 fn hierarchical_scheme_certifies_multi_block_chain() {
-    let (mut world, mut sp) =
-        World::with_setup(vec![(IndexKind::History, "history"), (IndexKind::Inverted, "inverted")]);
+    let (mut world, mut sp) = World::with_setup(vec![
+        (IndexKind::History, "history"),
+        (IndexKind::Inverted, "inverted"),
+    ]);
     let mut gen = kv_gen();
     let mut last = None;
     for height in 1..=6u64 {
@@ -49,7 +53,10 @@ fn hierarchical_scheme_certifies_multi_block_chain() {
     }
     // The superlight client adopts the chain and both indexes.
     let (block, block_cert, idx_certs, inputs) = last.unwrap();
-    world.client.validate_chain(&block.header, &block_cert).unwrap();
+    world
+        .client
+        .validate_chain(&block.header, &block_cert)
+        .unwrap();
     for (cert, input) in idx_certs.iter().zip(&inputs) {
         world
             .client

@@ -1,0 +1,644 @@
+//! Property-based evidence that the pipelined certification engine is
+//! observationally equivalent to the sequential [`CertificateIssuer`]:
+//! byte-identical certificates, in the same chain order, for plain,
+//! batched, augmented, and hierarchical jobs — across worker counts and
+//! queue depths — plus deterministic tests for orderly shutdown.
+//!
+//! Two fully deterministic worlds ([`World::deterministic`]) share every
+//! seed (genesis, IAS, platform, enclave signing key), so the sequential
+//! arm and the pipelined arm *must* produce the same bytes if the engine
+//! is faithful. All assertions are on counts, bytes, and digests — never
+//! wall-clock (the enclave runs `CostModel::zero`).
+//!
+//! One stream certifies with one chain scheme: plain/batch jobs share the
+//! recursive block-certificate chain, while Algorithm 4 (augmented)
+//! replaces it and Algorithm 5 (hierarchical) adds per-index chains that
+//! must be gap-free (`idx_sig_gen` requires the previous index
+//! certificate to cover exactly the previous header). Schemes therefore
+//! mix across proptest cases, and plain/batch jobs mix within a stream —
+//! the same constraint the sequential issuer has.
+
+mod common;
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+
+use common::World;
+use dcert::chain::{Block, BlockHeader};
+use dcert::core::{
+    CertError, CertJob, CertPipeline, Certificate, CertificateIssuer, Gossip, NetMessage,
+    PipelineConfig, PipelineReport, SuperlightClient,
+};
+use dcert::primitives::codec::Encode;
+use dcert::primitives::hash::Hash;
+use dcert::primitives::keys::PublicKey;
+use dcert::query::sp::IndexKind;
+use dcert::query::ServiceProvider;
+use dcert::workloads::Workload;
+
+// --- the observable stream --------------------------------------------------
+
+/// One broadcast certificate, as a superlight client would observe it.
+/// Comparing these (the certificate down to its encoded bytes) across the
+/// two arms is the equivalence oracle.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    Block {
+        header: BlockHeader,
+        cert: Certificate,
+    },
+    Index {
+        header: BlockHeader,
+        name: String,
+        digest: Hash,
+        cert: Certificate,
+    },
+}
+
+impl Event {
+    fn cert(&self) -> &Certificate {
+        match self {
+            Event::Block { cert, .. } | Event::Index { cert, .. } => cert,
+        }
+    }
+}
+
+// --- certification plans ----------------------------------------------------
+
+/// How a mined chain is carved into certification jobs.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Plain blocks and coalesced batches, interleaved freely (both feed
+    /// the same recursive block-certificate chain).
+    PlainMix(Vec<BatchShape>),
+    /// Algorithm 4 on every block, for the given indexes.
+    Augmented(Vec<(IndexKind, &'static str)>, usize),
+    /// Algorithm 5 on every block, for the given indexes.
+    Hierarchical(Vec<(IndexKind, &'static str)>, usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BatchShape {
+    Single,
+    Batch(usize),
+}
+
+impl Plan {
+    fn indexes(&self) -> Vec<(IndexKind, &'static str)> {
+        match self {
+            Plan::PlainMix(_) => Vec::new(),
+            Plan::Augmented(indexes, _) | Plan::Hierarchical(indexes, _) => indexes.clone(),
+        }
+    }
+
+    fn block_count(&self) -> usize {
+        match self {
+            Plan::PlainMix(shapes) => shapes
+                .iter()
+                .map(|s| match s {
+                    BatchShape::Single => 1,
+                    BatchShape::Batch(len) => *len,
+                })
+                .sum(),
+            Plan::Augmented(_, blocks) | Plan::Hierarchical(_, blocks) => *blocks,
+        }
+    }
+}
+
+// --- the two arms -----------------------------------------------------------
+
+/// Drives the sequential issuer over the plan, returning the certificate
+/// stream it would broadcast.
+fn run_sequential(
+    ci: &mut CertificateIssuer,
+    sp: &mut ServiceProvider,
+    plan: &Plan,
+    blocks: &[Block],
+) -> Vec<Event> {
+    let mut events = Vec::new();
+    match plan {
+        Plan::PlainMix(shapes) => {
+            let mut cursor = blocks.iter();
+            for shape in shapes {
+                match shape {
+                    BatchShape::Single => {
+                        let block = cursor.next().expect("plan covers the chain");
+                        let (cert, _) = ci.certify_block(block).expect("block certifies");
+                        events.push(Event::Block {
+                            header: block.header.clone(),
+                            cert,
+                        });
+                    }
+                    BatchShape::Batch(len) => {
+                        let chunk: Vec<Block> = cursor.by_ref().take(*len).cloned().collect();
+                        let (cert, _) = ci.certify_batch(&chunk).expect("batch certifies");
+                        events.push(Event::Block {
+                            header: chunk.last().expect("non-empty batch").header.clone(),
+                            cert,
+                        });
+                    }
+                }
+            }
+        }
+        Plan::Augmented(..) => {
+            for block in blocks {
+                let inputs = sp.stage_block(block).expect("sp stages");
+                let (certs, _) = ci
+                    .certify_augmented(block, &inputs)
+                    .expect("augmented certifies");
+                sp.record_certs(&certs);
+                for (input, cert) in inputs.iter().zip(certs) {
+                    events.push(Event::Index {
+                        header: block.header.clone(),
+                        name: input.index_type.clone(),
+                        digest: input.new_digest,
+                        cert,
+                    });
+                }
+            }
+        }
+        Plan::Hierarchical(..) => {
+            for block in blocks {
+                let inputs = sp.stage_block(block).expect("sp stages");
+                let (block_cert, index_certs, _) = ci
+                    .certify_hierarchical(block, &inputs)
+                    .expect("hierarchical certifies");
+                sp.record_certs(&index_certs);
+                events.push(Event::Block {
+                    header: block.header.clone(),
+                    cert: block_cert,
+                });
+                for (input, cert) in inputs.iter().zip(index_certs) {
+                    events.push(Event::Index {
+                        header: block.header.clone(),
+                        name: input.index_type.clone(),
+                        digest: input.new_digest,
+                        cert,
+                    });
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Materialises the plan into pipeline jobs. Indexed jobs carry the SP's
+/// staged inputs; their `prev_cert` fields are left for the issuer stage
+/// to splice (the certificates do not exist yet at submission time), so
+/// the SP only advances its digest bookkeeping.
+fn build_jobs(sp: &mut ServiceProvider, plan: &Plan, blocks: &[Block]) -> Vec<CertJob> {
+    match plan {
+        Plan::PlainMix(shapes) => {
+            let mut cursor = blocks.iter();
+            shapes
+                .iter()
+                .map(|shape| match shape {
+                    BatchShape::Single => {
+                        CertJob::Block(cursor.next().expect("plan covers the chain").clone())
+                    }
+                    BatchShape::Batch(len) => {
+                        CertJob::Batch(cursor.by_ref().take(*len).cloned().collect())
+                    }
+                })
+                .collect()
+        }
+        Plan::Augmented(..) => blocks
+            .iter()
+            .map(|block| {
+                let indexes = sp.stage_block(block).expect("sp stages");
+                sp.advance_staged();
+                CertJob::Augmented {
+                    block: block.clone(),
+                    indexes,
+                }
+            })
+            .collect(),
+        Plan::Hierarchical(..) => blocks
+            .iter()
+            .map(|block| {
+                let indexes = sp.stage_block(block).expect("sp stages");
+                sp.advance_staged();
+                CertJob::Hierarchical {
+                    block: block.clone(),
+                    indexes,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Runs the jobs through a pipeline and collects the broadcast stream.
+fn run_pipeline(
+    ci: CertificateIssuer,
+    jobs: Vec<CertJob>,
+    preparers: usize,
+    queue_depth: usize,
+) -> (Vec<Event>, CertificateIssuer, PipelineReport) {
+    let gossip = Arc::new(Gossip::new());
+    let feed = gossip.join();
+    let pipeline = CertPipeline::spawn(
+        ci,
+        PipelineConfig {
+            preparers,
+            queue_depth,
+        },
+        gossip,
+    );
+    for job in jobs {
+        pipeline.submit(job).expect("pipeline accepts jobs");
+    }
+    let (ci, report) = pipeline.shutdown();
+    let mut events = Vec::new();
+    while let Ok(message) = feed.try_recv() {
+        match message {
+            NetMessage::BlockCert { header, cert } => events.push(Event::Block { header, cert }),
+            NetMessage::IndexCert {
+                header,
+                index,
+                digest,
+                cert,
+            } => events.push(Event::Index {
+                header,
+                name: index,
+                digest,
+                cert,
+            }),
+            _ => {}
+        }
+    }
+    (events, ci, report)
+}
+
+/// Feeds a certificate stream to a fresh superlight client and returns
+/// it. Index certificates beyond the first per height are digest updates
+/// the client has already adopted the header for, so they are validated
+/// only through the first one (`validate_chain_with_index`).
+fn replay(events: &[Event], ias_key: PublicKey, measurement: Hash) -> SuperlightClient {
+    let mut client = SuperlightClient::new(ias_key, measurement);
+    let mut adopted = None;
+    for event in events {
+        match event {
+            Event::Block { header, cert } => {
+                client.validate_chain(header, cert).expect("client adopts");
+                adopted = Some(header.height);
+            }
+            Event::Index {
+                header,
+                name,
+                digest,
+                cert,
+            } => {
+                if adopted != Some(header.height) {
+                    client
+                        .validate_chain_with_index(header, name, *digest, cert)
+                        .expect("client adopts via index");
+                    adopted = Some(header.height);
+                }
+            }
+        }
+    }
+    client
+}
+
+/// The full oracle: mine one chain, certify it sequentially and through
+/// the pipeline in two seed-identical worlds, and require byte-identical
+/// observable outcomes.
+fn assert_equivalent(
+    plan: Plan,
+    workload: Workload,
+    txs: usize,
+    seed: u64,
+    preparers: usize,
+    queue_depth: usize,
+) {
+    let (mut seq_world, mut seq_sp) = World::deterministic(plan.indexes());
+    let blocks = seq_world.mine_blocks(workload, plan.block_count(), txs, seed);
+    let seq_events = run_sequential(&mut seq_world.ci, &mut seq_sp, &plan, &blocks);
+
+    let (pipe_world, mut pipe_sp) = World::deterministic(plan.indexes());
+    let jobs = build_jobs(&mut pipe_sp, &plan, &blocks);
+    let job_count = jobs.len() as u64;
+    let (pipe_events, pipe_ci, report) = run_pipeline(pipe_world.ci, jobs, preparers, queue_depth);
+
+    assert_eq!(report.errors, Vec::new(), "no job may fail");
+    assert_eq!(report.jobs, job_count);
+    assert_eq!(
+        report.block_certs + report.index_certs,
+        pipe_events.len() as u64
+    );
+
+    // Same certificates, same bytes, same chain order.
+    assert_eq!(seq_events, pipe_events);
+    for (seq, pipe) in seq_events.iter().zip(&pipe_events) {
+        assert_eq!(
+            seq.cert().to_encoded_bytes(),
+            pipe.cert().to_encoded_bytes(),
+            "certificates must serialize identically"
+        );
+    }
+
+    // The reassembled CI stands where the sequential one does.
+    assert_eq!(seq_world.ci.node().tip(), pipe_ci.node().tip());
+    assert_eq!(
+        seq_world.ci.latest_block_cert(),
+        pipe_ci.latest_block_cert()
+    );
+
+    // A superlight client fed from either source adopts the same tip.
+    let ias_key = seq_world.ias.public_key();
+    let measurement = dcert::core::expected_measurement();
+    let seq_client = replay(&seq_events, ias_key, measurement);
+    let pipe_client = replay(&pipe_events, ias_key, measurement);
+    assert_eq!(seq_client.latest_header(), pipe_client.latest_header());
+    if !seq_events.is_empty() {
+        assert_eq!(
+            seq_client.latest_header().map(|h| h.height),
+            Some(seq_world.ci.node().tip().height)
+        );
+    }
+}
+
+// --- strategies -------------------------------------------------------------
+
+fn plain_mix() -> impl Strategy<Value = Plan> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(BatchShape::Single),
+            (1usize..=3).prop_map(BatchShape::Batch),
+        ],
+        1..=4,
+    )
+    .prop_map(Plan::PlainMix)
+}
+
+fn index_set() -> impl Strategy<Value = Vec<(IndexKind, &'static str)>> {
+    prop_oneof![
+        Just(vec![(IndexKind::History, "history")]),
+        Just(vec![(IndexKind::Inverted, "keywords")]),
+        Just(vec![
+            (IndexKind::History, "history"),
+            (IndexKind::Inverted, "keywords"),
+        ]),
+        Just(vec![
+            (IndexKind::Aggregate, "volume"),
+            (IndexKind::History, "history"),
+            (IndexKind::Inverted, "keywords"),
+        ]),
+    ]
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        plain_mix(),
+        (index_set(), 1usize..=4).prop_map(|(idx, n)| Plan::Augmented(idx, n)),
+        (index_set(), 1usize..=4).prop_map(|(idx, n)| Plan::Hierarchical(idx, n)),
+    ]
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::DoNothing),
+        Just(Workload::KvStore { keyspace: 32 }),
+        Just(Workload::SmallBank { customers: 16 }),
+        Just(Workload::IoHeavy { batch: 4 }),
+    ]
+}
+
+proptest! {
+    // 96 cases ≈ 32 per chain scheme; the suite's floor is 64.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The pipeline is equivalent to the sequential issuer for every
+    /// chain scheme, workload, worker count, queue depth, and batch
+    /// shape.
+    #[test]
+    fn pipeline_matches_sequential(
+        plan in plan(),
+        workload in workload(),
+        txs in 1usize..=3,
+        seed in any::<u64>(),
+        preparers in 1usize..=4,
+        queue_depth in 1usize..=8,
+    ) {
+        assert_equivalent(plan, workload, txs, seed, preparers, queue_depth);
+    }
+}
+
+// --- orderly shutdown -------------------------------------------------------
+
+/// Shutdown drains every in-flight job, and the reassembled CI keeps
+/// certifying sequentially from where the pipeline stopped.
+#[test]
+fn shutdown_drains_in_flight_and_ci_resumes() {
+    let (mut world, _sp) = World::deterministic(Vec::new());
+    let mut blocks = world.mine_blocks(Workload::KvStore { keyspace: 32 }, 13, 2, 11);
+    // Block 13 is certified sequentially after the pipeline hands the
+    // CI back.
+    let next = blocks.pop().expect("mined");
+
+    let gossip = Arc::new(Gossip::new());
+    let feed = gossip.join();
+    let pipeline = CertPipeline::spawn(
+        world.ci,
+        PipelineConfig {
+            preparers: 4,
+            queue_depth: 2,
+        },
+        gossip,
+    );
+    for block in &blocks {
+        pipeline
+            .submit(CertJob::Block(block.clone()))
+            .expect("accepts");
+    }
+    // Shutdown races the last submissions through the stages: nothing may
+    // be dropped.
+    let (mut ci, report) = pipeline.shutdown();
+
+    assert_eq!(report.jobs, 12);
+    assert_eq!(report.block_certs, 12);
+    assert_eq!(report.errors, Vec::new());
+    assert_eq!(ci.node().tip(), &blocks.last().expect("mined").header);
+
+    let mut heights = Vec::new();
+    while let Ok(message) = feed.try_recv() {
+        if let NetMessage::BlockCert { header, .. } = message {
+            heights.push(header.height);
+        }
+    }
+    assert_eq!(heights, (1..=12).collect::<Vec<u64>>());
+
+    // The CI is whole: sequential certification continues the chain.
+    let (cert, _) = ci.certify_block(&next).expect("sequential resume");
+    let mut client =
+        SuperlightClient::new(world.ias.public_key(), dcert::core::expected_measurement());
+    client
+        .validate_chain(&next.header, &cert)
+        .expect("resumed cert validates");
+}
+
+/// Dropping the pipeline without `shutdown` still drains: certificates
+/// reach the bus, only the reassembled CI and report are lost.
+#[test]
+fn drop_without_shutdown_still_drains() {
+    let (mut world, _sp) = World::deterministic(Vec::new());
+    let blocks = world.mine_blocks(Workload::DoNothing, 6, 1, 3);
+
+    let gossip = Arc::new(Gossip::new());
+    let feed = gossip.join();
+    let pipeline = CertPipeline::spawn(world.ci, PipelineConfig::default(), gossip);
+    for block in blocks {
+        pipeline.submit(CertJob::Block(block)).expect("accepts");
+    }
+    drop(pipeline);
+
+    let mut certified = 0;
+    while let Ok(message) = feed.try_recv() {
+        if matches!(message, NetMessage::BlockCert { .. }) {
+            certified += 1;
+        }
+    }
+    assert_eq!(certified, 6);
+}
+
+/// A job that breaks chain rules fails in place — it neither stalls the
+/// pipeline nor corrupts the sequencer's view for later valid jobs.
+#[test]
+fn bad_job_fails_without_stalling() {
+    let (mut world, _sp) = World::deterministic(Vec::new());
+    let blocks = world.mine_blocks(Workload::KvStore { keyspace: 32 }, 3, 2, 5);
+
+    let gossip = Arc::new(Gossip::new());
+    let feed = gossip.join();
+    let pipeline = CertPipeline::spawn(world.ci, PipelineConfig::default(), gossip);
+    // Deliver out of order: 1, 3, 2. Block 3 cannot link and must fail;
+    // block 2 still extends the (unmoved) tip and must succeed.
+    pipeline
+        .submit(CertJob::Block(blocks[0].clone()))
+        .expect("accepts");
+    pipeline
+        .submit(CertJob::Block(blocks[2].clone()))
+        .expect("accepts");
+    pipeline
+        .submit(CertJob::Block(blocks[1].clone()))
+        .expect("accepts");
+    let (ci, report) = pipeline.shutdown();
+
+    assert_eq!(report.jobs, 3);
+    assert_eq!(report.block_certs, 2);
+    assert_eq!(report.errors.len(), 1);
+    assert_eq!(report.errors[0].0, 1, "the out-of-order job is the failure");
+    assert!(matches!(report.errors[0].1, CertError::Chain(_)));
+    assert_eq!(ci.node().tip(), &blocks[1].header);
+
+    let mut heights = Vec::new();
+    while let Ok(message) = feed.try_recv() {
+        if let NetMessage::BlockCert { header, .. } = message {
+            heights.push(header.height);
+        }
+    }
+    assert_eq!(heights, vec![1, 2]);
+}
+
+/// The Fig. 2 actor loop: a miner flooding blocks then broadcasting
+/// `NetMessage::Shutdown` mid-stream. The CI actor stops accepting,
+/// drains its pipeline, republishes the shutdown marker, and the client
+/// still validates every certificate. No panics, no deadlocks, no lost
+/// work.
+#[test]
+fn shutdown_message_mid_stream_is_orderly() {
+    let (mut world, _sp) = World::deterministic(Vec::new());
+    let blocks = world.mine_blocks(Workload::SmallBank { customers: 16 }, 8, 2, 9);
+    let tip = blocks.last().expect("mined").header.clone();
+
+    let gossip = Arc::new(Gossip::new());
+    let ci_feed = gossip.join();
+    let client_feed = gossip.join();
+
+    let miner_bus = gossip.clone();
+    let miner = thread::spawn(move || {
+        for block in blocks {
+            miner_bus.publish(NetMessage::Block(block));
+        }
+        miner_bus.publish(NetMessage::Shutdown);
+    });
+
+    let ci_bus = gossip.clone();
+    let ci = world.ci;
+    let ci_actor = thread::spawn(move || {
+        let pipeline = CertPipeline::spawn(
+            ci,
+            PipelineConfig {
+                preparers: 4,
+                queue_depth: 2,
+            },
+            ci_bus.clone(),
+        );
+        for message in ci_feed {
+            match message {
+                NetMessage::Block(block) => {
+                    pipeline.submit(CertJob::Block(block)).expect("accepts");
+                }
+                NetMessage::Shutdown => break,
+                _ => {}
+            }
+        }
+        let (ci, report) = pipeline.shutdown();
+        ci_bus.publish(NetMessage::Shutdown);
+        (ci, report)
+    });
+
+    let mut client = world.client;
+    let client_actor = thread::spawn(move || {
+        let mut shutdowns = 0;
+        let mut certified = 0u64;
+        for message in client_feed {
+            match message {
+                NetMessage::BlockCert { header, cert } => {
+                    client
+                        .validate_chain(&header, &cert)
+                        .expect("client adopts");
+                    certified += 1;
+                }
+                NetMessage::Shutdown => {
+                    shutdowns += 1;
+                    if shutdowns == 2 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        (client, certified)
+    });
+
+    miner.join().expect("miner exits");
+    let (ci, report) = ci_actor.join().expect("CI actor exits");
+    let (client, certified) = client_actor.join().expect("client exits");
+
+    assert_eq!(report.jobs, 8);
+    assert_eq!(report.block_certs, 8);
+    assert_eq!(report.errors, Vec::new());
+    assert_eq!(certified, 8);
+    assert_eq!(ci.node().tip(), &tip);
+    assert_eq!(client.latest_header(), Some(&tip));
+}
+
+/// An idle pipeline shuts down cleanly and hands back an untouched CI.
+#[test]
+fn empty_pipeline_shutdown_is_clean() {
+    let (world, _sp) = World::deterministic(Vec::new());
+    let genesis_tip = world.ci.node().tip().clone();
+
+    let pipeline =
+        CertPipeline::spawn(world.ci, PipelineConfig::default(), Arc::new(Gossip::new()));
+    let (ci, report) = pipeline.shutdown();
+
+    assert_eq!(report.jobs, 0);
+    assert_eq!(report.block_certs, 0);
+    assert_eq!(report.index_certs, 0);
+    assert_eq!(report.errors, Vec::new());
+    assert_eq!(ci.node().tip(), &genesis_tip);
+}

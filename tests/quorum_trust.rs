@@ -3,7 +3,6 @@
 
 mod common;
 
-
 use common::World;
 use dcert::chain::FullNode;
 use dcert::core::{expected_measurement, CertError, CertificateIssuer, QuorumClient, TrustDomain};
@@ -135,10 +134,7 @@ fn mismatched_certificates_do_not_count_twice() {
     let b2 = world.miner.mine(Vec::new(), 2).unwrap();
     let _ = cert_b1;
     // Offer b2's header with b1's certificates: both domains reject.
-    let result = quorum.validate_chain(
-        &b2.header,
-        &[("intel-sgx".into(), cert_a.clone())],
-    );
+    let result = quorum.validate_chain(&b2.header, &[("intel-sgx".into(), cert_a.clone())]);
     assert!(matches!(result, Err(CertError::DigestMismatch)));
 }
 
@@ -178,4 +174,3 @@ fn zero_threshold_is_a_config_bug() {
     let (second_ias, _) = second_domain(&world);
     let _ = QuorumClient::new(domains(&world, &second_ias), 0);
 }
-

@@ -92,7 +92,11 @@ fn restart_preserves_pk_enc_and_the_chain_continues() {
         CostModel::zero(),
     )
     .unwrap();
-    assert_eq!(resumed.pk_enc(), original_pk, "sk_enc must survive the restart");
+    assert_eq!(
+        resumed.pk_enc(),
+        original_pk,
+        "sk_enc must survive the restart"
+    );
 
     // The resumed CI continues the chain and the client accepts without a
     // new key (its attestation cache still covers pk_enc).

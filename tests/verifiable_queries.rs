@@ -45,7 +45,10 @@ fn run_scenario(world: &mut World, sp: &mut ServiceProvider, blocks: u64) {
 
         // The client follows along (in reality it would only fetch the
         // latest certificate).
-        world.client.validate_chain(&block.header, &block_cert).unwrap();
+        world
+            .client
+            .validate_chain(&block.header, &block_cert)
+            .unwrap();
         for (cert, input) in idx_certs.iter().zip(&inputs) {
             world
                 .client
@@ -119,7 +122,15 @@ fn sp_cannot_serve_stale_history_snapshots() {
     run_scenario(&mut world, &mut sp, 3);
     let fresh_digest = world.client.index_digest("history").unwrap();
     assert!(
-        verify_history(&fresh_digest, &account_key(), 0, 100, &old_results, &old_proof).is_err(),
+        verify_history(
+            &fresh_digest,
+            &account_key(),
+            0,
+            100,
+            &old_results,
+            &old_proof
+        )
+        .is_err(),
         "stale snapshot must not verify against the fresh digest"
     );
 }
@@ -180,7 +191,11 @@ fn baseline_lineage_index_agrees_on_results() {
         let block = world.miner.mine(vec![tx], height).unwrap();
         // Maintain the baseline index from the same write sets.
         let execution = world.ci.node().execute(&block.txs);
-        let writes: Vec<_> = execution.writes.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let writes: Vec<_> = execution
+            .writes
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         lineage.apply_block(height, &writes);
         let inputs = sp.stage_block(&block).unwrap();
         let (certs, _) = world.ci.certify_augmented(&block, &inputs).unwrap();
