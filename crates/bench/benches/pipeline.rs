@@ -113,6 +113,7 @@ fn certify_pipelined(ci: CertificateIssuer, jobs: Vec<CertJob>) -> CertificateIs
         PipelineConfig {
             preparers: PREPARERS,
             queue_depth: 8,
+            ..PipelineConfig::default()
         },
         Arc::new(Gossip::new()),
     );

@@ -64,6 +64,21 @@ pub enum CertError {
         /// Height that was offered.
         offered: u64,
     },
+    /// The publisher could not confirm delivery of a certificate within
+    /// its retry budget; the message went to the dead-letter report.
+    PublishFailed {
+        /// Publish attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// The enclave refused to sign at or below a height it already
+    /// signed — the monotonicity guard that makes a restarted CI unable
+    /// to double-issue (sealed state carries the watermark).
+    HeightRegression {
+        /// Highest block height the enclave has signed.
+        last_signed: u64,
+        /// Height that was requested.
+        offered: u64,
+    },
 }
 
 impl fmt::Display for CertError {
@@ -102,6 +117,16 @@ impl fmt::Display for CertError {
             CertError::ChainSelection { current, offered } => write!(
                 f,
                 "chain selection violated: have height {current}, offered {offered}"
+            ),
+            CertError::PublishFailed { attempts } => {
+                write!(f, "publish unconfirmed after {attempts} attempts")
+            }
+            CertError::HeightRegression {
+                last_signed,
+                offered,
+            } => write!(
+                f,
+                "height regression: already signed {last_signed}, offered {offered}"
             ),
         }
     }

@@ -68,6 +68,7 @@ pub mod cert;
 pub mod ci;
 pub mod error;
 pub mod messages;
+pub mod netsim;
 pub mod network;
 pub mod pipeline;
 pub mod program;
@@ -79,9 +80,12 @@ pub use cert::Certificate;
 pub use ci::{CertBreakdown, CertificateIssuer};
 pub use error::CertError;
 pub use messages::{BatchLink, BlockInput, EcallRequest, EcallResponse, IdxRequest, IndexInput};
-pub use network::{Gossip, NetMessage};
-pub use pipeline::{CertJob, CertPipeline, PipelineConfig, PipelineReport};
+pub use netsim::{FaultConfig, NetStats, Partition, SimNet};
+pub use network::{CertArchive, Gossip, NetMessage, Transport};
+pub use pipeline::{
+    CertJob, CertPipeline, DeadLetter, PipelineConfig, PipelineReport, PublishPolicy,
+};
 pub use program::{expected_measurement, CertProgram, CODE_IDENTITY};
 pub use quorum::{QuorumClient, TrustDomain};
-pub use superlight::SuperlightClient;
+pub use superlight::{SuperlightClient, SyncOutcome};
 pub use verifier::IndexVerifier;

@@ -1,10 +1,17 @@
-//! The ECall boundary protocol.
+//! The ECall boundary protocol, plus the network wire format.
 //!
 //! Real SGX ECalls marshal opaque byte buffers; the simulated enclave does
 //! the same (and charges the cost model by byte), so every request and
 //! response here has a canonical binary encoding. The message sizes are the
 //! "data passed into the enclave" whose growth drives the enclave-overhead
 //! curves of Figures 8–9.
+//!
+//! [`NetMessage`](crate::network::NetMessage) gets its canonical encoding
+//! here too: a real deployment ships certificates as bytes, and the
+//! fault-injection layer ([`crate::netsim`]) corrupts traffic at exactly
+//! this byte level — a flipped bit either breaks the framing (the receiver
+//! drops the message as malformed) or yields a decodable-but-forged
+//! message that the client's certificate checks must catch.
 
 use dcert_chain::{Block, BlockHeader};
 use dcert_merkle::SmtProof;
@@ -279,6 +286,66 @@ impl Decode for EcallRequest {
     }
 }
 
+impl Encode for crate::network::NetMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use crate::network::NetMessage;
+        match self {
+            NetMessage::Block(block) => {
+                out.push(0);
+                block.encode(out);
+            }
+            NetMessage::BlockCert { header, cert } => {
+                out.push(1);
+                header.encode(out);
+                cert.encode(out);
+            }
+            NetMessage::IndexCert {
+                header,
+                index,
+                digest,
+                cert,
+            } => {
+                out.push(2);
+                header.encode(out);
+                index.encode(out);
+                digest.encode(out);
+                cert.encode(out);
+            }
+            NetMessage::CertRequest { from, to } => {
+                out.push(3);
+                from.encode(out);
+                to.encode(out);
+            }
+            NetMessage::Shutdown => out.push(4),
+        }
+    }
+}
+
+impl Decode for crate::network::NetMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        use crate::network::NetMessage;
+        match r.take_byte()? {
+            0 => Ok(NetMessage::Block(Block::decode(r)?)),
+            1 => Ok(NetMessage::BlockCert {
+                header: BlockHeader::decode(r)?,
+                cert: Certificate::decode(r)?,
+            }),
+            2 => Ok(NetMessage::IndexCert {
+                header: BlockHeader::decode(r)?,
+                index: String::decode(r)?,
+                digest: Hash::decode(r)?,
+                cert: Certificate::decode(r)?,
+            }),
+            3 => Ok(NetMessage::CertRequest {
+                from: u64::decode(r)?,
+                to: u64::decode(r)?,
+            }),
+            4 => Ok(NetMessage::Shutdown),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
 impl Encode for EcallResponse {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -371,5 +438,48 @@ mod tests {
     fn junk_is_rejected() {
         assert!(EcallRequest::decode_all(&[42]).is_err());
         assert!(EcallResponse::decode_all(&[42]).is_err());
+    }
+
+    #[test]
+    fn net_message_round_trips() {
+        use crate::network::NetMessage;
+        use dcert_primitives::keys::Keypair;
+
+        let kp = Keypair::from_seed([9; 32]);
+        let cert = Certificate {
+            pk_enc: kp.public(),
+            report: dcert_sgx::AttestationReport {
+                measurement: hash_bytes(b"m"),
+                report_data: hash_bytes(b"d"),
+                signature: kp.sign(b"r"),
+            },
+            digest: header().hash(),
+            signature: kp.sign(b"s"),
+        };
+        let messages = [
+            NetMessage::Block(Block {
+                header: header(),
+                txs: Vec::new(),
+            }),
+            NetMessage::BlockCert {
+                header: header(),
+                cert: cert.clone(),
+            },
+            NetMessage::IndexCert {
+                header: header(),
+                index: "history".into(),
+                digest: hash_bytes(b"idx"),
+                cert,
+            },
+            NetMessage::CertRequest { from: 3, to: 9 },
+            NetMessage::Shutdown,
+        ];
+        for message in messages {
+            assert_eq!(
+                NetMessage::decode_all(&message.to_encoded_bytes()).unwrap(),
+                message
+            );
+        }
+        assert!(NetMessage::decode_all(&[0xEE]).is_err());
     }
 }

@@ -12,6 +12,15 @@
 //! The bus makes no delivery-order promises beyond per-publisher FIFO,
 //! mirroring gossip semantics; consumers handle reordering (the
 //! superlight client's chain-selection rule already does).
+//!
+//! Every delivery fabric implements the [`Transport`] trait, so the
+//! certification pipeline's publisher stage can run over the lossless
+//! [`Gossip`] bus in production paths and over the fault-injecting
+//! [`SimNet`](crate::netsim::SimNet) in chaos tests without code changes.
+//! [`CertArchive`] wraps any transport with a retained certificate store
+//! so a CI can answer [`NetMessage::CertRequest`] resyncs.
+
+use std::collections::BTreeMap;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -22,7 +31,7 @@ use dcert_primitives::hash::Hash;
 use crate::cert::Certificate;
 
 /// A message on the gossip network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetMessage {
     /// A freshly mined block (miner → everyone).
     Block(Block),
@@ -45,8 +54,51 @@ pub enum NetMessage {
         /// Its certificate.
         cert: Certificate,
     },
+    /// A client that detected a certificate gap asks any CI (or archive)
+    /// to republish the certificates for heights in `from..=to`.
+    CertRequest {
+        /// First missed height.
+        from: u64,
+        /// Last missed height (inclusive).
+        to: u64,
+    },
     /// Orderly shutdown marker (simulation control, not a protocol item).
     Shutdown,
+}
+
+impl NetMessage {
+    /// The chain height this message is about, if any (certificates and
+    /// blocks carry one; control messages do not).
+    pub fn height(&self) -> Option<u64> {
+        match self {
+            NetMessage::Block(block) => Some(block.header.height),
+            NetMessage::BlockCert { header, .. } | NetMessage::IndexCert { header, .. } => {
+                Some(header.height)
+            }
+            NetMessage::CertRequest { .. } | NetMessage::Shutdown => None,
+        }
+    }
+}
+
+/// A delivery fabric for [`NetMessage`]s: the seam between the
+/// certification pipeline's publisher stage and whatever network carries
+/// its certificates.
+///
+/// Implementations: [`Gossip`] (lossless, ordered, in-process) and
+/// [`SimNet`](crate::netsim::SimNet) (seeded fault injection). The
+/// delivery count returned by [`Transport::publish`] is the publisher's
+/// ack signal — retry logic treats `0` (or fewer than its configured
+/// minimum) as a failed broadcast.
+pub trait Transport: Send + Sync {
+    /// Joins the network, returning this node's inbound message stream.
+    fn join(&self) -> Receiver<NetMessage>;
+
+    /// Broadcasts a message; returns the number of subscribers it was
+    /// delivered (or scheduled for delivery) to.
+    fn publish(&self, message: NetMessage) -> usize;
+
+    /// Number of subscribers believed live.
+    fn subscriber_count(&self) -> usize;
 }
 
 /// A broadcast gossip bus: every published message reaches every
@@ -77,16 +129,128 @@ impl Gossip {
         rx
     }
 
-    /// Broadcasts a message to every current subscriber. Disconnected
-    /// subscribers (dropped receivers) are pruned.
-    pub fn publish(&self, message: NetMessage) {
+    /// Broadcasts a message to every current subscriber, pruning
+    /// disconnected subscribers (dropped receivers) as it goes, and
+    /// returns how many live subscribers received it — the ack signal
+    /// publisher retry logic keys off.
+    pub fn publish(&self, message: NetMessage) -> usize {
         let mut subs = self.subscribers.lock();
         subs.retain(|tx| tx.send(message.clone()).is_ok());
+        subs.len()
     }
 
-    /// Number of live subscribers.
+    /// Number of live subscribers as of the last publish (senders cannot
+    /// observe a dropped receiver without sending, so subscribers that
+    /// disconnected since then are counted until the next publish prunes
+    /// them).
     pub fn subscriber_count(&self) -> usize {
         self.subscribers.lock().len()
+    }
+}
+
+impl Transport for Gossip {
+    fn join(&self) -> Receiver<NetMessage> {
+        Gossip::join(self)
+    }
+
+    fn publish(&self, message: NetMessage) -> usize {
+        Gossip::publish(self, message)
+    }
+
+    fn subscriber_count(&self) -> usize {
+        Gossip::subscriber_count(self)
+    }
+}
+
+/// A retained certificate store wrapped around a [`Transport`].
+///
+/// The pipeline's publisher broadcasts through the archive, which records
+/// every certificate by height before forwarding. A CI-side actor can then
+/// answer [`NetMessage::CertRequest`]s by calling
+/// [`CertArchive::republish`] — the resync path that lets clients recover
+/// from dropped or partitioned deliveries instead of silently staying
+/// behind.
+pub struct CertArchive<T: Transport + ?Sized> {
+    inner: std::sync::Arc<T>,
+    /// Certificates by height, in publish order within a height (a
+    /// hierarchical job publishes a block certificate then its index
+    /// certificates for the same height).
+    retained: Mutex<BTreeMap<u64, Vec<NetMessage>>>,
+}
+
+impl<T: Transport + ?Sized> CertArchive<T> {
+    /// Wraps `inner` with a retained store.
+    pub fn new(inner: std::sync::Arc<T>) -> Self {
+        CertArchive {
+            inner,
+            retained: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The highest height with a retained certificate.
+    pub fn tip_height(&self) -> Option<u64> {
+        self.retained.lock().keys().next_back().copied()
+    }
+
+    /// Number of retained certificate messages.
+    pub fn retained_len(&self) -> usize {
+        self.retained.lock().values().map(Vec::len).sum()
+    }
+
+    /// The retained certificate messages for heights in `from..=to`, in
+    /// height order.
+    pub fn messages_in(&self, from: u64, to: u64) -> Vec<NetMessage> {
+        self.retained
+            .lock()
+            .range(from..=to)
+            .flat_map(|(_, msgs)| msgs.iter().cloned())
+            .collect()
+    }
+
+    /// Re-broadcasts the retained certificates for `from..=to` through the
+    /// underlying transport (the resync answer to a
+    /// [`NetMessage::CertRequest`]). Returns the number of messages
+    /// republished.
+    pub fn republish(&self, from: u64, to: u64) -> usize {
+        let messages = self.messages_in(from, to);
+        let count = messages.len();
+        for message in messages {
+            self.inner.publish(message);
+        }
+        count
+    }
+
+    /// Drops retained certificates below `height` (bounded memory for
+    /// long-running CIs; clients further behind than the retention
+    /// horizon re-bootstrap from a checkpoint instead).
+    pub fn prune_below(&self, height: u64) {
+        let mut retained = self.retained.lock();
+        *retained = retained.split_off(&height);
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for CertArchive<T> {
+    fn join(&self) -> Receiver<NetMessage> {
+        self.inner.join()
+    }
+
+    fn publish(&self, message: NetMessage) -> usize {
+        if let (Some(height), NetMessage::BlockCert { .. } | NetMessage::IndexCert { .. }) =
+            (message.height(), &message)
+        {
+            let mut retained = self.retained.lock();
+            let entry = retained.entry(height).or_default();
+            // Retention is idempotent: the publisher's retry loop re-sends
+            // the same message, which must not inflate the archive.
+            if !entry.contains(&message) {
+                entry.push(message.clone());
+            }
+        }
+        self.inner.publish(message)
+    }
+
+    fn subscriber_count(&self) -> usize {
+        self.inner.subscriber_count()
     }
 }
 
@@ -95,6 +259,7 @@ mod tests {
     use super::*;
     use dcert_chain::consensus::ConsensusProof;
     use dcert_primitives::hash::Address;
+    use std::sync::Arc;
 
     fn header(height: u64) -> BlockHeader {
         BlockHeader {
@@ -141,14 +306,25 @@ mod tests {
     }
 
     #[test]
-    fn dropped_subscribers_are_pruned() {
+    fn dropped_subscribers_are_pruned_and_delivery_counted() {
         let bus = Gossip::new();
         let rx = bus.join();
         drop(rx);
         let _rx2 = bus.join();
         assert_eq!(bus.subscriber_count(), 2);
-        bus.publish(NetMessage::Shutdown);
+        // The dead subscriber is pruned and does not count as a delivery.
+        assert_eq!(bus.publish(NetMessage::Shutdown), 1);
         assert_eq!(bus.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn publish_to_empty_bus_reports_zero_deliveries() {
+        let bus = Gossip::new();
+        assert_eq!(bus.publish(NetMessage::Shutdown), 0);
+        let rx = bus.join();
+        drop(rx);
+        assert_eq!(bus.publish(NetMessage::Shutdown), 0);
+        assert_eq!(bus.subscriber_count(), 0);
     }
 
     #[test]
@@ -167,5 +343,50 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    fn dummy_cert(height: u64) -> Certificate {
+        use dcert_primitives::keys::Keypair;
+        let kp = Keypair::from_seed([height as u8; 32]);
+        Certificate {
+            pk_enc: kp.public(),
+            report: dcert_sgx::AttestationReport {
+                measurement: Hash::ZERO,
+                report_data: Hash::ZERO,
+                signature: kp.sign(b"r"),
+            },
+            digest: header(height).hash(),
+            signature: kp.sign(b"x"),
+        }
+    }
+
+    #[test]
+    fn archive_retains_and_republishes_certificates() {
+        let bus = Arc::new(Gossip::new());
+        let archive = CertArchive::new(bus.clone());
+        let rx = Transport::join(&archive);
+        for height in 1..=5u64 {
+            archive.publish(NetMessage::BlockCert {
+                header: header(height),
+                cert: dummy_cert(height),
+            });
+        }
+        // Control messages are forwarded but not retained.
+        archive.publish(NetMessage::Shutdown);
+        assert_eq!(archive.retained_len(), 5);
+        assert_eq!(archive.tip_height(), Some(5));
+        for _ in 0..6 {
+            rx.recv().unwrap();
+        }
+        // A resync re-serves exactly the requested range.
+        assert_eq!(archive.republish(2, 4), 3);
+        for height in 2..=4u64 {
+            match rx.recv().unwrap() {
+                NetMessage::BlockCert { header: h, .. } => assert_eq!(h.height, height),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        archive.prune_below(4);
+        assert_eq!(archive.messages_in(0, u64::MAX).len(), 2);
     }
 }

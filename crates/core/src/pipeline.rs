@@ -23,7 +23,11 @@
 //!    certificate has been issued — is spliced into the pre-encoded
 //!    request here.
 //! 4. **Publisher** (one thread): broadcasts certificates on the
-//!    [`Gossip`] bus in issuance order and accumulates the
+//!    [`Transport`] (a [`Gossip`](crate::network::Gossip) bus, or a
+//!    fault-injecting [`SimNet`](crate::netsim::SimNet)) in issuance
+//!    order, confirms delivery against the configured
+//!    [`PublishPolicy`] — retrying with exponential backoff and
+//!    dead-lettering what never confirms — and accumulates the
 //!    [`PipelineReport`].
 //!
 //! Compared to the sequential path, each block is executed once (the
@@ -41,6 +45,7 @@
 //! block.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -57,7 +62,7 @@ use crate::cert::Certificate;
 use crate::ci::{issue_encoded, CertBreakdown, CertificateIssuer, CiParts};
 use crate::error::CertError;
 use crate::messages::{BatchLink, IndexInput, ReadSet, WriteSet};
-use crate::network::{Gossip, NetMessage};
+use crate::network::{NetMessage, Transport};
 use crate::program::CertProgram;
 
 /// One unit of certification work, in submission order.
@@ -98,6 +103,8 @@ pub struct PipelineConfig {
     /// Capacity of each inter-stage channel; bounds in-flight jobs and
     /// therefore memory (each in-flight job pins a state snapshot).
     pub queue_depth: usize,
+    /// Delivery-confirmation policy for the publisher stage.
+    pub publish: PublishPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -105,8 +112,62 @@ impl Default for PipelineConfig {
         PipelineConfig {
             preparers: 4,
             queue_depth: 8,
+            publish: PublishPolicy::default(),
         }
     }
+}
+
+/// How hard the publisher stage works to confirm a broadcast.
+///
+/// [`Transport::publish`] acks with the number of deliveries it
+/// scheduled; a result below `min_acks` counts as a failed attempt and is
+/// retried with exponential backoff (`backoff`, doubled per attempt). A
+/// message still unconfirmed after `max_retries` retries goes to
+/// [`PipelineReport::dead_letters`] instead of wedging the pipeline.
+#[derive(Debug, Clone)]
+pub struct PublishPolicy {
+    /// Minimum deliveries for a publish to count as confirmed. The
+    /// default `0` accepts any outcome — fire-and-forget, the behavior
+    /// benches and single-process runs want (their bus may legitimately
+    /// have no subscribers).
+    pub min_acks: usize,
+    /// Retries after the initial attempt before dead-lettering.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for PublishPolicy {
+    fn default() -> Self {
+        PublishPolicy {
+            min_acks: 0,
+            max_retries: 5,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl PublishPolicy {
+    /// Requires at least `min_acks` confirmed deliveries per broadcast.
+    pub fn require_acks(min_acks: usize) -> Self {
+        PublishPolicy {
+            min_acks,
+            ..PublishPolicy::default()
+        }
+    }
+}
+
+/// A certificate broadcast the publisher could not confirm within its
+/// retry budget — reported, not lost: the operator (or a test harness)
+/// can republish it once the network heals.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Sequence number of the job that produced the message.
+    pub seq: u64,
+    /// Publish attempts made (initial try + retries).
+    pub attempts: u32,
+    /// The unconfirmed message itself.
+    pub message: NetMessage,
 }
 
 /// What the pipeline did, returned by [`CertPipeline::shutdown`].
@@ -122,6 +183,9 @@ pub struct PipelineReport {
     pub breakdowns: Vec<CertBreakdown>,
     /// Failed jobs as `(sequence number, error)`, in chain order.
     pub errors: Vec<(u64, CertError)>,
+    /// Broadcasts that never reached [`PublishPolicy::min_acks`]
+    /// deliveries, in issuance order.
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 impl PipelineReport {
@@ -271,17 +335,29 @@ pub struct CertPipeline {
     issuer: Option<JoinHandle<IssuerFinal>>,
     publisher: Option<JoinHandle<PipelineReport>>,
     node: Option<FullNode>,
+    /// Shared handle onto the enclave driving the issuer stage, so the
+    /// host can seal its state while the pipeline runs (crash drills,
+    /// periodic checkpointing).
+    enclave: Arc<Enclave<CertProgram>>,
+    /// Crash switch: when set, every stage abandons its in-flight work at
+    /// the next loop iteration instead of draining.
+    poison: Arc<AtomicBool>,
 }
 
 impl CertPipeline {
     /// Spawns the pipeline's stages around `ci`'s enclave and chain view.
-    /// Certificates are broadcast on `gossip` as they are issued.
-    pub fn spawn(ci: CertificateIssuer, config: PipelineConfig, gossip: Arc<Gossip>) -> Self {
+    /// Certificates are broadcast on `transport` as they are issued.
+    pub fn spawn(
+        ci: CertificateIssuer,
+        config: PipelineConfig,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
         let parts = ci.into_parts();
         let node = parts.node;
         let state = node.state().clone();
         let tip = node.tip().clone();
         let executor = node.executor().clone();
+        let poison = Arc::new(AtomicBool::new(false));
 
         let depth = config.queue_depth.max(1);
         let workers = config.preparers.max(1);
@@ -294,19 +370,28 @@ impl CertPipeline {
         let (publish_tx, publish_rx) = bounded::<JobOutcome>(depth);
 
         let fail_tx = issue_tx.clone();
+        let seq_poison = poison.clone();
         let sequencer = thread::Builder::new()
             .name("dcert-sequencer".into())
-            .spawn(move || sequencer_loop(submit_rx, prep_tx, fail_tx, state, tip, executor))
+            .spawn(move || {
+                sequencer_loop(
+                    submit_rx, prep_tx, fail_tx, state, tip, executor, seq_poison,
+                )
+            })
             .expect("spawn sequencer");
 
         let preparers = (0..workers)
             .map(|i| {
                 let rx = prep_rx.clone();
                 let tx = issue_tx.clone();
+                let prep_poison = poison.clone();
                 thread::Builder::new()
                     .name(format!("dcert-preparer-{i}"))
                     .spawn(move || {
                         for task in rx {
+                            if prep_poison.load(Ordering::SeqCst) {
+                                break;
+                            }
                             if tx.send(prepare(task)).is_err() {
                                 break;
                             }
@@ -321,9 +406,11 @@ impl CertPipeline {
         drop(issue_tx);
 
         let enclave = parts.enclave;
+        let enclave_handle = enclave.clone();
         let pk_enc = parts.pk_enc;
         let report = parts.report;
         let prev_block_cert = parts.prev_block_cert;
+        let issue_poison = poison.clone();
         let issuer = thread::Builder::new()
             .name("dcert-issuer".into())
             .spawn(move || {
@@ -334,13 +421,16 @@ impl CertPipeline {
                     pk_enc,
                     report,
                     prev_block_cert,
+                    issue_poison,
                 )
             })
             .expect("spawn issuer");
 
+        let policy = config.publish.clone();
+        let pub_poison = poison.clone();
         let publisher = thread::Builder::new()
             .name("dcert-publisher".into())
-            .spawn(move || publisher_loop(publish_rx, gossip))
+            .spawn(move || publisher_loop(publish_rx, transport, policy, pub_poison))
             .expect("spawn publisher");
 
         CertPipeline {
@@ -350,7 +440,32 @@ impl CertPipeline {
             issuer: Some(issuer),
             publisher: Some(publisher),
             node: Some(node),
+            enclave: enclave_handle,
+            poison,
         }
+    }
+
+    /// Simulates a CI process crash: every stage abandons its in-flight
+    /// work at the next iteration — queued jobs, prepared requests, and
+    /// issued-but-unpublished certificates are lost, exactly as a real
+    /// `kill -9` would lose them. Join the carcass with
+    /// [`CertPipeline::shutdown`] (whose returned CI and report reflect
+    /// only what survived) or just drop it.
+    ///
+    /// Recovery is what `tests/crash_recovery.rs` drills: reboot from a
+    /// sealed enclave key ([`CertPipeline::seal_enclave_key`]) plus the
+    /// last *published* certificate via
+    /// [`CertificateIssuer::resume_on_platform`].
+    pub fn kill(&self) {
+        self.poison.store(true, Ordering::SeqCst);
+    }
+
+    /// Seals the enclave's current state (signing key + monotonic height
+    /// watermark) to its platform, while the pipeline runs. ECalls
+    /// serialize inside the enclave, so the seal is a consistent point-in
+    /// -time snapshot between signatures.
+    pub fn seal_enclave_key(&self) -> dcert_sgx::SealedBlob {
+        self.enclave.seal_state()
     }
 
     /// Submits a job for certification. Blocks when the pipeline is at
@@ -448,9 +563,13 @@ fn sequencer_loop(
     mut state: ChainState,
     mut tip: BlockHeader,
     executor: Executor,
+    poison: Arc<AtomicBool>,
 ) {
     let mut seq = 0u64;
     for job in jobs {
+        if poison.load(Ordering::SeqCst) {
+            break;
+        }
         let sent = match sequence_job(job, &mut state, &mut tip, &executor, seq) {
             Ok(task) => prep_tx.send(task).is_ok(),
             // Route the failure straight to the issuer so the sequence
@@ -765,6 +884,7 @@ fn issuer_loop(
     pk_enc: dcert_primitives::keys::PublicKey,
     report: AttestationReport,
     prev_block_cert: Option<Certificate>,
+    poison: Arc<AtomicBool>,
 ) -> IssuerFinal {
     let mut issuer = Issuer {
         enclave,
@@ -778,6 +898,9 @@ fn issuer_loop(
     let mut next = 0u64;
     let mut pending: BTreeMap<u64, Prepared> = BTreeMap::new();
     for prepared in issue_rx {
+        if poison.load(Ordering::SeqCst) {
+            break;
+        }
         pending.insert(prepared.seq, prepared);
         while let Some(ready) = pending.remove(&next) {
             let outcome = issuer.process(ready);
@@ -789,11 +912,14 @@ fn issuer_loop(
     }
     // A panicked preparer leaves a gap; surface anything stranded behind
     // it (out of chain order, so the enclave will reject) rather than
-    // dropping it silently.
-    for (_, stranded) in std::mem::take(&mut pending) {
-        let outcome = issuer.process(stranded);
-        if publish_tx.send(outcome).is_err() {
-            break;
+    // dropping it silently. A killed pipeline drops it instead — that is
+    // the crash being simulated.
+    if !poison.load(Ordering::SeqCst) {
+        for (_, stranded) in std::mem::take(&mut pending) {
+            let outcome = issuer.process(stranded);
+            if publish_tx.send(outcome).is_err() {
+                break;
+            }
         }
     }
     IssuerFinal {
@@ -982,9 +1108,17 @@ impl Issuer {
 
 // --- publisher -------------------------------------------------------------
 
-fn publisher_loop(publish_rx: Receiver<JobOutcome>, gossip: Arc<Gossip>) -> PipelineReport {
+fn publisher_loop(
+    publish_rx: Receiver<JobOutcome>,
+    transport: Arc<dyn Transport>,
+    policy: PublishPolicy,
+    poison: Arc<AtomicBool>,
+) -> PipelineReport {
     let mut report = PipelineReport::default();
     for outcome in publish_rx {
+        if poison.load(Ordering::SeqCst) {
+            break;
+        }
         report.jobs += 1;
         match outcome.result {
             Ok((messages, breakdown)) => {
@@ -994,7 +1128,7 @@ fn publisher_loop(publish_rx: Receiver<JobOutcome>, gossip: Arc<Gossip>) -> Pipe
                         NetMessage::IndexCert { .. } => report.index_certs += 1,
                         _ => {}
                     }
-                    gossip.publish(message);
+                    publish_confirmed(&*transport, &policy, outcome.seq, message, &mut report);
                 }
                 report.breakdowns.push(breakdown);
             }
@@ -1002,4 +1136,39 @@ fn publisher_loop(publish_rx: Receiver<JobOutcome>, gossip: Arc<Gossip>) -> Pipe
         }
     }
     report
+}
+
+/// One acked publish: retries with exponential backoff until the
+/// transport confirms at least `min_acks` deliveries, dead-lettering the
+/// message when the budget runs out. With `min_acks == 0` this is a
+/// plain fire-and-forget broadcast (no clone, no sleeping).
+fn publish_confirmed(
+    transport: &dyn Transport,
+    policy: &PublishPolicy,
+    seq: u64,
+    message: NetMessage,
+    report: &mut PipelineReport,
+) {
+    if policy.min_acks == 0 {
+        transport.publish(message);
+        return;
+    }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if transport.publish(message.clone()) >= policy.min_acks {
+            return;
+        }
+        if attempts > policy.max_retries {
+            report.dead_letters.push(DeadLetter {
+                seq,
+                attempts,
+                message,
+            });
+            return;
+        }
+        // Exponential backoff, capped so a large retry budget cannot
+        // overflow the shift.
+        thread::sleep(policy.backoff * (1u32 << (attempts - 1).min(16)));
+    }
 }

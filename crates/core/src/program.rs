@@ -52,6 +52,11 @@ pub struct CertProgram {
     engine: Arc<dyn ConsensusEngine>,
     verifiers: HashMap<String, Box<dyn IndexVerifier>>,
     keypair: Option<Keypair>,
+    /// Highest block height this enclave has signed. Sealed together with
+    /// the key, so a restarted enclave cannot be replayed into signing a
+    /// conflicting certificate at or below a height it already vouched
+    /// for — the trust-boundary half of crash recovery.
+    last_signed_height: u64,
 }
 
 impl CertProgram {
@@ -74,6 +79,7 @@ impl CertProgram {
             engine,
             verifiers,
             keypair: None,
+            last_signed_height: 0,
         }
     }
 
@@ -108,15 +114,25 @@ impl CertProgram {
                 Ok(EcallResponse::Initialized(kp.public()))
             }
             EcallRequest::SigGen(input) => {
+                self.guard_height(input.block.header.height, true)?;
                 let sig = self.sig_gen(&input)?;
+                self.mark_signed(input.block.header.height);
                 Ok(EcallResponse::Signature(sig))
             }
             EcallRequest::AugSigGen(block_input, index_input) => {
+                // Non-strict: one augmented certificate *per index* is
+                // legitimately signed at the same height.
+                self.guard_height(block_input.block.header.height, false)?;
                 let sig = self.aug_sig_gen(&block_input, &index_input)?;
+                self.mark_signed(block_input.block.header.height);
                 Ok(EcallResponse::Signature(sig))
             }
             EcallRequest::IdxSigGen(req) => {
+                // Non-strict: index certificates follow the block
+                // certificate at the same height (Algorithm 5).
+                self.guard_height(req.header.height, false)?;
                 let sig = self.idx_sig_gen(&req)?;
+                self.mark_signed(req.header.height);
                 Ok(EcallResponse::Signature(sig))
             }
             EcallRequest::BatchSigGen {
@@ -124,10 +140,43 @@ impl CertProgram {
                 prev_cert,
                 links,
             } => {
+                if let Some(last) = links.last() {
+                    self.guard_height(last.block.header.height, true)?;
+                }
                 let sig = self.batch_sig_gen(&prev_header, prev_cert.as_ref(), &links)?;
+                if let Some(last) = links.last() {
+                    self.mark_signed(last.block.header.height);
+                }
                 Ok(EcallResponse::Signature(sig))
             }
         }
+    }
+
+    /// The monotonicity guard: refuse to sign below the sealed watermark
+    /// (`strict` additionally refuses *at* it — block certificates must
+    /// advance the chain; index certificates may share a height).
+    fn guard_height(&self, offered: u64, strict: bool) -> Result<(), CertError> {
+        let regressed = if strict {
+            offered <= self.last_signed_height && self.last_signed_height > 0
+        } else {
+            offered < self.last_signed_height
+        };
+        if regressed {
+            return Err(CertError::HeightRegression {
+                last_signed: self.last_signed_height,
+                offered,
+            });
+        }
+        Ok(())
+    }
+
+    fn mark_signed(&mut self, height: u64) {
+        self.last_signed_height = self.last_signed_height.max(height);
+    }
+
+    /// The sealed signing watermark (test observability).
+    pub fn last_signed_height(&self) -> u64 {
+        self.last_signed_height
     }
 
     /// Batch extension of Algorithm 2: one anchor check, then sequential
@@ -397,22 +446,39 @@ pub fn hash_writes(writes: &WriteSet) -> Vec<(Hash, Option<Hash>)> {
 }
 
 impl Sealable for CertProgram {
+    /// `sk_enc (32 bytes) ++ last_signed_height (8 bytes BE)`. The
+    /// watermark travels inside the seal so an operator cannot roll the
+    /// enclave back to a pre-signing state by restarting it.
     fn export_state(&self) -> Vec<u8> {
         match &self.keypair {
             None => Vec::new(),
-            Some(kp) => kp.to_secret_bytes().to_vec(),
+            Some(kp) => {
+                let mut out = kp.to_secret_bytes().to_vec();
+                out.extend_from_slice(&self.last_signed_height.to_be_bytes());
+                out
+            }
         }
     }
 
     fn import_state(&mut self, state: &[u8]) -> Result<(), String> {
         if state.is_empty() {
             self.keypair = None;
+            self.last_signed_height = 0;
             return Ok(());
         }
-        let seed: [u8; 32] = state
-            .try_into()
-            .map_err(|_| "sealed key state must be 32 bytes".to_owned())?;
+        let (key, height) = match state.len() {
+            // Legacy blobs sealed before the watermark existed.
+            32 => (state, 0u64),
+            40 => {
+                let mut be = [0u8; 8];
+                be.copy_from_slice(&state[32..]);
+                (&state[..32], u64::from_be_bytes(be))
+            }
+            n => return Err(format!("sealed state must be 32 or 40 bytes, got {n}")),
+        };
+        let seed: [u8; 32] = key.try_into().expect("length checked above");
         self.keypair = Some(Keypair::from_seed(seed));
+        self.last_signed_height = height;
         Ok(())
     }
 }

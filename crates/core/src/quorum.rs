@@ -17,7 +17,8 @@ use dcert_primitives::keys::PublicKey;
 
 use crate::cert::Certificate;
 use crate::error::CertError;
-use crate::superlight::SuperlightClient;
+use crate::network::NetMessage;
+use crate::superlight::{SuperlightClient, SyncOutcome};
 
 /// One trust domain: an attestation root plus the expected program
 /// measurement within it (e.g. "Intel IAS + SGX build" or
@@ -43,6 +44,14 @@ pub struct QuorumClient {
     domains: Vec<(TrustDomain, SuperlightClient)>,
     threshold: usize,
     adopted: Option<BlockHeader>,
+    /// Certificates that validated under one domain but have not reached
+    /// quorum yet, grouped by header digest: on a real network the
+    /// domains' certificates for a height arrive interleaved and possibly
+    /// out of order, so they are accumulated per-message.
+    pending: HashMap<Hash, (BlockHeader, HashMap<String, Certificate>)>,
+    /// Highest height any certificate message announced (gap detection,
+    /// as in [`SuperlightClient`]).
+    highest_seen: Option<u64>,
 }
 
 impl QuorumClient {
@@ -68,7 +77,94 @@ impl QuorumClient {
             domains,
             threshold,
             adopted: None,
+            pending: HashMap::new(),
+            highest_seen: None,
         }
+    }
+
+    /// Consumes one network message: a block certificate is attributed to
+    /// the trust domain whose anchors accept it (its attestation root
+    /// identifies the issuing CI), buffered, and the header adopted once
+    /// `threshold` distinct domains have certified the same digest.
+    pub fn on_message(&mut self, message: &NetMessage) -> SyncOutcome {
+        let NetMessage::BlockCert { header, cert } = message else {
+            if let Some(h) = message.height() {
+                self.saw_height(h);
+            }
+            return SyncOutcome::Ignored;
+        };
+        self.saw_height(header.height);
+        if self.height().is_some_and(|h| header.height <= h) {
+            return SyncOutcome::Stale;
+        }
+        // Attribute the certificate to a domain by validation.
+        let mut first_error = None;
+        let mut accepted_by = None;
+        for (domain, client) in &self.domains {
+            let mut scratch = client.clone();
+            match scratch.validate_chain(header, cert) {
+                Ok(()) => {
+                    accepted_by = Some(domain.name.clone());
+                    break;
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        let Some(name) = accepted_by else {
+            return SyncOutcome::Rejected(first_error.unwrap_or(CertError::NotInitialized));
+        };
+        let digest = header.hash();
+        let entry = self
+            .pending
+            .entry(digest)
+            .or_insert_with(|| (header.clone(), HashMap::new()));
+        entry.1.insert(name, cert.clone());
+        if entry.1.len() < self.threshold {
+            return SyncOutcome::Pending;
+        }
+        // Quorum reached: commit each participating domain's view.
+        let (header, certs) = self.pending.remove(&digest).expect("entry just inserted");
+        for (domain, client) in &mut self.domains {
+            let Some(cert) = certs.get(&domain.name) else {
+                continue;
+            };
+            let mut scratch = client.clone();
+            if scratch.validate_chain(&header, cert).is_ok() {
+                *client = scratch;
+            }
+        }
+        let adopted_height = header.height;
+        self.adopted = Some(header);
+        self.pending.retain(|_, (h, _)| h.height > adopted_height);
+        SyncOutcome::Adopted
+    }
+
+    /// The height gap to recover — `Some((from, to))` when certificates
+    /// were announced beyond the adopted height (missed deliveries, or a
+    /// quorum stuck waiting on a domain whose certificate was lost).
+    pub fn needs_resync(&self) -> Option<(u64, u64)> {
+        let seen = self.highest_seen?;
+        let have = self.height().unwrap_or(0);
+        (seen > have).then_some((have + 1, seen))
+    }
+
+    /// The re-request to publish when a gap is detected.
+    pub fn resync_request(&self) -> Option<NetMessage> {
+        self.needs_resync()
+            .map(|(from, to)| NetMessage::CertRequest { from, to })
+    }
+
+    /// Highest height any certificate message announced.
+    pub fn highest_seen(&self) -> Option<u64> {
+        self.highest_seen
+    }
+
+    fn saw_height(&mut self, height: u64) {
+        self.highest_seen = Some(self.highest_seen.map_or(height, |h| h.max(height)));
     }
 
     /// The quorum threshold.

@@ -16,6 +16,29 @@ use dcert_primitives::keys::PublicKey;
 
 use crate::cert::Certificate;
 use crate::error::CertError;
+use crate::network::NetMessage;
+
+/// What [`SuperlightClient::on_message`] did with a network message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The certificate validated and the client advanced its chain view.
+    Adopted,
+    /// An index certificate validated against the current chain view.
+    AdoptedIndex,
+    /// The message was for a height at or below the adopted one —
+    /// a duplicate or late delivery, harmlessly discarded.
+    Stale,
+    /// The certificate validated under one trust domain but the quorum
+    /// threshold is not yet met; it is buffered until enough domains
+    /// agree (quorum clients only).
+    Pending,
+    /// The message type is not consumed by this client.
+    Ignored,
+    /// The certificate failed validation (forged, corrupted in flight, or
+    /// mismatched). The height it *claimed* still counts as seen, so the
+    /// resync path re-fetches the authentic certificate.
+    Rejected(CertError),
+}
 
 /// A DCert superlight client.
 ///
@@ -31,6 +54,10 @@ pub struct SuperlightClient {
     attested: HashSet<[u8; 32]>,
     /// Latest certified digest + certificate per tracked index.
     indexes: HashMap<String, (Hash, Certificate)>,
+    /// Highest height any *certificate message* announced, adopted or
+    /// not. When it runs ahead of the validated height the client knows
+    /// a delivery was lost or rejected — the gap-detection signal.
+    highest_seen: Option<u64>,
 }
 
 impl SuperlightClient {
@@ -42,7 +69,83 @@ impl SuperlightClient {
             latest: None,
             attested: HashSet::new(),
             indexes: HashMap::new(),
+            highest_seen: None,
         }
+    }
+
+    /// Consumes one network message: validates and adopts certificates,
+    /// tracks announced heights for gap detection, and classifies
+    /// everything else. This is the client's event loop body on a lossy
+    /// network — it never wedges: a bad certificate is [`SyncOutcome::
+    /// Rejected`] and a missed one is recovered via [`Self::needs_resync`].
+    pub fn on_message(&mut self, message: &NetMessage) -> SyncOutcome {
+        match message {
+            NetMessage::BlockCert { header, cert } => {
+                self.saw_height(header.height);
+                if self.height().is_some_and(|h| header.height <= h) {
+                    return SyncOutcome::Stale;
+                }
+                match self.validate_chain(header, cert) {
+                    Ok(()) => SyncOutcome::Adopted,
+                    Err(e) => SyncOutcome::Rejected(e),
+                }
+            }
+            NetMessage::IndexCert {
+                header,
+                index,
+                digest,
+                cert,
+            } => {
+                self.saw_height(header.height);
+                match self.height() {
+                    // Hierarchical scheme: the index certificate rides on
+                    // the already-adopted header.
+                    Some(h) if header.height == h => {
+                        match self.validate_index(index, *digest, cert) {
+                            Ok(()) => SyncOutcome::AdoptedIndex,
+                            Err(e) => SyncOutcome::Rejected(e),
+                        }
+                    }
+                    Some(h) if header.height < h => SyncOutcome::Stale,
+                    // Augmented scheme (or the index cert outran its block
+                    // cert): the certificate vouches for chain + index at
+                    // once, so adopt both.
+                    _ => match self.validate_chain_with_index(header, index, *digest, cert) {
+                        Ok(()) => SyncOutcome::Adopted,
+                        Err(e) => SyncOutcome::Rejected(e),
+                    },
+                }
+            }
+            NetMessage::Block(_) | NetMessage::CertRequest { .. } | NetMessage::Shutdown => {
+                SyncOutcome::Ignored
+            }
+        }
+    }
+
+    /// The height gap to recover, as an inclusive `(from, to)` range of
+    /// missing heights — `Some` when a certificate was announced beyond
+    /// the validated view (lost, late, or rejected in flight).
+    pub fn needs_resync(&self) -> Option<(u64, u64)> {
+        let seen = self.highest_seen?;
+        let have = self.height().unwrap_or(0);
+        (seen > have).then_some((have + 1, seen))
+    }
+
+    /// The re-request to publish when a gap is detected: any CI or
+    /// archive holding the range answers by republishing it. `None` when
+    /// the client is caught up.
+    pub fn resync_request(&self) -> Option<NetMessage> {
+        self.needs_resync()
+            .map(|(from, to)| NetMessage::CertRequest { from, to })
+    }
+
+    /// Highest height any certificate message announced, validated or not.
+    pub fn highest_seen(&self) -> Option<u64> {
+        self.highest_seen
+    }
+
+    fn saw_height(&mut self, height: u64) {
+        self.highest_seen = Some(self.highest_seen.map_or(height, |h| h.max(height)));
     }
 
     /// Algorithm 3: `validate_chain`. On success the client adopts
@@ -327,6 +430,59 @@ mod tests {
             .validate_chain(&h1000, &ca.certify(h1000.hash()))
             .unwrap();
         assert_eq!(client.storage_bytes(), at_1);
+    }
+
+    #[test]
+    fn on_message_adopts_rejects_and_detects_gaps() {
+        let ca = MiniCa::new();
+        let mut client = ca.client();
+        let h1 = header(1);
+        assert_eq!(
+            client.on_message(&NetMessage::BlockCert {
+                header: h1.clone(),
+                cert: ca.certify(h1.hash()),
+            }),
+            SyncOutcome::Adopted
+        );
+        assert_eq!(client.needs_resync(), None);
+
+        // A forged certificate for height 3 is rejected, but its height
+        // is remembered: the client knows it is now behind.
+        let h3 = header(3);
+        let mut forged = ca.certify(h3.hash());
+        forged.signature = ca.certify(Hash::ZERO).signature;
+        assert!(matches!(
+            client.on_message(&NetMessage::BlockCert {
+                header: h3.clone(),
+                cert: forged,
+            }),
+            SyncOutcome::Rejected(CertError::BadSignature)
+        ));
+        assert_eq!(client.height(), Some(1));
+        assert_eq!(client.needs_resync(), Some((2, 3)));
+        assert_eq!(
+            client.resync_request(),
+            Some(NetMessage::CertRequest { from: 2, to: 3 })
+        );
+
+        // The authentic certificate arrives (e.g. republished by an
+        // archive) and the gap closes.
+        assert_eq!(
+            client.on_message(&NetMessage::BlockCert {
+                header: h3.clone(),
+                cert: ca.certify(h3.hash()),
+            }),
+            SyncOutcome::Adopted
+        );
+        assert_eq!(client.needs_resync(), None);
+        // A late duplicate is stale, not an error.
+        assert_eq!(
+            client.on_message(&NetMessage::BlockCert {
+                header: h1,
+                cert: ca.certify(header(1).hash()),
+            }),
+            SyncOutcome::Stale
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use dcert::chain::consensus::ConsensusProof;
 use dcert::chain::{ChainError, GenesisBuilder, ProofOfWork};
 use dcert::core::{
     expected_measurement, BlockInput, CertError, CertProgram, Certificate, EcallRequest,
-    EcallResponse, SuperlightClient,
+    EcallResponse, FaultConfig, NetMessage, SimNet, SuperlightClient, SyncOutcome, Transport,
 };
 use dcert::primitives::codec::Decode;
 use dcert::primitives::hash::hash_bytes;
@@ -301,6 +301,76 @@ fn client_rejects_resigned_certificate() {
         world.client.validate_chain(&fake, &forged),
         Err(CertError::KeyBindingMismatch)
     );
+}
+
+// --- in-flight corruption --------------------------------------------------
+
+/// Certificates corrupted *on the wire* (one bit flipped by the network,
+/// not an adversary with the message in hand): if the mangled frame still
+/// decodes, the client must reject it as a forgery; and once the network
+/// heals and the pristine stream is republished, the client catches up —
+/// it recovers through resync rather than wedging on the garbage it saw.
+#[test]
+fn corrupted_in_flight_certificates_rejected_then_recovered() {
+    let (mut world, _) = World::deterministic(Vec::new());
+    let blocks = world.mine_blocks(Workload::KvStore { keyspace: 16 }, 4, 3, 21);
+    let pristine: Vec<NetMessage> = blocks
+        .iter()
+        .map(|b| {
+            let (cert, _) = world.ci.certify_block(b).unwrap();
+            NetMessage::BlockCert {
+                header: b.header.clone(),
+                cert,
+            }
+        })
+        .collect();
+
+    // Phase 1: every delivery has one wire bit flipped.
+    let net = SimNet::new(
+        0xBADB17,
+        FaultConfig {
+            corrupt_rate: 1.0,
+            ..FaultConfig::lossless()
+        },
+    );
+    let rx = net.join();
+    let mut client = SuperlightClient::new(world.ias.public_key(), expected_measurement());
+    for msg in &pristine {
+        net.publish(msg.clone());
+    }
+    net.flush();
+    let mut delivered = 0u64;
+    while let Ok(msg) = rx.try_recv() {
+        delivered += 1;
+        assert_ne!(
+            client.on_message(&msg),
+            SyncOutcome::Adopted,
+            "a bit-flipped certificate must never validate"
+        );
+    }
+    assert_eq!(client.height(), None, "nothing intact arrived");
+    let stats = net.stats();
+    assert_eq!(
+        stats.corrupted + stats.garbled,
+        pristine.len() as u64,
+        "every delivery was mangled"
+    );
+    assert_eq!(
+        delivered, stats.corrupted,
+        "frames that no longer decode never reach the client"
+    );
+
+    // Phase 2: the network heals, the CI republishes (the resync answer),
+    // and the client — despite everything it just rejected — converges.
+    net.heal();
+    for msg in &pristine {
+        net.publish(msg.clone());
+    }
+    while let Ok(msg) = rx.try_recv() {
+        client.on_message(&msg);
+    }
+    assert_eq!(client.height(), Some(blocks.len() as u64));
+    assert_eq!(client.latest_header(), blocks.last().map(|b| &b.header));
 }
 
 #[test]

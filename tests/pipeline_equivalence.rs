@@ -243,6 +243,7 @@ fn run_pipeline(
         PipelineConfig {
             preparers,
             queue_depth,
+            ..PipelineConfig::default()
         },
         gossip,
     );
@@ -445,6 +446,7 @@ fn shutdown_drains_in_flight_and_ci_resumes() {
         PipelineConfig {
             preparers: 4,
             queue_depth: 2,
+            ..PipelineConfig::default()
         },
         gossip,
     );
@@ -573,6 +575,7 @@ fn shutdown_message_mid_stream_is_orderly() {
             PipelineConfig {
                 preparers: 4,
                 queue_depth: 2,
+                ..PipelineConfig::default()
             },
             ci_bus.clone(),
         );
