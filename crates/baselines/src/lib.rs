@@ -15,6 +15,8 @@
 //!   (same Merkle Patricia trie upper level) so the figure isolates the
 //!   lower-level structure: skip-list towers vs. Merkle B-tree.
 
+#![forbid(unsafe_code)]
+
 pub mod light_client;
 pub mod lineage;
 pub mod skiplist;

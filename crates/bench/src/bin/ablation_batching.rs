@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release -p dcert-bench --bin ablation_batching`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dcert_bench::params::scaled;

@@ -13,6 +13,8 @@
 //!
 //! Run with: `cargo run --release -p dcert-bench --bin ablation_stateless`
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

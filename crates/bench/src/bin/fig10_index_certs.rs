@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release -p dcert-bench --bin fig10_index_certs`
 
+#![forbid(unsafe_code)]
+
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE, INDEX_COUNTS};
 use dcert_bench::report::{banner, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};

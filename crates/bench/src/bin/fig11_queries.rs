@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release -p dcert-bench --bin fig11_queries`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dcert_baselines::lineage::{verify_lineage, LineageIndex};

@@ -9,6 +9,8 @@
 //! Run with: `cargo run --release -p dcert-bench --bin fig7_bootstrap`
 //! (use `DCERT_SCALE=0.05` for a quick pass).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dcert_baselines::TraditionalLightClient;

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release -p dcert-bench --bin fig8_cert_construction`
 
+#![forbid(unsafe_code)]
+
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release -p dcert-bench --bin fig9_block_size`
 
+#![forbid(unsafe_code)]
+
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, BLOCK_SIZES};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run -p dcert-bench --bin table1_params`
 
+#![forbid(unsafe_code)]
+
 use dcert_bench::params::*;
 
 fn main() {

@@ -22,6 +22,8 @@
 //! variable (default 1.0): chain lengths and block counts are multiplied
 //! by it, so `DCERT_SCALE=0.1` gives a quick smoke run.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod naive;
 pub mod params;

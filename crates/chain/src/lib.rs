@@ -22,6 +22,8 @@
 //! [`Call`]: dcert_vm::Call
 //! [`StateReader`]: dcert_vm::StateReader
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod consensus;
 pub mod error;

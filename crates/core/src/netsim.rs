@@ -239,7 +239,9 @@ impl SimState {
             return None;
         }
         let bit = self.rng.next_upto((bytes.len() as u64) * 8 - 1);
-        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        if let Some(byte) = bytes.get_mut((bit / 8) as usize) {
+            *byte ^= 1 << (bit % 8);
+        }
         NetMessage::decode_all(&bytes).ok()
     }
 
@@ -247,9 +249,10 @@ impl SimState {
     fn flush_due(&mut self) {
         let later = self.pending.split_off(&(self.now + 1, 0));
         for (_, delivery) in std::mem::replace(&mut self.pending, later) {
-            if self.endpoints[delivery.endpoint]
-                .send(delivery.message)
-                .is_ok()
+            if self
+                .endpoints
+                .get(delivery.endpoint)
+                .is_some_and(|ep| ep.send(delivery.message).is_ok())
             {
                 self.stats.delivered += 1;
             }
@@ -259,9 +262,10 @@ impl SimState {
     /// Delivers everything still in flight, regardless of due tick.
     fn flush_all(&mut self) {
         for (_, delivery) in std::mem::take(&mut self.pending) {
-            if self.endpoints[delivery.endpoint]
-                .send(delivery.message)
-                .is_ok()
+            if self
+                .endpoints
+                .get(delivery.endpoint)
+                .is_some_and(|ep| ep.send(delivery.message).is_ok())
             {
                 self.stats.delivered += 1;
             }

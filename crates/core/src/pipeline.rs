@@ -44,6 +44,11 @@
 //! [`CertificateIssuer`] positioned at the last successfully certified
 //! block.
 
+// SP-side orchestration: thread spawns, channel sends, and lock acquisitions
+// here operate on SP-owned state, never on attacker-supplied bytes. A poisoned
+// lock or failed spawn is a deployment fault, not a protocol input.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -565,8 +570,7 @@ fn sequencer_loop(
     executor: Executor,
     poison: Arc<AtomicBool>,
 ) {
-    let mut seq = 0u64;
-    for job in jobs {
+    for (seq, job) in (0u64..).zip(jobs) {
         if poison.load(Ordering::SeqCst) {
             break;
         }
@@ -579,7 +583,6 @@ fn sequencer_loop(
         if !sent {
             break;
         }
-        seq += 1;
     }
 }
 

@@ -15,8 +15,9 @@ use dcert_primitives::codec::{Decode, Encode};
 use dcert_primitives::hash::Hash;
 use dcert_primitives::keys::{Keypair, PublicKey, Signature};
 use dcert_sgx::enclave::{measure, Sealable};
-use dcert_sgx::TrustedApp;
+use dcert_sgx::{SgxError, TrustedApp};
 use dcert_vm::{CallStatus, Executor, ReadSetState, StateKey, VmError};
+// dcert-lint: allow(r3-determinism, reason = "sk_enc generation entropy on the Init ECall; replayable runs pre-seed via with_signing_seed")
 use rand::rngs::OsRng;
 
 use crate::cert::Certificate;
@@ -108,9 +109,10 @@ impl CertProgram {
     pub fn handle(&mut self, request: EcallRequest) -> Result<EcallResponse, CertError> {
         match request {
             EcallRequest::Init => {
-                let kp = self
-                    .keypair
-                    .get_or_insert_with(|| Keypair::generate(&mut OsRng));
+                let kp = self.keypair.get_or_insert_with(|| {
+                    // dcert-lint: allow(r3-determinism, reason = "sk_enc generation entropy on the Init ECall; replayable runs pre-seed via with_signing_seed")
+                    Keypair::generate(&mut OsRng)
+                });
                 Ok(EcallResponse::Initialized(kp.public()))
             }
             EcallRequest::SigGen(input) => {
@@ -460,7 +462,7 @@ impl Sealable for CertProgram {
         }
     }
 
-    fn import_state(&mut self, state: &[u8]) -> Result<(), String> {
+    fn import_state(&mut self, state: &[u8]) -> Result<(), SgxError> {
         if state.is_empty() {
             self.keypair = None;
             self.last_signed_height = 0;
@@ -470,13 +472,16 @@ impl Sealable for CertProgram {
             // Legacy blobs sealed before the watermark existed.
             32 => (state, 0u64),
             40 => {
-                let mut be = [0u8; 8];
-                be.copy_from_slice(&state[32..]);
-                (&state[..32], u64::from_be_bytes(be))
+                let (key, be) = state.split_at(32);
+                let mut buf = [0u8; 8];
+                for (dst, src) in buf.iter_mut().zip(be) {
+                    *dst = *src;
+                }
+                (key, u64::from_be_bytes(buf))
             }
-            n => return Err(format!("sealed state must be 32 or 40 bytes, got {n}")),
+            _ => return Err(SgxError::BadSeal),
         };
-        let seed: [u8; 32] = key.try_into().expect("length checked above");
+        let seed: [u8; 32] = key.try_into().map_err(|_| SgxError::BadSeal)?;
         self.keypair = Some(Keypair::from_seed(seed));
         self.last_signed_height = height;
         Ok(())

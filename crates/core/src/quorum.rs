@@ -127,7 +127,9 @@ impl QuorumClient {
             return SyncOutcome::Pending;
         }
         // Quorum reached: commit each participating domain's view.
-        let (header, certs) = self.pending.remove(&digest).expect("entry just inserted");
+        let Some((header, certs)) = self.pending.remove(&digest) else {
+            return SyncOutcome::Pending;
+        };
         for (domain, client) in &mut self.domains {
             let Some(cert) = certs.get(&domain.name) else {
                 continue;

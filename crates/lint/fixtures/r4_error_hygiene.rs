@@ -1,0 +1,28 @@
+//! Fixture: R4 must fire on stringly/boxed error returns and stay
+//! silent on typed ones.
+#![allow(unused)]
+fn load(bytes: &[u8]) -> Result<(), String> {
+    Ok(())
+}
+
+// Boxed errors erase the failure mode.
+fn parse(bytes: &[u8]) -> Result<u8, Box<dyn std::error::Error>> {
+    Ok(0)
+}
+
+trait Importer {
+    // Trait methods count: every implementor inherits the stringly
+    // error.
+    fn restore(&mut self, state: &[u8]) -> Result<(), String>;
+}
+
+struct Codec;
+
+fn typed(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    Ok(bytes.to_vec())
+}
+
+// A String *payload* with a typed error is fine.
+fn name() -> Result<String, CodecError> {
+    Ok(String::new())
+}

@@ -1,0 +1,405 @@
+//! `dcert-lint` — repo-specific static analysis for the DCert workspace.
+//!
+//! The compiler cannot check DCert's two load-bearing security
+//! invariants: the enclave secret key never crosses the `dcert-sgx` trust
+//! boundary, and client-side verifiers must *reject* malformed untrusted
+//! input rather than panic. This tool enforces them (plus determinism and
+//! error-hygiene rules) by lexing every Rust source file in the workspace
+//! — no nightly compiler plumbing, no dependencies — and fails CI on
+//! violation:
+//!
+//! * **R1 `r1-enclave-secrecy`** — secret-key/sealing identifiers and the
+//!   `TrustedApp`/`Sealable` traits are confined to the trusted modules;
+//!   `Enclave` fields stay private; raw `ed25519_dalek` stays inside
+//!   `primitives::keys`.
+//! * **R2 `r2-panic-freedom`** — no `unwrap`/`expect`/`panic!`-family
+//!   macros, slice indexing, or truncating `as` casts in designated
+//!   untrusted-input modules (superlight/quorum clients, codec, Merkle
+//!   proof verification, query verifiers, sealing/attestation decode).
+//! * **R3 `r3-determinism`** — no ambient time or randomness
+//!   (`Instant`, `SystemTime`, `thread_rng`, `OsRng`, `from_entropy`)
+//!   outside `core::netsim`, `core::pipeline`, and `sgx::cost`, so seeded
+//!   chaos runs stay bit-for-bit replayable.
+//! * **R4 `r4-error-hygiene`** — fallible APIs return crate `Error`
+//!   types, never `Result<_, String>` or `Result<_, Box<dyn ...>>`.
+//!
+//! Escape hatch (counted and reported, never silent):
+//!
+//! ```text
+//! // dcert-lint: allow(r2-panic-freedom, reason = "length checked above")
+//! ```
+//!
+//! Usage: `cargo run -p dcert-lint -- [--deny-all] [--root DIR] [--rule NAME]...`
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod lexer;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use engine::{analyze_source, AllowDirective, Finding, RULES};
+
+/// Directories never scanned: build output, VCS, the linter's own
+/// intentionally-violating fixtures, and vendored sources if any appear.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "fixtures", "vendor", ".github"];
+
+struct Options {
+    root: PathBuf,
+    deny_all: bool,
+    rules: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "dcert-lint: DCert workspace static analysis\n\
+     \n\
+     USAGE: dcert-lint [--deny-all] [--root DIR] [--rule NAME]...\n\
+     \n\
+     --deny-all     exit nonzero if any violation is found (CI mode)\n\
+     --root DIR     workspace root to scan (default: current directory)\n\
+     --rule NAME    only run the named rule (repeatable); names:\n\
+                    r1-enclave-secrecy r2-panic-freedom r3-determinism\n\
+                    r4-error-hygiene\n\
+     -h, --help     show this help"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        deny_all: false,
+        rules: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root requires a directory")?);
+            }
+            "--rule" => {
+                let name = args.next().ok_or("--rule requires a rule name")?;
+                let name = match name.as_str() {
+                    "r1" => "r1-enclave-secrecy".to_string(),
+                    "r2" => "r2-panic-freedom".to_string(),
+                    "r3" => "r3-determinism".to_string(),
+                    "r4" => "r4-error-hygiene".to_string(),
+                    _ => name,
+                };
+                if !RULES.contains(&name.as_str()) {
+                    return Err(format!("unknown rule `{name}`"));
+                }
+                opts.rules.push(name);
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Recursively collects workspace `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            // The linter's own sources discuss directive syntax in prose;
+            // scanning them would misread the docs as real directives.
+            if name == "lint" && path.parent().is_some_and(|p| p.ends_with("crates")) {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_sources(&opts.root, &mut files) {
+        eprintln!("error: walking {}: {e}", opts.root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut findings: Vec<(String, Finding)> = Vec::new();
+    let mut allows: Vec<(String, AllowDirective)> = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&opts.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        let report = analyze_source(&rel, &source);
+        for f in report.findings {
+            if opts.rules.is_empty() || opts.rules.iter().any(|r| r == f.rule) {
+                findings.push((rel.clone(), f));
+            }
+        }
+        for a in report.allows {
+            allows.push((rel.clone(), a));
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.0, a.1.line, a.1.col).cmp(&(&b.0, b.1.line, b.1.col)));
+    for (path, f) in &findings {
+        println!("{path}:{}:{}: {}: {}", f.line, f.col, f.rule, f.msg);
+    }
+
+    if !allows.is_empty() {
+        println!("\nallow directives ({}):", allows.len());
+        for (path, a) in &allows {
+            let status = if a.used { "used" } else { "UNUSED" };
+            println!(
+                "  {path}:{}: allow({}) [{status}] reason: {}",
+                a.line, a.rule, a.reason
+            );
+        }
+    }
+
+    println!(
+        "\ndcert-lint: {} file(s) scanned, {} violation(s), {} allow directive(s)",
+        scanned,
+        findings.len(),
+        allows.len()
+    );
+
+    if opts.deny_all && !findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::engine::{analyze_source, MALFORMED_DIRECTIVE};
+    use super::lexer::{lex, TokKind};
+
+    // -- lexer ----------------------------------------------------------
+
+    #[test]
+    fn lexer_separates_idents_strings_and_comments() {
+        let (toks, comments) = lex("let x = \"unwrap()\"; // .unwrap() here\nfoo.unwrap();");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "foo", "unwrap"]);
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains(".unwrap()"));
+        let unwrap_tok = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!((unwrap_tok.line, unwrap_tok.col), (2, 5));
+    }
+
+    #[test]
+    fn lexer_handles_lifetimes_chars_and_raw_strings() {
+        let (toks, _) =
+            lex("fn f<'a>(x: &'a str) -> char { let c = 'x'; let s = r#\"panic!\"#; c }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        // `panic` inside the raw string is not an ident.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "panic"));
+    }
+
+    #[test]
+    fn lexer_handles_nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still */ ident");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "ident");
+    }
+
+    // -- test-code detection -------------------------------------------
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn prod(v: &[u8]) { v.to_vec().unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t(v: Vec<u8>) { v.unwrap(); }\n}\n";
+        let report = analyze_source("crates/core/src/superlight.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_exempt() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn prod() { x.unwrap(); }\n";
+        let report = analyze_source("crates/core/src/superlight.rs", src);
+        assert_eq!(report.findings.len(), 1, "cfg_attr items still ship");
+    }
+
+    // -- fixtures: each rule fires with the right span ------------------
+
+    #[test]
+    fn r1_fires_on_secrecy_fixture() {
+        let src = include_str!("../fixtures/r1_enclave_secrecy.rs");
+        let report = analyze_source("crates/chain/src/store.rs", src);
+        let r1: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "r1-enclave-secrecy")
+            .collect();
+        let lines: Vec<u32> = r1.iter().map(|f| f.line).collect();
+        // TrustedApp import, Sealable import, to_secret_bytes call,
+        // import_state call, ed25519_dalek use.
+        assert_eq!(lines, vec![6, 6, 12, 15, 19]);
+    }
+
+    #[test]
+    fn r1_allows_trusted_modules() {
+        let src = include_str!("../fixtures/r1_enclave_secrecy.rs");
+        let report = analyze_source("crates/sgx/src/sealing2.rs", src);
+        // Only the ed25519_dalek confinement check applies inside sgx —
+        // and it is scoped off for the sgx crate too.
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.rule != "r1-enclave-secrecy"));
+    }
+
+    #[test]
+    fn r1_fires_on_public_enclave_field() {
+        let src = "pub struct Enclave<A> {\n    pub platform: u8,\n    cost: u8,\n}\n";
+        let report = analyze_source("crates/sgx/src/enclave.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 2);
+    }
+
+    #[test]
+    fn r2_fires_on_panic_fixture() {
+        let src = include_str!("../fixtures/r2_panic_freedom.rs");
+        let report = analyze_source("crates/core/src/superlight.rs", src);
+        let lines: Vec<(u32, &str)> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "r2-panic-freedom")
+            .map(|f| (f.line, f.msg.split_whitespace().next().unwrap()))
+            .collect();
+        // One per banned construct, in order: the regression `.unwrap()`
+        // on ias.attest, `.expect`, `panic!`, `unreachable!`, indexing,
+        // slicing, truncating cast.
+        let expected_lines: Vec<u32> = vec![9, 14, 19, 21, 27, 29, 34];
+        assert_eq!(
+            lines.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            expected_lines
+        );
+        // And the cfg(test) module at the bottom contributed nothing.
+        assert!(lines.iter().all(|(l, _)| *l < 40));
+    }
+
+    #[test]
+    fn r2_ignores_files_outside_verifier_scope() {
+        let src = include_str!("../fixtures/r2_panic_freedom.rs");
+        let report = analyze_source("crates/workloads/src/generator.rs", src);
+        assert!(report.findings.iter().all(|f| f.rule != "r2-panic-freedom"));
+    }
+
+    #[test]
+    fn r3_fires_on_determinism_fixture() {
+        let src = include_str!("../fixtures/r3_determinism.rs");
+        let report = analyze_source("crates/chain/src/node.rs", src);
+        let lines: Vec<u32> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "r3-determinism")
+            .map(|f| f.line)
+            .collect();
+        // Instant import, Instant::now, SystemTime, thread_rng, OsRng,
+        // from_entropy — but NOT the allow-escaped OsRng at the bottom.
+        assert_eq!(lines, vec![4, 8, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn r3_allowlists_sim_clock_modules() {
+        let src = include_str!("../fixtures/r3_determinism.rs");
+        for path in [
+            "crates/core/src/netsim.rs",
+            "crates/core/src/pipeline.rs",
+            "crates/sgx/src/cost.rs",
+        ] {
+            let report = analyze_source(path, src);
+            assert!(
+                report.findings.iter().all(|f| f.rule != "r3-determinism"),
+                "{path} should be allowlisted"
+            );
+        }
+    }
+
+    #[test]
+    fn r4_fires_on_error_hygiene_fixture() {
+        let src = include_str!("../fixtures/r4_error_hygiene.rs");
+        let report = analyze_source("crates/chain/src/state.rs", src);
+        let lines: Vec<u32> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "r4-error-hygiene")
+            .map(|f| f.line)
+            .collect();
+        // String error, Box<dyn Error>, trait-method String error. The
+        // typed-error fn and the Result<String, Error> (String payload,
+        // typed error) must not fire.
+        assert_eq!(lines, vec![4, 9, 16]);
+    }
+
+    // -- allow escape hatch --------------------------------------------
+
+    #[test]
+    fn allow_directive_suppresses_counts_and_requires_reason() {
+        let src = include_str!("../fixtures/allow_escape.rs");
+        let report = analyze_source("crates/core/src/superlight.rs", src);
+        // The documented escape suppressed its violation…
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| !(f.rule == "r2-panic-freedom" && f.line == 7)));
+        // …the reasonless escape did not…
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "r2-panic-freedom" && f.line == 11));
+        // …and was itself reported as malformed.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == MALFORMED_DIRECTIVE && f.line == 10));
+        // Both directives are counted; the first was used.
+        assert_eq!(report.allows.len(), 2);
+        assert!(report.allows[0].used);
+        assert!(!report.allows[1].used);
+        assert_eq!(report.allows[0].reason, "length checked on entry");
+    }
+}

@@ -116,10 +116,16 @@ impl Decode for Aggregate {
     }
 }
 
+/// Node arity as a u32 for the hash preimage; saturating (never reachable
+/// for codec-bounded proofs) so distinct lengths cannot collide.
+fn len_u32(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
 fn leaf_hash(entries: &[(u64, u64)]) -> Hash {
     let mut buf = Vec::with_capacity(1 + 4 + entries.len() * 16);
     buf.push(AGG_LEAF_DOMAIN);
-    buf.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&len_u32(entries.len()).to_be_bytes());
     for (ts, value) in entries {
         buf.extend_from_slice(&ts.to_be_bytes());
         buf.extend_from_slice(&value.to_be_bytes());
@@ -130,7 +136,7 @@ fn leaf_hash(entries: &[(u64, u64)]) -> Hash {
 fn node_hash(separators: &[u64], children: &[(Hash, Aggregate)]) -> Hash {
     let mut buf = Vec::with_capacity(1 + 4 + separators.len() * 8 + children.len() * 88);
     buf.push(AGG_NODE_DOMAIN);
-    buf.extend_from_slice(&(separators.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&len_u32(separators.len()).to_be_bytes());
     for sep in separators {
         buf.extend_from_slice(&sep.to_be_bytes());
     }
@@ -283,13 +289,17 @@ impl AggMbTree {
         match node {
             Node::Leaf { mut entries, .. } => {
                 match entries.binary_search_by_key(&ts, |(t, _)| *t) {
-                    Ok(pos) => *previous = Some(std::mem::replace(&mut entries[pos].1, value)),
+                    Ok(pos) => {
+                        if let Some(entry) = entries.get_mut(pos) {
+                            *previous = Some(std::mem::replace(&mut entry.1, value));
+                        }
+                    }
                     Err(pos) => entries.insert(pos, (ts, value)),
                 }
                 if entries.len() > self.order {
                     let mid = entries.len() / 2;
                     let right = entries.split_off(mid);
-                    let sep = right[0].0;
+                    let sep = right.first().map_or(0, |(t, _)| *t);
                     (Node::new_leaf(entries), Some((sep, Node::new_leaf(right))))
                 } else {
                     (Node::new_leaf(entries), None)
@@ -311,7 +321,10 @@ impl AggMbTree {
                 if children.len() > self.order {
                     let mid = children.len() / 2;
                     let right_children = children.split_off(mid);
-                    let promoted = separators[mid - 1];
+                    let promoted = separators
+                        .get(mid.saturating_sub(1))
+                        .copied()
+                        .unwrap_or_default();
                     let right_seps = separators.split_off(mid);
                     separators.pop();
                     (
@@ -345,15 +358,17 @@ impl AggMbTree {
                     children,
                     ..
                 } => {
-                    let left: Vec<(Hash, Aggregate)> = children[..children.len() - 1]
-                        .iter()
-                        .map(|c| (c.hash(), c.agg()))
-                        .collect();
+                    let Some((rightmost, rest)) = children.split_last() else {
+                        node = None;
+                        continue;
+                    };
+                    let left: Vec<(Hash, Aggregate)> =
+                        rest.iter().map(|c| (c.hash(), c.agg())).collect();
                     path.push(AppendNode::Internal {
                         separators: separators.clone(),
                         left_siblings: left,
                     });
-                    node = children.last();
+                    node = Some(rightmost);
                 }
             }
         }
@@ -399,10 +414,9 @@ impl AggMbTree {
                     .iter()
                     .enumerate()
                     .map(|(i, child)| {
-                        let child_lo = if i == 0 {
-                            bound_lo
-                        } else {
-                            Some(separators[i - 1])
+                        let child_lo = match i.checked_sub(1) {
+                            None => bound_lo,
+                            Some(j) => separators.get(j).copied().or(bound_lo),
                         };
                         let child_hi = separators.get(i).copied().or(bound_hi);
                         match coverage(child_lo, child_hi, lo, hi) {
@@ -550,15 +564,18 @@ impl AggProof {
                 if children.len() != separators.len() + 1 {
                     return Err(ProofError::Malformed("arity mismatch"));
                 }
-                if separators.windows(2).any(|w| w[0] >= w[1]) {
+                if separators.windows(2).any(|w| matches!(w, [a, b] if a >= b)) {
                     return Err(ProofError::Malformed("separators not sorted"));
                 }
                 let mut pairs = Vec::with_capacity(children.len());
                 for (i, child) in children.iter().enumerate() {
-                    let child_lo = if i == 0 {
-                        bound_lo
-                    } else {
-                        Some(separators[i - 1])
+                    let child_lo = match i.checked_sub(1) {
+                        None => bound_lo,
+                        Some(j) => Some(
+                            *separators
+                                .get(j)
+                                .ok_or(ProofError::Malformed("arity mismatch"))?,
+                        ),
                     };
                     let child_hi = separators.get(i).copied().or(bound_hi);
                     match child {
@@ -640,50 +657,42 @@ impl AggAppendProof {
         if order < 3 {
             return Err(ProofError::Malformed("order must be at least 3"));
         }
-        if self.path.is_empty() {
+        let Some((last_node, upper)) = self.path.split_last() else {
             if !root.is_zero() {
                 return Err(ProofError::RootMismatch);
             }
             return Ok(leaf_hash(&[(ts, value)]));
-        }
-        // Authenticate bottom-up.
-        let mut states = vec![(Hash::ZERO, Aggregate::EMPTY); self.path.len()];
-        for i in (0..self.path.len()).rev() {
-            states[i] = match &self.path[i] {
-                AppendNode::Leaf { entries } => {
-                    if i != self.path.len() - 1 {
-                        return Err(ProofError::Malformed("leaf not at path end"));
-                    }
-                    (leaf_hash(entries), aggregate_of_entries(entries))
-                }
-                AppendNode::Internal {
-                    separators,
-                    left_siblings,
-                } => {
-                    if i == self.path.len() - 1 {
-                        return Err(ProofError::Malformed("path ends at internal node"));
-                    }
-                    if left_siblings.len() != separators.len() {
-                        return Err(ProofError::Malformed("append path arity"));
-                    }
-                    let mut pairs = left_siblings.clone();
-                    pairs.push(states[i + 1]);
-                    let mut agg = Aggregate::EMPTY;
-                    for (_, a) in &pairs {
-                        agg.merge(a);
-                    }
-                    (node_hash(separators, &pairs), agg)
-                }
+        };
+        let AppendNode::Leaf { entries } = last_node else {
+            return Err(ProofError::Malformed("append path must end in a leaf"));
+        };
+        // Authenticate: compute each path node's state from the bottom up,
+        // then compare the top with `root`.
+        let mut below = (leaf_hash(entries), aggregate_of_entries(entries));
+        for node in upper.iter().rev() {
+            let AppendNode::Internal {
+                separators,
+                left_siblings,
+            } = node
+            else {
+                return Err(ProofError::Malformed("leaf in the middle of path"));
             };
+            if left_siblings.len() != separators.len() {
+                return Err(ProofError::Malformed("append path arity"));
+            }
+            let mut pairs = left_siblings.clone();
+            pairs.push(below);
+            let mut agg = Aggregate::EMPTY;
+            for (_, a) in &pairs {
+                agg.merge(a);
+            }
+            below = (node_hash(separators, &pairs), agg);
         }
-        if states[0].0 != *root {
+        if below.0 != *root {
             return Err(ProofError::RootMismatch);
         }
 
         // Replay the append with splits.
-        let AppendNode::Leaf { entries } = &self.path[self.path.len() - 1] else {
-            return Err(ProofError::Malformed("append path must end in a leaf"));
-        };
         if let Some((last_ts, _)) = entries.last() {
             if ts <= *last_ts {
                 return Err(ProofError::Malformed("append timestamp not increasing"));
@@ -696,17 +705,18 @@ impl AggAppendProof {
         let mut applied = if new_entries.len() > order {
             let mid = new_entries.len() / 2;
             let right = new_entries.split_off(mid);
-            let sep = right[0].0;
+            let sep = right.first().map_or(0, |(t, _)| *t);
             Applied::Split(leaf_state(&new_entries), sep, leaf_state(&right))
         } else {
-            Applied::Single(leaf_state(&new_entries).0, leaf_state(&new_entries).1)
+            let s = leaf_state(&new_entries);
+            Applied::Single(s.0, s.1)
         };
 
-        for i in (0..self.path.len() - 1).rev() {
+        for node in upper.iter().rev() {
             let AppendNode::Internal {
                 separators,
                 left_siblings,
-            } = &self.path[i]
+            } = node
             else {
                 return Err(ProofError::Malformed("leaf in the middle of path"));
             };
@@ -730,7 +740,10 @@ impl AggAppendProof {
             applied = if pairs.len() > order {
                 let mid = pairs.len() / 2;
                 let right_pairs = pairs.split_off(mid);
-                let promoted = separators[mid - 1];
+                let promoted = separators
+                    .get(mid.saturating_sub(1))
+                    .copied()
+                    .ok_or(ProofError::Malformed("append split arity"))?;
                 let right_seps = separators.split_off(mid);
                 separators.pop();
                 Applied::Split(
@@ -890,7 +903,11 @@ mod tests {
 
     fn expected(lo: u64, hi: u64, n: u64) -> Aggregate {
         let mut agg = Aggregate::EMPTY;
-        for ts in lo..=hi.min(n.saturating_sub(1)) {
+        if n == 0 {
+            // `n - 1` below would wrap; an empty tree aggregates empty.
+            return agg;
+        }
+        for ts in lo..=hi.min(n - 1) {
             agg.merge(&Aggregate::of(ts * 3 + 1));
         }
         agg

@@ -25,6 +25,12 @@
 //! All node hashes are domain-separated (see [`domain`]) so that a node of
 //! one structure can never be confused with a node of another.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 pub mod aggmb;
 pub mod mbtree;
 pub mod mht;

@@ -32,10 +32,18 @@ use dcert_primitives::hash::{hash_bytes, Hash};
 use crate::domain;
 use crate::ProofError;
 
+/// Node arity as a u32 for the hash preimage. Arities are bounded by the
+/// tree order (decoded proofs are bounded by the codec's 64 MiB cap), so
+/// saturation is unreachable; saturating keeps distinct lengths from
+/// colliding in the preimage.
+fn len_u32(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
 fn leaf_hash(entries: &[(u64, Hash)]) -> Hash {
     let mut buf = Vec::with_capacity(1 + 4 + entries.len() * 40);
     buf.push(domain::MBT_LEAF);
-    buf.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&len_u32(entries.len()).to_be_bytes());
     for (ts, vh) in entries {
         buf.extend_from_slice(&ts.to_be_bytes());
         buf.extend_from_slice(vh.as_bytes());
@@ -46,7 +54,7 @@ fn leaf_hash(entries: &[(u64, Hash)]) -> Hash {
 fn node_hash(separators: &[u64], children: &[Hash]) -> Hash {
     let mut buf = Vec::with_capacity(1 + 4 + separators.len() * 8 + children.len() * 32);
     buf.push(domain::MBT_NODE);
-    buf.extend_from_slice(&(separators.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&len_u32(separators.len()).to_be_bytes());
     for sep in separators {
         buf.extend_from_slice(&sep.to_be_bytes());
     }
@@ -147,7 +155,7 @@ impl MbTree {
             match node {
                 MbNode::Leaf { entries, .. } => return entries.last().map(|(ts, _)| *ts),
                 MbNode::Internal { children, .. } => {
-                    node = children.last().expect("internal node has children");
+                    node = children.last()?;
                 }
             }
         }
@@ -193,14 +201,16 @@ impl MbTree {
             MbNode::Leaf { mut entries, .. } => {
                 match entries.binary_search_by_key(&ts, |(t, _)| *t) {
                     Ok(pos) => {
-                        *previous = Some(std::mem::replace(&mut entries[pos].1, value));
+                        if let Some(entry) = entries.get_mut(pos) {
+                            *previous = Some(std::mem::replace(&mut entry.1, value));
+                        }
                     }
                     Err(pos) => entries.insert(pos, (ts, value)),
                 }
                 if entries.len() > self.order {
                     let mid = entries.len() / 2;
                     let right_entries = entries.split_off(mid);
-                    let sep = right_entries[0].0;
+                    let sep = right_entries.first().map_or(0, |(t, _)| *t);
                     (
                         MbNode::new_leaf(entries),
                         Some((sep, MbNode::new_leaf(right_entries))),
@@ -225,7 +235,10 @@ impl MbTree {
                 if children.len() > self.order {
                     let mid = children.len() / 2;
                     let right_children = children.split_off(mid);
-                    let promoted = separators[mid - 1];
+                    let promoted = separators
+                        .get(mid.saturating_sub(1))
+                        .copied()
+                        .unwrap_or_default();
                     let right_seps = separators.split_off(mid);
                     separators.pop(); // drop the promoted separator
                     (
@@ -248,7 +261,8 @@ impl MbTree {
                     return entries
                         .binary_search_by_key(&ts, |(t, _)| *t)
                         .ok()
-                        .map(|pos| entries[pos].1.as_slice());
+                        .and_then(|pos| entries.get(pos))
+                        .map(|(_, v)| v.as_slice());
                 }
                 MbNode::Internal {
                     separators,
@@ -256,7 +270,7 @@ impl MbTree {
                     ..
                 } => {
                     let idx = separators.partition_point(|sep| *sep <= ts);
-                    node = &children[idx];
+                    node = children.get(idx)?;
                 }
             }
         }
@@ -294,11 +308,7 @@ impl MbTree {
                     .iter()
                     .enumerate()
                     .map(|(i, child)| {
-                        let child_lo = if i == 0 {
-                            None
-                        } else {
-                            Some(separators[i - 1])
-                        };
+                        let child_lo = i.checked_sub(1).and_then(|j| separators.get(j)).copied();
                         let child_hi = separators.get(i).copied();
                         if interval_intersects(child_lo, child_hi, lo, hi) {
                             ProofChild::Open(Box::new(Self::range_rec(child, lo, hi, results)))
@@ -334,15 +344,16 @@ impl MbTree {
                     children,
                     ..
                 } => {
-                    let inner: Vec<Hash> = children[..children.len() - 1]
-                        .iter()
-                        .map(|c| c.hash())
-                        .collect();
+                    let Some((rightmost, rest)) = children.split_last() else {
+                        node = None;
+                        continue;
+                    };
+                    let inner: Vec<Hash> = rest.iter().map(|c| c.hash()).collect();
                     path.push(AppendNode::Internal {
                         separators: separators.clone(),
                         left_siblings: inner,
                     });
-                    node = Some(children.last().expect("internal has children"));
+                    node = Some(rightmost);
                 }
             }
         }
@@ -460,15 +471,18 @@ impl MbRangeProof {
                 if children.len() != separators.len() + 1 {
                     return Err(ProofError::Malformed("arity mismatch"));
                 }
-                if separators.windows(2).any(|w| w[0] >= w[1]) {
+                if separators.windows(2).any(|w| matches!(w, [a, b] if a >= b)) {
                     return Err(ProofError::Malformed("separators not sorted"));
                 }
                 let mut hashes = Vec::with_capacity(children.len());
                 for (i, child) in children.iter().enumerate() {
-                    let child_lo = if i == 0 {
-                        bound_lo
-                    } else {
-                        Some(separators[i - 1])
+                    let child_lo = match i.checked_sub(1) {
+                        None => bound_lo,
+                        Some(j) => Some(
+                            *separators
+                                .get(j)
+                                .ok_or(ProofError::Malformed("arity mismatch"))?,
+                        ),
                     };
                     let child_hi = separators.get(i).copied().or(bound_hi);
                     match child {
@@ -553,47 +567,38 @@ impl MbAppendProof {
         if order < 3 {
             return Err(ProofError::Malformed("order must be at least 3"));
         }
-        if self.path.is_empty() {
+        let Some((last_node, upper)) = self.path.split_last() else {
             if !root.is_zero() {
                 return Err(ProofError::RootMismatch);
             }
             return Ok(leaf_hash(&[(ts, *value_hash)]));
-        }
+        };
+        let AppendNode::Leaf { entries } = last_node else {
+            return Err(ProofError::Malformed("append path must end in a leaf"));
+        };
         // Authenticate: compute each path node's hash from the bottom up,
         // then compare the top with `root`.
-        let mut hashes = vec![Hash::ZERO; self.path.len()];
-        for i in (0..self.path.len()).rev() {
-            hashes[i] = match &self.path[i] {
-                AppendNode::Leaf { entries } => {
-                    if i != self.path.len() - 1 {
-                        return Err(ProofError::Malformed("leaf not at path end"));
-                    }
-                    leaf_hash(entries)
-                }
-                AppendNode::Internal {
-                    separators,
-                    left_siblings,
-                } => {
-                    if i == self.path.len() - 1 {
-                        return Err(ProofError::Malformed("append path ends at internal node"));
-                    }
-                    if left_siblings.len() != separators.len() {
-                        return Err(ProofError::Malformed("append path arity"));
-                    }
-                    let mut children = left_siblings.clone();
-                    children.push(hashes[i + 1]);
-                    node_hash(separators, &children)
-                }
+        let mut below = leaf_hash(entries);
+        for node in upper.iter().rev() {
+            let AppendNode::Internal {
+                separators,
+                left_siblings,
+            } = node
+            else {
+                return Err(ProofError::Malformed("leaf in the middle of path"));
             };
+            if left_siblings.len() != separators.len() {
+                return Err(ProofError::Malformed("append path arity"));
+            }
+            let mut children = left_siblings.clone();
+            children.push(below);
+            below = node_hash(separators, &children);
         }
-        if hashes[0] != *root {
+        if below != *root {
             return Err(ProofError::RootMismatch);
         }
 
         // Replay the append bottom-up with splits.
-        let AppendNode::Leaf { entries } = &self.path[self.path.len() - 1] else {
-            return Err(ProofError::Malformed("append path must end in a leaf"));
-        };
         if let Some((last_ts, _)) = entries.last() {
             if ts <= *last_ts {
                 return Err(ProofError::Malformed("append timestamp not increasing"));
@@ -604,17 +609,17 @@ impl MbAppendProof {
         let mut applied = if new_entries.len() > order {
             let mid = new_entries.len() / 2;
             let right = new_entries.split_off(mid);
-            let sep = right[0].0;
+            let sep = right.first().map_or(0, |(t, _)| *t);
             Applied::Split(leaf_hash(&new_entries), sep, leaf_hash(&right))
         } else {
             Applied::Single(leaf_hash(&new_entries))
         };
 
-        for i in (0..self.path.len() - 1).rev() {
+        for node in upper.iter().rev() {
             let AppendNode::Internal {
                 separators,
                 left_siblings,
-            } = &self.path[i]
+            } = node
             else {
                 return Err(ProofError::Malformed("leaf in the middle of path"));
             };
@@ -631,7 +636,10 @@ impl MbAppendProof {
             applied = if children.len() > order {
                 let mid = children.len() / 2;
                 let right_children = children.split_off(mid);
-                let promoted = separators[mid - 1];
+                let promoted = separators
+                    .get(mid.saturating_sub(1))
+                    .copied()
+                    .ok_or(ProofError::Malformed("append split arity"))?;
                 let right_seps = separators.split_off(mid);
                 separators.pop();
                 Applied::Split(

@@ -14,11 +14,15 @@ use crate::domain;
 use crate::ProofError;
 
 fn leaf_hash(item: &[u8]) -> Hash {
-    hash_concat([&[domain::MHT_LEAF][..], item])
+    hash_concat([std::slice::from_ref(&domain::MHT_LEAF), item])
 }
 
 fn node_hash(left: &Hash, right: &Hash) -> Hash {
-    hash_concat([&[domain::MHT_NODE][..], left.as_bytes(), right.as_bytes()])
+    hash_concat([
+        std::slice::from_ref(&domain::MHT_NODE),
+        left.as_bytes(),
+        right.as_bytes(),
+    ])
 }
 
 /// A static Merkle hash tree over a list of items.
@@ -58,15 +62,18 @@ impl MerkleTree {
     /// automatically.
     pub fn from_leaf_hashes(leaves: Vec<Hash>) -> Self {
         let mut levels = vec![leaves];
-        while levels.last().expect("non-empty levels").len() > 1 {
-            let prev = levels.last().expect("non-empty levels");
+        while let Some(prev) = levels.last() {
+            if prev.len() <= 1 {
+                break;
+            }
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 match pair {
                     [l, r] => next.push(node_hash(l, r)),
-                    // Odd node: promote unchanged.
+                    // Odd node: promote unchanged. `chunks(2)` yields no
+                    // other widths, so the catch-all arm is dead.
                     [single] => next.push(*single),
-                    _ => unreachable!("chunks(2) yields 1 or 2 items"),
+                    _ => continue,
                 }
             }
             levels.push(next);
@@ -76,21 +83,21 @@ impl MerkleTree {
 
     /// Number of leaves.
     pub fn len(&self) -> usize {
-        self.levels[0].len()
+        self.levels.first().map_or(0, Vec::len)
     }
 
     /// Returns `true` if the tree has no leaves.
     pub fn is_empty(&self) -> bool {
-        self.levels[0].is_empty()
+        self.len() == 0
     }
 
     /// The root commitment ([`Hash::ZERO`] for an empty tree).
     pub fn root(&self) -> Hash {
-        if self.is_empty() {
-            Hash::ZERO
-        } else {
-            self.levels.last().expect("non-empty levels")[0]
-        }
+        self.levels
+            .last()
+            .and_then(|level| level.first())
+            .copied()
+            .unwrap_or(Hash::ZERO)
     }
 
     /// Produces a membership proof for the leaf at `index`.
@@ -102,14 +109,10 @@ impl MerkleTree {
         }
         let mut siblings = Vec::new();
         let mut pos = index;
-        for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_pos = pos ^ 1;
-            if sibling_pos < level.len() {
-                siblings.push(Some(level[sibling_pos]));
-            } else {
-                // Odd promoted node: no sibling at this level.
-                siblings.push(None);
-            }
+        let above_leaves = self.levels.len().saturating_sub(1);
+        for level in self.levels.iter().take(above_leaves) {
+            // `None` where the node was promoted unpaired at this level.
+            siblings.push(level.get(pos ^ 1).copied());
             pos /= 2;
         }
         Some(MhtProof {
@@ -167,14 +170,14 @@ impl MhtProof {
         // The number of levels above the leaves.
         let expected_levels = {
             let mut n = self.leaf_count;
-            let mut levels = 0;
+            let mut levels = 0usize;
             while n > 1 {
                 n = n.div_ceil(2);
                 levels += 1;
             }
             levels
         };
-        if self.siblings.len() != expected_levels as usize {
+        if self.siblings.len() != expected_levels {
             return Err(ProofError::Malformed("wrong number of proof levels"));
         }
         let mut acc = leaf;

@@ -48,10 +48,18 @@ use crate::ProofError;
 mod sha2_free_hasher {
     use super::*;
 
+    /// Nibble-path length as a u16 for the hash preimage. Key material in
+    /// this workspace is at most a few dozen bytes, so saturation is
+    /// unreachable; saturating (rather than truncating) keeps distinct
+    /// lengths from ever colliding in the preimage.
+    fn path_len_u16(path: &[u8]) -> u16 {
+        u16::try_from(path.len()).unwrap_or(u16::MAX)
+    }
+
     pub fn leaf_node_hash(path: &[u8], value_hash: &Hash) -> Hash {
         let mut buf = Vec::with_capacity(3 + path.len() + 32);
         buf.push(domain::MPT_LEAF);
-        buf.extend_from_slice(&(path.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&path_len_u16(path).to_be_bytes());
         buf.extend_from_slice(path);
         buf.extend_from_slice(value_hash.as_bytes());
         hash_bytes(&buf)
@@ -60,7 +68,7 @@ mod sha2_free_hasher {
     pub fn ext_node_hash(path: &[u8], child: &Hash) -> Hash {
         let mut buf = Vec::with_capacity(3 + path.len() + 32);
         buf.push(domain::MPT_EXT);
-        buf.extend_from_slice(&(path.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&path_len_u16(path).to_be_bytes());
         buf.extend_from_slice(path);
         buf.extend_from_slice(child.as_bytes());
         hash_bytes(&buf)
@@ -150,9 +158,9 @@ impl MptNode {
 
 fn child_hash_array(children: &[Option<Box<MptNode>>; 16]) -> [Hash; 16] {
     let mut out = [Hash::ZERO; 16];
-    for (slot, child) in children.iter().enumerate() {
+    for (slot, child) in out.iter_mut().zip(children) {
         if let Some(c) = child {
-            out[slot] = c.hash();
+            *slot = c.hash();
         }
     }
     out
@@ -212,20 +220,17 @@ impl Mpt {
                     return (path.as_slice() == rest).then_some(value.as_slice());
                 }
                 MptNode::Ext { path, child, .. } => {
-                    if rest.len() < path.len() || &rest[..path.len()] != path.as_slice() {
-                        return None;
-                    }
-                    rest = &rest[path.len()..];
+                    rest = rest.strip_prefix(path.as_slice())?;
                     node = child;
                 }
                 MptNode::Branch {
                     children, value, ..
                 } => {
-                    if rest.is_empty() {
+                    let Some((&nib, tail)) = rest.split_first() else {
                         return value.as_deref();
-                    }
-                    node = children[rest[0] as usize].as_deref()?;
-                    rest = &rest[1..];
+                    };
+                    node = children.get(usize::from(nib))?.as_deref()?;
+                    rest = tail;
                 }
             }
         }
@@ -253,23 +258,29 @@ impl Mpt {
                 let common = lcp(&lpath, path);
                 let mut children: [Option<Box<MptNode>>; 16] = Default::default();
                 let mut branch_value = None;
-                let lrest = &lpath[common..];
-                if lrest.is_empty() {
-                    branch_value = Some(lvalue);
-                } else {
-                    children[lrest[0] as usize] =
-                        Some(MptNode::new_leaf(lrest[1..].to_vec(), lvalue));
+                let lrest = lpath.get(common..).unwrap_or_default();
+                match lrest.split_first() {
+                    None => branch_value = Some(lvalue),
+                    Some((&nib, tail)) => {
+                        let leaf = MptNode::new_leaf(tail.to_vec(), lvalue);
+                        if let Some(slot) = children.get_mut(usize::from(nib)) {
+                            *slot = Some(leaf);
+                        }
+                    }
                 }
-                let prest = &path[common..];
-                if prest.is_empty() {
-                    branch_value = Some(value);
-                } else {
-                    children[prest[0] as usize] =
-                        Some(MptNode::new_leaf(prest[1..].to_vec(), value));
+                let prest = path.get(common..).unwrap_or_default();
+                match prest.split_first() {
+                    None => branch_value = Some(value),
+                    Some((&nib, tail)) => {
+                        let leaf = MptNode::new_leaf(tail.to_vec(), value);
+                        if let Some(slot) = children.get_mut(usize::from(nib)) {
+                            *slot = Some(leaf);
+                        }
+                    }
                 }
                 let branch = MptNode::new_branch(children, branch_value);
                 if common > 0 {
-                    MptNode::new_ext(path[..common].to_vec(), branch)
+                    MptNode::new_ext(path.get(..common).unwrap_or_default().to_vec(), branch)
                 } else {
                     branch
                 }
@@ -278,31 +289,41 @@ impl Mpt {
                 path: epath, child, ..
             } => {
                 let common = lcp(&epath, path);
-                if common == epath.len() {
-                    let new_child =
-                        Self::insert_node(Some(child), &path[common..], value, previous);
+                // `(nib, tail)` of the extension path past the shared
+                // prefix; `None` means the whole extension matched.
+                let split = epath
+                    .get(common..)
+                    .and_then(|s| s.split_first())
+                    .map(|(nib, tail)| (*nib, tail.to_vec()));
+                let Some((enib, etail)) = split else {
+                    let rest = path.get(common..).unwrap_or_default();
+                    let new_child = Self::insert_node(Some(child), rest, value, previous);
                     return MptNode::new_ext(epath, new_child);
-                }
+                };
                 // Split the extension at `common`.
                 let mut children: [Option<Box<MptNode>>; 16] = Default::default();
                 let mut branch_value = None;
-                let enib = epath[common];
-                let etail = epath[common + 1..].to_vec();
-                children[enib as usize] = Some(if etail.is_empty() {
+                let moved = if etail.is_empty() {
                     child
                 } else {
                     MptNode::new_ext(etail, child)
-                });
-                let prest = &path[common..];
-                if prest.is_empty() {
-                    branch_value = Some(value);
-                } else {
-                    children[prest[0] as usize] =
-                        Some(MptNode::new_leaf(prest[1..].to_vec(), value));
+                };
+                if let Some(slot) = children.get_mut(usize::from(enib)) {
+                    *slot = Some(moved);
+                }
+                let prest = path.get(common..).unwrap_or_default();
+                match prest.split_first() {
+                    None => branch_value = Some(value),
+                    Some((&nib, tail)) => {
+                        let leaf = MptNode::new_leaf(tail.to_vec(), value);
+                        if let Some(slot) = children.get_mut(usize::from(nib)) {
+                            *slot = Some(leaf);
+                        }
+                    }
                 }
                 let branch = MptNode::new_branch(children, branch_value);
                 if common > 0 {
-                    MptNode::new_ext(path[..common].to_vec(), branch)
+                    MptNode::new_ext(path.get(..common).unwrap_or_default().to_vec(), branch)
                 } else {
                     branch
                 }
@@ -312,13 +333,16 @@ impl Mpt {
                 value: bvalue,
                 ..
             } => {
-                if path.is_empty() {
+                let Some((&nib, tail)) = path.split_first() else {
                     *previous = bvalue;
                     return MptNode::new_branch(children, Some(value));
+                };
+                let slot = usize::from(nib);
+                let child = children.get_mut(slot).and_then(Option::take);
+                let new_child = Self::insert_node(child, tail, value, previous);
+                if let Some(entry) = children.get_mut(slot) {
+                    *entry = Some(new_child);
                 }
-                let slot = path[0] as usize;
-                let child = children[slot].take();
-                children[slot] = Some(Self::insert_node(child, &path[1..], value, previous));
                 MptNode::new_branch(children, bvalue)
             }
         }
@@ -347,11 +371,13 @@ impl Mpt {
                         path: path.clone(),
                         child: child.hash(),
                     });
-                    if rest.len() < path.len() || &rest[..path.len()] != path.as_slice() {
-                        return MptProof { nodes };
+                    match rest.strip_prefix(path.as_slice()) {
+                        Some(tail) => {
+                            rest = tail;
+                            node = child;
+                        }
+                        None => return MptProof { nodes },
                     }
-                    rest = &rest[path.len()..];
-                    node = child;
                 }
                 MptNode::Branch {
                     children, value, ..
@@ -360,13 +386,13 @@ impl Mpt {
                         children: child_hash_array(children),
                         value_hash: value.as_ref().map(hash_bytes),
                     });
-                    if rest.is_empty() {
+                    let Some((&nib, tail)) = rest.split_first() else {
                         return MptProof { nodes };
-                    }
-                    match children[rest[0] as usize].as_deref() {
+                    };
+                    match children.get(usize::from(nib)).and_then(|c| c.as_deref()) {
                         Some(next) => {
                             node = next;
-                            rest = &rest[1..];
+                            rest = tail;
                         }
                         None => return MptProof { nodes },
                     }
@@ -471,14 +497,14 @@ impl MptProof {
 
         // `consumed[i]` = nibbles consumed before reaching node i.
         // Rebuild from the terminal node upward.
-        if self.nodes.is_empty() {
+        let Some((last_node, upper)) = self.nodes.split_last() else {
             // Empty trie: new root is a single leaf.
             return Ok(leaf_node_hash(&nibbles, new_value_hash));
-        }
+        };
 
-        let last = self.nodes.len() - 1;
-        let rest = &nibbles[trail.consumed[last]..];
-        let mut acc = match &self.nodes[last] {
+        let consumed_last = trail.consumed.last().copied().unwrap_or(0);
+        let rest = nibbles.get(consumed_last..).unwrap_or_default();
+        let mut acc = match last_node {
             ProofNode::Leaf { path, value_hash } => {
                 if path.as_slice() == rest {
                     // Update in place.
@@ -488,21 +514,27 @@ impl MptProof {
                     let common = lcp(path, rest);
                     let mut children = [Hash::ZERO; 16];
                     let mut bvalue = None;
-                    let lrest = &path[common..];
-                    if lrest.is_empty() {
-                        bvalue = Some(*value_hash);
-                    } else {
-                        children[lrest[0] as usize] = leaf_node_hash(&lrest[1..], value_hash);
+                    let lrest = path.get(common..).unwrap_or_default();
+                    match lrest.split_first() {
+                        None => bvalue = Some(*value_hash),
+                        Some((&nib, tail)) => {
+                            if let Some(slot) = children.get_mut(usize::from(nib)) {
+                                *slot = leaf_node_hash(tail, value_hash);
+                            }
+                        }
                     }
-                    let prest = &rest[common..];
-                    if prest.is_empty() {
-                        bvalue = Some(*new_value_hash);
-                    } else {
-                        children[prest[0] as usize] = leaf_node_hash(&prest[1..], new_value_hash);
+                    let prest = rest.get(common..).unwrap_or_default();
+                    match prest.split_first() {
+                        None => bvalue = Some(*new_value_hash),
+                        Some((&nib, tail)) => {
+                            if let Some(slot) = children.get_mut(usize::from(nib)) {
+                                *slot = leaf_node_hash(tail, new_value_hash);
+                            }
+                        }
                     }
                     let branch = branch_node_hash(&children, &bvalue);
                     if common > 0 {
-                        ext_node_hash(&rest[..common], &branch)
+                        ext_node_hash(rest.get(..common).unwrap_or_default(), &branch)
                     } else {
                         branch
                     }
@@ -511,25 +543,30 @@ impl MptProof {
             ProofNode::Ext { path, child } => {
                 // The walk stopped here, so the ext path diverges from rest.
                 let common = lcp(path, rest);
-                debug_assert!(common < path.len());
+                let Some((&enib, etail)) = path.get(common..).and_then(|s| s.split_first()) else {
+                    return Err(ProofError::Malformed("extension does not diverge"));
+                };
                 let mut children = [Hash::ZERO; 16];
                 let mut bvalue = None;
-                let enib = path[common];
-                let etail = &path[common + 1..];
-                children[enib as usize] = if etail.is_empty() {
-                    *child
-                } else {
-                    ext_node_hash(etail, child)
-                };
-                let prest = &rest[common..];
-                if prest.is_empty() {
-                    bvalue = Some(*new_value_hash);
-                } else {
-                    children[prest[0] as usize] = leaf_node_hash(&prest[1..], new_value_hash);
+                if let Some(slot) = children.get_mut(usize::from(enib)) {
+                    *slot = if etail.is_empty() {
+                        *child
+                    } else {
+                        ext_node_hash(etail, child)
+                    };
+                }
+                let prest = rest.get(common..).unwrap_or_default();
+                match prest.split_first() {
+                    None => bvalue = Some(*new_value_hash),
+                    Some((&nib, tail)) => {
+                        if let Some(slot) = children.get_mut(usize::from(nib)) {
+                            *slot = leaf_node_hash(tail, new_value_hash);
+                        }
+                    }
                 }
                 let branch = branch_node_hash(&children, &bvalue);
                 if common > 0 {
-                    ext_node_hash(&rest[..common], &branch)
+                    ext_node_hash(rest.get(..common).unwrap_or_default(), &branch)
                 } else {
                     branch
                 }
@@ -538,31 +575,37 @@ impl MptProof {
                 children,
                 value_hash,
             } => {
-                if rest.is_empty() {
+                match rest.split_first() {
                     // Upsert the branch's own value.
-                    branch_node_hash(children, &Some(*new_value_hash))
-                } else {
+                    None => branch_node_hash(children, &Some(*new_value_hash)),
                     // The walk stopped because the slot was empty.
-                    let mut children = *children;
-                    debug_assert!(children[rest[0] as usize].is_zero());
-                    children[rest[0] as usize] = leaf_node_hash(&rest[1..], new_value_hash);
-                    branch_node_hash(&children, value_hash)
+                    Some((&nib, tail)) => {
+                        let mut children = *children;
+                        if let Some(slot) = children.get_mut(usize::from(nib)) {
+                            debug_assert!(slot.is_zero());
+                            *slot = leaf_node_hash(tail, new_value_hash);
+                        }
+                        branch_node_hash(&children, value_hash)
+                    }
                 }
             }
         };
 
         // Propagate upward.
-        for i in (0..last).rev() {
-            let consumed = trail.consumed[i];
-            acc = match &self.nodes[i] {
+        for (node, &consumed) in upper.iter().zip(&trail.consumed).rev() {
+            acc = match node {
                 ProofNode::Ext { path, .. } => ext_node_hash(path, &acc),
                 ProofNode::Branch {
                     children,
                     value_hash,
                 } => {
-                    let slot = nibbles[consumed] as usize;
+                    let Some(&nib) = nibbles.get(consumed) else {
+                        return Err(ProofError::Malformed("branch consumed past key end"));
+                    };
                     let mut children = *children;
-                    children[slot] = acc;
+                    if let Some(slot) = children.get_mut(usize::from(nib)) {
+                        *slot = acc;
+                    }
                     branch_node_hash(&children, value_hash)
                 }
                 ProofNode::Leaf { .. } => {
@@ -594,7 +637,7 @@ impl MptProof {
                 return Err(ProofError::RootMismatch);
             }
             trail.consumed.push(consumed);
-            let rest = &nibbles[consumed..];
+            let rest = nibbles.get(consumed..).unwrap_or_default();
             let is_last = i == self.nodes.len() - 1;
             match node {
                 ProofNode::Leaf { path, value_hash } => {
@@ -613,7 +656,7 @@ impl MptProof {
                     };
                 }
                 ProofNode::Ext { path, child } => {
-                    if rest.len() >= path.len() && &rest[..path.len()] == path.as_slice() {
+                    if rest.strip_prefix(path.as_slice()).is_some() {
                         if is_last {
                             return Err(ProofError::Malformed("proof ends inside extension"));
                         }
@@ -632,7 +675,7 @@ impl MptProof {
                     children,
                     value_hash,
                 } => {
-                    if rest.is_empty() {
+                    let Some((&nib, _)) = rest.split_first() else {
                         if !is_last {
                             return Err(ProofError::Malformed("nodes after terminal branch"));
                         }
@@ -643,8 +686,11 @@ impl MptProof {
                             },
                             trail,
                         ));
-                    }
-                    let slot = children[rest[0] as usize];
+                    };
+                    let slot = children
+                        .get(usize::from(nib))
+                        .copied()
+                        .unwrap_or(Hash::ZERO);
                     if slot.is_zero() {
                         return if is_last {
                             Ok((Resolution::Absent, trail))
@@ -660,7 +706,9 @@ impl MptProof {
                 }
             }
         }
-        unreachable!("loop returns on last node");
+        // Every `is_last` arm above returns, so the loop cannot fall
+        // through with a well-formed proof; treat it as malformed.
+        Err(ProofError::Malformed("proof has no terminal node"))
     }
 }
 

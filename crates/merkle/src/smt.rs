@@ -68,7 +68,7 @@ pub const KEY_BITS: usize = 256;
 /// Hash of a single-leaf subtree.
 pub fn leaf_hash(key: &Hash, value_hash: &Hash) -> Hash {
     hash_concat([
-        &[domain::SMT_LEAF][..],
+        std::slice::from_ref(&domain::SMT_LEAF),
         key.as_bytes(),
         value_hash.as_bytes(),
     ])
@@ -76,7 +76,11 @@ pub fn leaf_hash(key: &Hash, value_hash: &Hash) -> Hash {
 
 /// Hash of a subtree whose two sides both hold leaves.
 pub fn branch_hash(left: &Hash, right: &Hash) -> Hash {
-    hash_concat([&[domain::SMT_BRANCH][..], left.as_bytes(), right.as_bytes()])
+    hash_concat([
+        std::slice::from_ref(&domain::SMT_BRANCH),
+        left.as_bytes(),
+        right.as_bytes(),
+    ])
 }
 
 /// Returns the index of the first bit at which `a` and `b` differ, or
@@ -85,7 +89,9 @@ fn diverge_bit(a: &Hash, b: &Hash) -> usize {
     for (i, (x, y)) in a.as_bytes().iter().zip(b.as_bytes()).enumerate() {
         let diff = x ^ y;
         if diff != 0 {
-            return i * 8 + diff.leading_zeros() as usize;
+            // `leading_zeros` of a non-zero u8 is at most 7.
+            let zeros = usize::try_from(diff.leading_zeros()).unwrap_or(0);
+            return i * 8 + zeros;
         }
     }
     KEY_BITS
@@ -126,23 +132,26 @@ impl Node {
         matches!(self, Node::Empty)
     }
 
-    /// A leaf key beneath this node. Must not be called on `Empty`.
-    fn rep(&self) -> &Hash {
+    /// A leaf key beneath this node (`None` for `Empty`).
+    fn rep(&self) -> Option<&Hash> {
         match self {
-            Node::Empty => unreachable!("rep() on empty node"),
-            Node::Leaf { key, .. } => key,
-            Node::Branch { rep, .. } => rep,
+            Node::Empty => None,
+            Node::Leaf { key, .. } => Some(key),
+            Node::Branch { rep, .. } => Some(rep),
         }
     }
 }
 
 fn make_branch(bit: usize, left: Node, right: Node) -> Node {
     debug_assert!(!left.is_empty() && !right.is_empty());
-    debug_assert!(!left.rep().bit(bit) && right.rep().bit(bit));
+    debug_assert!(
+        left.rep().is_some_and(|r| !r.bit(bit)) && right.rep().is_some_and(|r| r.bit(bit))
+    );
     let hash = branch_hash(&left.hash(), &right.hash());
     Node::Branch {
-        bit: bit as u16,
-        rep: *left.rep(),
+        // `bit` indexes into a 256-bit key, so it always fits u16.
+        bit: u16::try_from(bit).unwrap_or(u16::MAX),
+        rep: left.rep().copied().unwrap_or(Hash::ZERO),
         left: Box::new(left),
         right: Box::new(right),
         hash,
@@ -220,33 +229,47 @@ impl SparseMerkleTree {
         match node {
             Node::Empty => Node::Leaf { key, value_hash },
             Node::Leaf { key: existing, .. } if existing == key => Node::Leaf { key, value_hash },
-            leaf @ Node::Leaf { .. } => {
-                let d = diverge_bit(leaf.rep(), &key);
-                let new_leaf = Node::Leaf { key, value_hash };
-                branch_by_bit(d, new_leaf, key.bit(d), leaf)
-            }
-            branch @ Node::Branch { .. } => {
-                let (bit, rep) = match &branch {
-                    Node::Branch { bit, rep, .. } => (*bit as usize, *rep),
-                    _ => unreachable!(),
+            Node::Leaf {
+                key: existing,
+                value_hash: existing_vh,
+            } => {
+                let d = diverge_bit(&existing, &key);
+                let old_leaf = Node::Leaf {
+                    key: existing,
+                    value_hash: existing_vh,
                 };
+                let new_leaf = Node::Leaf { key, value_hash };
+                branch_by_bit(d, new_leaf, key.bit(d), old_leaf)
+            }
+            Node::Branch {
+                bit,
+                rep,
+                left,
+                right,
+                hash,
+            } => {
+                let bit_ix = usize::from(bit);
                 let d = diverge_bit(&rep, &key);
-                if d < bit {
+                if d < bit_ix {
                     // The key leaves the shared prefix above this branch:
                     // the existing branch moves intact under a new branch.
+                    let branch = Node::Branch {
+                        bit,
+                        rep,
+                        left,
+                        right,
+                        hash,
+                    };
                     let new_leaf = Node::Leaf { key, value_hash };
                     branch_by_bit(d, new_leaf, key.bit(d), branch)
                 } else {
                     // Shared prefix holds through `bit`; descend.
-                    let Node::Branch { left, right, .. } = branch else {
-                        unreachable!()
-                    };
-                    let (left, right) = if key.bit(bit) {
+                    let (left, right) = if key.bit(bit_ix) {
                         (*left, Self::insert_rec(*right, key, value_hash))
                     } else {
                         (Self::insert_rec(*left, key, value_hash), *right)
                     };
-                    make_branch(bit, left, right)
+                    make_branch(bit_ix, left, right)
                 }
             }
         }
@@ -260,7 +283,8 @@ impl SparseMerkleTree {
             Node::Branch {
                 bit, left, right, ..
             } => {
-                let (left, right) = if key.bit(bit as usize) {
+                let bit_ix = usize::from(bit);
+                let (left, right) = if key.bit(bit_ix) {
                     (*left, Self::remove_rec(*right, key))
                 } else {
                     (Self::remove_rec(*left, key), *right)
@@ -270,7 +294,7 @@ impl SparseMerkleTree {
                     (true, true) => Node::Empty,
                     (true, false) => right,
                     (false, true) => left,
-                    (false, false) => make_branch(bit as usize, left, right),
+                    (false, false) => make_branch(bit_ix, left, right),
                 }
             }
         }
@@ -325,8 +349,10 @@ impl SparseMerkleTree {
         }
         if depth == KEY_BITS {
             debug_assert_eq!(keys.len(), 1, "sorted unique keys collide only at 256 bits");
-            pre.push(match node {
-                NodeView::Leaf { key, value_hash } if *key == keys[0] => Some(*value_hash),
+            pre.push(match (node, keys.first()) {
+                (NodeView::Leaf { key, value_hash }, Some(wanted)) if key == wanted => {
+                    Some(*value_hash)
+                }
                 _ => None,
             });
             return;
@@ -382,9 +408,11 @@ impl<'a> NodeView<'a> {
                     ..
                 } = node
                 else {
-                    unreachable!("NodeView::Branch wraps Branch");
+                    // `NodeView::Branch` only ever wraps `Node::Branch`
+                    // (see the `From<&Node>` impl above).
+                    return (NodeView::Empty, NodeView::Empty);
                 };
-                let bit = *bit as usize;
+                let bit = usize::from(*bit);
                 debug_assert!(depth <= bit);
                 if depth < bit {
                     // The whole branch lives on one side at this depth.
@@ -487,7 +515,10 @@ impl SmtProof {
             .keys
             .binary_search(key)
             .map_err(|_| ProofError::MissingKey)?;
-        Ok(self.pre[idx])
+        self.pre
+            .get(idx)
+            .copied()
+            .ok_or(ProofError::Malformed("pre/keys length mismatch"))
     }
 
     /// Verifies the proof against a trusted `root`.
@@ -534,7 +565,7 @@ impl SmtProof {
         if self.pre.len() != self.keys.len() {
             return Err(ProofError::Malformed("pre/keys length mismatch"));
         }
-        if self.keys.windows(2).any(|w| w[0] >= w[1]) {
+        if self.keys.windows(2).any(|w| matches!(w, [a, b] if a >= b)) {
             return Err(ProofError::Malformed("keys not sorted unique"));
         }
         let mut cursor = 0usize;
@@ -580,17 +611,24 @@ impl SmtProof {
             if key_hi - key_lo != 1 {
                 return Err(ProofError::Malformed("key collision at max depth"));
             }
-            let key = &self.keys[key_lo];
+            let key = self
+                .keys
+                .get(key_lo)
+                .ok_or(ProofError::Malformed("key range out of bounds"))?;
             let value_hash = match overrides.and_then(|o| o.get(key)) {
                 Some(over) => *over,
-                None => self.pre[key_lo],
+                None => self.pre.get(key_lo).copied().flatten(),
             };
             return Ok(match value_hash {
                 None => Subtree::Empty,
                 Some(vh) => Subtree::One(leaf_hash(key, &vh)),
             });
         }
-        let split = key_lo + self.keys[key_lo..key_hi].partition_point(|k| !k.bit(depth));
+        let split = key_lo
+            + self
+                .keys
+                .get(key_lo..key_hi)
+                .map_or(0, |range| range.partition_point(|k| !k.bit(depth)));
         set_bit(prefix, depth, false);
         let left = self.compute_rec(depth + 1, key_lo, split, cursor, prefix, overrides)?;
         set_bit(prefix, depth, true);
@@ -602,15 +640,21 @@ impl SmtProof {
 
 fn set_bit(bytes: &mut [u8; 32], i: usize, value: bool) {
     let mask = 1u8 << (7 - i % 8);
-    if value {
-        bytes[i / 8] |= mask;
-    } else {
-        bytes[i / 8] &= !mask;
+    // `i < KEY_BITS` always holds; an out-of-range index is a no-op.
+    if let Some(byte) = bytes.get_mut(i / 8) {
+        if value {
+            *byte |= mask;
+        } else {
+            *byte &= !mask;
+        }
     }
 }
 
 fn prefix_matches(key: &Hash, prefix: &[u8; 32], depth: usize) -> bool {
-    (0..depth).all(|i| key.bit(i) == ((prefix[i / 8] >> (7 - i % 8)) & 1 == 1))
+    (0..depth).all(|i| {
+        let byte = prefix.get(i / 8).copied().unwrap_or(0);
+        key.bit(i) == ((byte >> (7 - i % 8)) & 1 == 1)
+    })
 }
 
 // --- serialization -------------------------------------------------------
@@ -630,14 +674,11 @@ impl Encode for SmtProof {
         let mut i = 0usize;
         let mut chunks: u32 = 0;
         let mut body = Vec::new();
-        while i < self.evidence.len() {
-            match &self.evidence[i] {
+        while let Some(item) = self.evidence.get(i) {
+            match item {
                 Evidence::Empty => {
                     let mut run = 0u16;
-                    while i < self.evidence.len()
-                        && matches!(self.evidence[i], Evidence::Empty)
-                        && run < u16::MAX
-                    {
+                    while matches!(self.evidence.get(i), Some(Evidence::Empty)) && run < u16::MAX {
                         run += 1;
                         i += 1;
                     }

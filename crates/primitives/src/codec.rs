@@ -71,16 +71,22 @@ impl<'a> Reader<'a> {
 
     /// Consumes a single byte.
     pub fn take_byte(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            })
     }
 
     /// Consumes a `u32` big-endian length prefix, enforcing [`MAX_LEN`].
     pub fn take_len(&mut self) -> Result<usize, CodecError> {
-        let len = u32::decode(self)? as u64;
+        let len = u64::from(u32::decode(self)?);
         if len > MAX_LEN {
             return Err(CodecError::LengthOverflow(len));
         }
-        Ok(len as usize)
+        usize::try_from(len).map_err(|_| CodecError::LengthOverflow(len))
     }
 }
 
@@ -140,8 +146,14 @@ macro_rules! impl_codec_uint {
         }
         impl Decode for $ty {
             fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-                let bytes = r.take(std::mem::size_of::<$ty>())?;
-                Ok(<$ty>::from_be_bytes(bytes.try_into().expect("sized take")))
+                const WIDTH: usize = std::mem::size_of::<$ty>();
+                let bytes = r.take(WIDTH)?;
+                let fixed: [u8; WIDTH] =
+                    bytes.try_into().map_err(|_| CodecError::UnexpectedEof {
+                        needed: WIDTH,
+                        remaining: 0,
+                    })?;
+                Ok(<$ty>::from_be_bytes(fixed))
             }
         }
     )*};
@@ -151,7 +163,7 @@ impl_codec_uint!(u8, u16, u32, u64, u128, i64);
 
 impl Encode for bool {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.push(*self as u8);
+        out.push(u8::from(*self));
     }
     fn encoded_len(&self) -> usize {
         1
@@ -170,6 +182,7 @@ impl Decode for bool {
 
 impl Encode for [u8] {
     fn encode(&self, out: &mut Vec<u8>) {
+        // dcert-lint: allow(r2-panic-freedom, reason = "encoder half runs on locally produced data; MAX_LEN (64 MiB) bounds every collection the workspace encodes")
         (self.len() as u32).encode(out);
         out.extend_from_slice(self);
     }
@@ -263,6 +276,7 @@ impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
 
 /// Encodes a slice of encodable elements with a `u32` count prefix.
 pub fn encode_seq<T: Encode>(items: &[T], out: &mut Vec<u8>) {
+    // dcert-lint: allow(r2-panic-freedom, reason = "encoder half runs on locally produced data; MAX_LEN (64 MiB) bounds every collection the workspace encodes")
     (items.len() as u32).encode(out);
     for item in items {
         item.encode(out);

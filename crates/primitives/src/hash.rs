@@ -63,7 +63,9 @@ impl Hash {
     /// Panics if `i >= 256`.
     pub fn bit(&self, i: usize) -> bool {
         assert!(i < 256, "bit index {i} out of range");
-        (self.0[i / 8] >> (7 - i % 8)) & 1 == 1
+        // The assert guarantees `i / 8 < 32`, so the lookup never misses.
+        let byte = self.0.get(i / 8).copied().unwrap_or(0);
+        (byte >> (7 - i % 8)) & 1 == 1
     }
 
     /// Parses a digest from a 64-character hex string.
@@ -90,7 +92,8 @@ impl fmt::Display for Hash {
 
 impl fmt::Debug for Hash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Hash({}..)", &hex::encode(self.0)[..12])
+        let full = hex::encode(self.0);
+        write!(f, "Hash({}..)", full.get(..12).unwrap_or(&full))
     }
 }
 
@@ -152,7 +155,9 @@ impl Address {
     pub fn from_seed(seed: u64) -> Self {
         let h = hash_bytes(seed.to_be_bytes());
         let mut out = [0u8; 20];
-        out.copy_from_slice(&h.as_bytes()[..20]);
+        for (dst, src) in out.iter_mut().zip(h.as_bytes()) {
+            *dst = *src;
+        }
         Address(out)
     }
 
@@ -170,7 +175,8 @@ impl fmt::Display for Address {
 
 impl fmt::Debug for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Address(0x{}..)", &hex::encode(self.0)[..8])
+        let full = hex::encode(self.0);
+        write!(f, "Address(0x{}..)", full.get(..8).unwrap_or(&full))
     }
 }
 

@@ -6,7 +6,12 @@
 
 use crate::error::CodecError;
 
-const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+/// Maps a value in `0..16` to its lower-case hex digit without a table
+/// lookup, so the encoder stays free of slice indexing.
+const fn digit(nibble: u8) -> char {
+    let n = nibble & 0x0f;
+    (if n < 10 { b'0' + n } else { b'a' + (n - 10) }) as char
+}
 
 /// Encodes `bytes` as a lower-case hexadecimal string.
 ///
@@ -17,8 +22,8 @@ pub fn encode(bytes: impl AsRef<[u8]>) -> String {
     let bytes = bytes.as_ref();
     let mut out = String::with_capacity(bytes.len() * 2);
     for &b in bytes {
-        out.push(ALPHABET[(b >> 4) as usize] as char);
-        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+        out.push(digit(b >> 4));
+        out.push(digit(b & 0x0f));
     }
     out
 }
@@ -40,9 +45,12 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CodecError> {
     }
     let mut out = Vec::with_capacity(s.len() / 2);
     for pair in s.chunks_exact(2) {
-        let hi = nibble(pair[0])?;
-        let lo = nibble(pair[1])?;
-        out.push((hi << 4) | lo);
+        // Slice patterns keep this free of panicking indexing; chunks of
+        // any other width are impossible out of `chunks_exact(2)`.
+        let [hi, lo] = pair else {
+            return Err(CodecError::Invalid("odd-length hex string"));
+        };
+        out.push((nibble(*hi)? << 4) | nibble(*lo)?);
     }
     Ok(out)
 }

@@ -58,6 +58,7 @@ impl Keypair {
     /// Exists solely so trusted code can hand the secret to a *sealing*
     /// mechanism (encrypted storage bound to the enclave); never write the
     /// result anywhere in the clear.
+    // dcert-lint: allow(r1-enclave-secrecy, reason = "definition site of the secret-key abstraction; call sites are confined to the trusted program modules by this same rule")
     pub fn to_secret_bytes(&self) -> [u8; 32] {
         self.signing.to_bytes()
     }
@@ -114,7 +115,8 @@ impl PublicKey {
 
 impl fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PublicKey({}..)", &hex::encode(self.0.to_bytes())[..12])
+        let full = hex::encode(self.0.to_bytes());
+        write!(f, "PublicKey({}..)", full.get(..12).unwrap_or(&full))
     }
 }
 
@@ -135,7 +137,10 @@ impl Encode for PublicKey {
 
 impl Decode for PublicKey {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let bytes: [u8; 32] = r.take(32)?.try_into().expect("sized take");
+        let bytes: [u8; 32] = r
+            .take(32)?
+            .try_into()
+            .map_err(|_| CodecError::Invalid("short read for public key"))?;
         PublicKey::from_bytes(bytes).map_err(|_| CodecError::Invalid("invalid ed25519 point"))
     }
 }
@@ -161,7 +166,8 @@ impl Signature {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature({}..)", &hex::encode(self.0.to_bytes())[..12])
+        let full = hex::encode(self.0.to_bytes());
+        write!(f, "Signature({}..)", full.get(..12).unwrap_or(&full))
     }
 }
 
@@ -176,7 +182,10 @@ impl Encode for Signature {
 
 impl Decode for Signature {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let bytes: [u8; 64] = r.take(64)?.try_into().expect("sized take");
+        let bytes: [u8; 64] = r
+            .take(64)?
+            .try_into()
+            .map_err(|_| CodecError::Invalid("short read for signature"))?;
         Ok(Signature::from_bytes(bytes))
     }
 }

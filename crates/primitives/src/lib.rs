@@ -26,6 +26,12 @@
 //! assert!(kp.public().verify(digest.as_bytes(), &sig).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 pub mod codec;
 pub mod error;
 pub mod hash;

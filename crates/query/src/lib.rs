@@ -27,6 +27,12 @@
 //! and a client-side result verifier. [`sp::ServiceProvider`] packages the
 //! per-block maintenance and certificate bookkeeping.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 pub mod aggregate;
 pub mod error;
 pub mod history;

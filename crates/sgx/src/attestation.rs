@@ -24,7 +24,7 @@ const REPORT_DOMAIN: u8 = 0x32;
 
 fn quote_digest(measurement: &Hash, report_data: &Hash) -> Hash {
     hash_concat([
-        &[QUOTE_DOMAIN][..],
+        std::slice::from_ref(&QUOTE_DOMAIN),
         measurement.as_bytes(),
         report_data.as_bytes(),
     ])
@@ -32,7 +32,7 @@ fn quote_digest(measurement: &Hash, report_data: &Hash) -> Hash {
 
 fn report_digest(measurement: &Hash, report_data: &Hash) -> Hash {
     hash_concat([
-        &[REPORT_DOMAIN][..],
+        std::slice::from_ref(&REPORT_DOMAIN),
         measurement.as_bytes(),
         report_data.as_bytes(),
     ])

@@ -110,6 +110,19 @@ impl Default for CostModel {
     }
 }
 
+/// Runs `f` and returns its result together with the wall-clock time it
+/// took.
+///
+/// This is the single sanctioned clock access for code outside the
+/// simulation modules: callers measure a closure instead of holding an
+/// ambient [`Instant`] themselves, which keeps the determinism lint's
+/// allowlist down to this module plus the network/pipeline simulators.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
 /// Busy-waits for `duration` (sleep has millisecond-scale jitter; enclave
 /// transitions are microsecond-scale, so spinning is the only way to charge
 /// them accurately).

@@ -1,15 +1,16 @@
 //! The enclave container: trust boundary, measurement, ECall dispatch.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dcert_primitives::hash::{hash_concat, Hash};
 use dcert_primitives::keys::{Keypair, PublicKey};
 use parking_lot::Mutex;
+// dcert-lint: allow(r3-determinism, reason = "platform-key provisioning entropy; every replayable path launches via launch_with_platform_seed instead")
 use rand::rngs::OsRng;
 use rand::RngCore;
 
 use crate::attestation::Quote;
-use crate::cost::{spin, CostModel};
+use crate::cost::{spin, timed, CostModel};
 use crate::error::SgxError;
 use crate::sealing::{self, SealedBlob};
 
@@ -48,8 +49,8 @@ pub trait Sealable {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable reason if the bytes are malformed.
-    fn import_state(&mut self, state: &[u8]) -> Result<(), String>;
+    /// Returns [`SgxError::BadSeal`] if the bytes are malformed.
+    fn import_state(&mut self, state: &[u8]) -> Result<(), SgxError>;
 }
 
 /// Counters describing everything the enclave boundary has done —
@@ -113,6 +114,7 @@ impl<A: TrustedApp> Enclave<A> {
     /// Loads `app` into a fresh enclave with a random platform key.
     pub fn launch(app: A, cost: CostModel) -> Self {
         let mut seed = [0u8; 32];
+        // dcert-lint: allow(r3-determinism, reason = "platform-key provisioning entropy; every replayable path launches via launch_with_platform_seed instead")
         OsRng.fill_bytes(&mut seed);
         Self::launch_with_platform_seed(app, cost, seed)
     }
@@ -169,9 +171,7 @@ impl<A: TrustedApp> Enclave<A> {
         let mut boundary = self.boundary.lock();
         let in_cost = self.cost.crossing_cost(input.len());
         spin(in_cost);
-        let started = Instant::now();
-        let output = boundary.app.call(input);
-        let trusted = started.elapsed();
+        let (output, trusted) = timed(|| boundary.app.call(input));
         // In-EPC execution slowdown (MEE on every cache-line fill).
         let slowdown = self.cost.slowdown_cost(trusted);
         spin(slowdown);
@@ -221,14 +221,14 @@ impl<A: TrustedApp + Sealable> Enclave<A> {
     ) -> Result<Self, SgxError> {
         let measurement = measure(app.code_identity());
         let state = sealing::unseal(&platform_seed, &measurement, blob)?;
-        app.import_state(&state).map_err(|_| SgxError::BadSeal)?;
+        app.import_state(&state)?;
         Ok(Self::launch_with_platform_seed(app, cost, platform_seed))
     }
 }
 
 /// The measurement function: `H(domain || code_identity)`.
 pub fn measure(code_identity: &[u8]) -> Hash {
-    hash_concat([&[MEASUREMENT_DOMAIN][..], code_identity])
+    hash_concat([std::slice::from_ref(&MEASUREMENT_DOMAIN), code_identity])
 }
 
 #[cfg(test)]
@@ -236,6 +236,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Instant;
 
     struct Secret {
         key: u8,

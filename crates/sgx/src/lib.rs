@@ -47,6 +47,12 @@
 //! # Ok::<(), dcert_sgx::SgxError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 pub mod attestation;
 pub mod cost;
 pub mod enclave;

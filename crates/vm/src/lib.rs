@@ -35,6 +35,8 @@
 //! assert_eq!(exec.writes.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod contract;
 pub mod error;
 pub mod exec;

@@ -23,6 +23,8 @@
 //! [`KvStore`]: kvstore::KvStore
 //! [`SmallBank`]: smallbank::SmallBank
 
+#![forbid(unsafe_code)]
+
 pub mod cpuheavy;
 pub mod donothing;
 pub mod generator;

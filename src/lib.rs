@@ -24,6 +24,8 @@
 //! Start with the [`core`] crate documentation — its example walks the full
 //! pipeline — or run `cargo run --example quickstart`.
 
+#![forbid(unsafe_code)]
+
 pub use dcert_baselines as baselines;
 pub use dcert_chain as chain;
 pub use dcert_core as core;

@@ -1,0 +1,318 @@
+//! The dynamic twin of dcert-lint rule R2 (panic-freedom): every wire
+//! decoder in the workspace is exercised with arbitrary, truncated, and
+//! bit-flipped byte strings, and must always return `Err` — never panic.
+//!
+//! `fuzz_decoding.rs` probes a core subset with semantic soundness checks;
+//! this suite goes wide instead: it enumerates the *complete* decoder
+//! surface (certificates, network messages, sealed blobs, every proof
+//! family, keys, primitives) and sweeps each type's valid encoding through
+//! exhaustive truncations and single-byte corruptions.
+
+use dcert::baselines::lineage::LineageIndex;
+use dcert::baselines::skiplist::AuthSkipList;
+use dcert::baselines::{LineageProof, SkipRangeProof};
+use dcert::chain::consensus::ConsensusProof;
+use dcert::chain::{Block, BlockHeader, Transaction};
+use dcert::core::{
+    BatchLink, BlockInput, Certificate, EcallRequest, EcallResponse, IdxRequest, IndexInput,
+    NetMessage,
+};
+use dcert::merkle::aggmb::AggAppendProof;
+use dcert::merkle::{
+    AggMbTree, AggProof, Aggregate, MbAppendProof, MbRangeProof, MbTree, MerkleTree, MhtProof, Mpt,
+    MptProof, SmtProof, SparseMerkleTree,
+};
+use dcert::primitives::codec::{Decode, Encode};
+use dcert::primitives::hash::{hash_bytes, Address, Hash};
+use dcert::primitives::keys::{Keypair, PublicKey, Signature};
+use dcert::query::aggregate::AggregateIndex;
+use dcert::query::history::HistoryIndex;
+use dcert::query::inverted::InvertedIndex;
+use dcert::query::{AggQueryProof, HistoryProof, KeywordProof};
+use dcert::sgx::{sealing, AttestationReport, AttestationService, Quote, SealedBlob};
+use dcert::vm::StateKey;
+use proptest::prelude::*;
+
+/// Feeds `bytes` to every wire decoder in the workspace. Each call must
+/// return (any result is fine) without panicking.
+fn try_decode_everything(bytes: &[u8]) {
+    // Primitives.
+    let _ = Hash::decode_all(bytes);
+    let _ = Address::decode_all(bytes);
+    let _ = PublicKey::decode_all(bytes);
+    let _ = Signature::decode_all(bytes);
+    let _ = String::decode_all(bytes);
+    let _ = Vec::<u8>::decode_all(bytes);
+    let _ = Vec::<Hash>::decode_all(bytes);
+    let _ = StateKey::decode_all(bytes);
+    // Chain.
+    let _ = BlockHeader::decode_all(bytes);
+    let _ = Block::decode_all(bytes);
+    let _ = Transaction::decode_all(bytes);
+    let _ = ConsensusProof::decode_all(bytes);
+    // Certificates, enclave messages, network envelopes.
+    let _ = Certificate::decode_all(bytes);
+    let _ = AttestationReport::decode_all(bytes);
+    let _ = EcallRequest::decode_all(bytes);
+    let _ = EcallResponse::decode_all(bytes);
+    let _ = BlockInput::decode_all(bytes);
+    let _ = IndexInput::decode_all(bytes);
+    let _ = IdxRequest::decode_all(bytes);
+    let _ = BatchLink::decode_all(bytes);
+    let _ = NetMessage::decode_all(bytes);
+    let _ = SealedBlob::decode_all(bytes);
+    // Proof families.
+    let _ = MhtProof::decode_all(bytes);
+    let _ = SmtProof::decode_all(bytes);
+    let _ = MptProof::decode_all(bytes);
+    let _ = MbRangeProof::decode_all(bytes);
+    let _ = MbAppendProof::decode_all(bytes);
+    let _ = AggProof::decode_all(bytes);
+    let _ = AggAppendProof::decode_all(bytes);
+    let _ = Aggregate::decode_all(bytes);
+    let _ = HistoryProof::decode_all(bytes);
+    let _ = KeywordProof::decode_all(bytes);
+    let _ = AggQueryProof::decode_all(bytes);
+    let _ = SkipRangeProof::decode_all(bytes);
+    let _ = LineageProof::decode_all(bytes);
+}
+
+/// A named valid encoding plus its own type's decoder (for asserting that
+/// truncation breaks the *matching* decoder, not just any decoder).
+struct Probe {
+    name: &'static str,
+    bytes: Vec<u8>,
+    decode_ok: fn(&[u8]) -> bool,
+}
+
+fn probe<T: Encode + Decode>(name: &'static str, value: &T) -> Probe {
+    fn ok<T: Decode>(bytes: &[u8]) -> bool {
+        T::decode_all(bytes).is_ok()
+    }
+    Probe {
+        name,
+        bytes: value.to_encoded_bytes(),
+        decode_ok: ok::<T>,
+    }
+}
+
+fn header(height: u64) -> BlockHeader {
+    BlockHeader {
+        height,
+        prev_hash: hash_bytes(height.to_be_bytes()),
+        state_root: hash_bytes(b"state"),
+        tx_root: hash_bytes(b"txs"),
+        timestamp: height,
+        miner: Address::default(),
+        consensus: ConsensusProof::Pow {
+            difficulty_bits: 0,
+            nonce: 0,
+        },
+    }
+}
+
+fn certificate() -> (Certificate, AttestationReport) {
+    let mut ias = AttestationService::with_seed([1; 32]);
+    let platform = Keypair::from_seed([2; 32]);
+    ias.register_platform(platform.public());
+    let enclave_key = Keypair::from_seed([3; 32]);
+    let quote = Quote::sign(
+        &platform,
+        hash_bytes(b"program"),
+        Certificate::key_binding(&enclave_key.public()),
+    );
+    let report = ias.attest(&quote).expect("registered platform attests");
+    let digest = hash_bytes(b"hdr");
+    let cert = Certificate {
+        pk_enc: enclave_key.public(),
+        report: report.clone(),
+        digest,
+        signature: enclave_key.sign(digest.as_bytes()),
+    };
+    (cert, report)
+}
+
+/// One valid encoding per wire type — the corpus the truncation and
+/// bit-flip sweeps run over.
+fn sample_encodings() -> Vec<Probe> {
+    let kp = Keypair::from_seed([9; 32]);
+    let tx = Transaction::sign(&kp, 7, "kvstore", b"payload".to_vec());
+    let (cert, report) = certificate();
+    let key = StateKey::new("kvstore", b"balance");
+
+    let mht = MerkleTree::from_items([b"a".as_slice(), b"b", b"c"]);
+    let mht_proof = mht.prove(1).expect("index 1 in bounds");
+
+    let mut smt = SparseMerkleTree::new();
+    for i in 0..8u32 {
+        smt.insert(hash_bytes(format!("k{i}")), vec![i as u8]);
+    }
+    let smt_proof = smt.prove(&[hash_bytes("k3"), hash_bytes("missing")]);
+
+    let mut mpt = Mpt::new();
+    mpt.insert(b"key-one", b"v1".to_vec());
+    mpt.insert(b"key-two", b"v2".to_vec());
+    let mpt_proof = mpt.prove(b"key-one");
+
+    let mut mb = MbTree::new(4);
+    for t in 0..10u64 {
+        mb.insert(t, vec![t as u8]);
+    }
+    let (_, mb_range) = mb.range(2, 7);
+    let mb_append = mb.prove_append();
+
+    let mut agg = AggMbTree::new(4);
+    for t in 0..10u64 {
+        agg.insert(t, t * 3);
+    }
+    let (aggregate, agg_proof) = agg.aggregate(2, 7);
+    let agg_append = agg.prove_append();
+
+    let history = HistoryIndex::new("history");
+    let (_, history_proof) = history.query(&key, 0, 10);
+    let inverted = InvertedIndex::new("inverted");
+    let (_, keyword_proof) = inverted.query(&["alpha"]);
+    let aggregate_index = AggregateIndex::new("aggregate");
+    let (_, agg_query_proof) = aggregate_index.query(&key, 0, 10);
+
+    let mut skiplist = AuthSkipList::new();
+    for t in 0..6u64 {
+        skiplist.append(t, vec![t as u8]);
+    }
+    let (_, skip_proof) = skiplist.range(1, 4);
+
+    let mut lineage = LineageIndex::new();
+    lineage.apply_block(1, &[(key, Some(b"v".to_vec()))]);
+    let (_, lineage_proof) = lineage.query(&key, 0, 10);
+
+    let sealed = sealing::seal(&[7; 32], &hash_bytes(b"program"), b"enclave state");
+
+    vec![
+        probe("Hash", &hash_bytes(b"x")),
+        probe("PublicKey", &kp.public()),
+        probe("Signature", &kp.sign(b"msg")),
+        probe("StateKey", &key),
+        probe("BlockHeader", &header(3)),
+        probe(
+            "Block",
+            &Block {
+                header: header(3),
+                txs: vec![tx.clone()],
+            },
+        ),
+        probe("Transaction", &tx),
+        probe("Certificate", &cert),
+        probe("AttestationReport", &report),
+        probe("EcallRequest", &EcallRequest::Init),
+        probe("EcallResponse", &EcallResponse::Initialized(kp.public())),
+        probe(
+            "NetMessage::BlockCert",
+            &NetMessage::BlockCert {
+                header: header(3),
+                cert: cert.clone(),
+            },
+        ),
+        probe(
+            "NetMessage::IndexCert",
+            &NetMessage::IndexCert {
+                header: header(3),
+                index: "history".into(),
+                digest: hash_bytes(b"digest"),
+                cert,
+            },
+        ),
+        probe("SealedBlob", &sealed),
+        probe("MhtProof", &mht_proof),
+        probe("SmtProof", &smt_proof),
+        probe("MptProof", &mpt_proof),
+        probe("MbRangeProof", &mb_range),
+        probe("MbAppendProof", &mb_append),
+        probe("AggProof", &agg_proof),
+        probe("AggAppendProof", &agg_append),
+        probe("Aggregate", &aggregate),
+        probe("HistoryProof", &history_proof),
+        probe("KeywordProof", &keyword_proof),
+        probe("AggQueryProof", &agg_query_proof),
+        probe("SkipRangeProof", &skip_proof),
+        probe("LineageProof", &lineage_proof),
+    ]
+}
+
+#[test]
+fn sample_encodings_round_trip() {
+    for p in sample_encodings() {
+        assert!(
+            (p.decode_ok)(&p.bytes),
+            "{}: canonical encoding must decode",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_every_type_fails_cleanly() {
+    for p in sample_encodings() {
+        for cut in 0..p.bytes.len() {
+            assert!(
+                !(p.decode_ok)(&p.bytes[..cut]),
+                "{}: truncation at {cut}/{} must fail",
+                p.name,
+                p.bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_decoder_survives_every_other_types_encoding() {
+    // Cross-wiring: each type's valid bytes fed to all other decoders.
+    for p in sample_encodings() {
+        try_decode_everything(&p.bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary junk never panics any decoder.
+    #[test]
+    fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        try_decode_everything(&bytes);
+    }
+
+    /// One flipped byte in a valid encoding never panics any decoder —
+    /// including the type's own.
+    #[test]
+    fn prop_bitflipped_encodings_never_panic(
+        which in any::<usize>(),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let samples = sample_encodings();
+        let p = &samples[which % samples.len()];
+        let mut bytes = p.bytes.clone();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= flip;
+        let _ = (p.decode_ok)(&bytes);
+        try_decode_everything(&bytes);
+    }
+
+    /// A truncated valid encoding with random junk appended never panics.
+    #[test]
+    fn prop_truncated_with_junk_tail_never_panics(
+        which in any::<usize>(),
+        cut in any::<usize>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let samples = sample_encodings();
+        let p = &samples[which % samples.len()];
+        let mut bytes = p.bytes[..cut % bytes_len(&p.bytes)].to_vec();
+        bytes.extend_from_slice(&tail);
+        let _ = (p.decode_ok)(&bytes);
+        try_decode_everything(&bytes);
+    }
+}
+
+fn bytes_len(bytes: &[u8]) -> usize {
+    bytes.len().max(1)
+}
