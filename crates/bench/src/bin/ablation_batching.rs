@@ -12,9 +12,12 @@
 
 use std::time::Instant;
 
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::scaled;
 use dcert_bench::report::{banner, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig};
+use dcert_obs::Registry;
 use dcert_sgx::CostModel;
 use dcert_workloads::Workload;
 
@@ -32,11 +35,13 @@ fn main() {
     );
     println!("{}", "-".repeat(52));
 
+    let obs = Registry::new();
     let mut json_rows = Vec::new();
     for &batch in &[1usize, 2, 4, 8, 16] {
         let mut rig = Rig::new(RigConfig {
             cost: CostModel::calibrated(),
             indexes: Vec::new(),
+            obs: obs.clone(),
         });
         let mut gen = rig.generator(Workload::KvStore { keyspace: 500 }, 42);
         let blocks: Vec<_> = (0..total).map(|_| rig.mine(gen.next_block(32))).collect();
@@ -58,16 +63,18 @@ fn main() {
             fmt_duration(per_block),
             fmt_duration(elapsed),
         );
-        json_rows.push(serde_json::json!({
-            "batch_size": batch,
-            "per_block_us": per_block.as_secs_f64() * 1e6,
-            "total_us": elapsed.as_secs_f64() * 1e6,
-            "ecalls": ecalls,
-        }));
+        json_rows.push(obj(vec![
+            ("batch_size", batch.into()),
+            ("per_block_us", (per_block.as_secs_f64() * 1e6).into()),
+            ("total_us", (elapsed.as_secs_f64() * 1e6).into()),
+            ("ecalls", ecalls.into()),
+        ]));
     }
     println!();
     println!("(KV workload, 32-tx blocks, {total} blocks per configuration)");
+    let rows = Json::Arr(json_rows);
+    export_figure("ablation_batching", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

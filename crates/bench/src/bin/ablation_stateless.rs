@@ -18,11 +18,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::naive::{NaiveCertProgram, NaiveRequest, Response};
 use dcert_bench::params::scaled;
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_chain::{FullNode, GenesisBuilder, ProofOfAuthority};
 use dcert_core::{BlockInput, CertProgram, EcallRequest, EcallResponse};
+use dcert_obs::Registry;
 use dcert_primitives::codec::{Decode, Encode};
 use dcert_primitives::hash::Address;
 use dcert_primitives::keys::Keypair;
@@ -51,6 +54,7 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
 
+    let obs = Registry::new();
     let mut json_rows = Vec::new();
     for &entries in &[1_000u64, 5_000, 20_000, 60_000] {
         let entries = scaled(entries);
@@ -118,6 +122,7 @@ fn main() {
             ),
             cost_model(),
         );
+        stateless_enclave.attach_obs(&obs);
         stateless_enclave.ecall(&EcallRequest::Init.to_encoded_bytes());
         let started = Instant::now();
         let resp = stateless_enclave.ecall(&stateless_req);
@@ -137,6 +142,7 @@ fn main() {
             ),
             cost_model(),
         );
+        naive_enclave.attach_obs(&obs);
         naive_enclave.ecall(&[]);
         let started = Instant::now();
         let resp = naive_enclave.ecall(&naive_req);
@@ -147,7 +153,8 @@ fn main() {
         ));
 
         let ratio = naive_time.as_secs_f64() / stateless_time.as_secs_f64();
-        let paged = naive_req.len() > EPC_BUDGET;
+        let naive_paged_bytes = naive_enclave.stats().paged_bytes;
+        let paged = naive_paged_bytes > 0;
         println!(
             "{:>9} | {:>10} {:>12} | {:>10} {:>12} | {:>6.1}x{}",
             entries,
@@ -158,22 +165,28 @@ fn main() {
             ratio,
             if paged { "  (paged!)" } else { "" },
         );
-        json_rows.push(serde_json::json!({
-            "state_entries": entries,
-            "stateless_request_bytes": stateless_req.len(),
-            "stateless_ecall_us": stateless_time.as_secs_f64() * 1e6,
-            "naive_request_bytes": naive_req.len(),
-            "naive_ecall_us": naive_time.as_secs_f64() * 1e6,
-            "ratio": ratio,
-            "naive_paged": paged,
-        }));
+        json_rows.push(obj(vec![
+            ("state_entries", entries.into()),
+            ("stateless_request_bytes", stateless_req.len().into()),
+            (
+                "stateless_ecall_us",
+                (stateless_time.as_secs_f64() * 1e6).into(),
+            ),
+            ("naive_request_bytes", naive_req.len().into()),
+            ("naive_ecall_us", (naive_time.as_secs_f64() * 1e6).into()),
+            ("ratio", ratio.into()),
+            ("naive_paged", paged.into()),
+            ("naive_paged_bytes", naive_paged_bytes.into()),
+        ]));
     }
     println!();
     println!(
         "(EPC budget reduced to {} for a visible paging cliff)",
         fmt_bytes(EPC_BUDGET)
     );
+    let rows = Json::Arr(json_rows);
+    export_figure("ablation_stateless", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

@@ -1,0 +1,205 @@
+//! CI gate over `BENCH_pr4.json`: verifies every figure binary exported
+//! its section and that the counters each experiment must move are present
+//! and non-zero. With `--compare A B` it instead checks that two exports
+//! from same-seed runs agree on every deterministic counter (names ending
+//! in `_ns` measure wall-clock time and are exempt by convention).
+//!
+//! Run with: `cargo run -p dcert-bench --bin check_bench [file]`
+//!       or: `cargo run -p dcert-bench --bin check_bench -- --compare a.json b.json`
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use dcert_bench::export::{bench_out_path, SCHEMA};
+use dcert_bench::json::{Json, ParseError};
+
+/// Per-figure requirements: counters that must be non-zero and histograms
+/// that must have recorded at least one observation.
+const REQUIRED: &[(&str, &[&str], &[&str])] = &[
+    (
+        "fig7_bootstrap",
+        &[
+            "enclave.ecalls",
+            "enclave.bytes_in",
+            "bench.fig7.validations",
+        ],
+        &[
+            "enclave.crossing_bytes",
+            "bench.fig7.superlight_validate_ns",
+        ],
+    ),
+    (
+        "fig8_cert_construction",
+        &[
+            "enclave.ecalls",
+            "enclave.bytes_in",
+            "enclave.sim_charge_nanos",
+        ],
+        &["enclave.crossing_bytes"],
+    ),
+    ("fig9_block_size", &["enclave.ecalls"], &[]),
+    ("fig10_index_certs", &["enclave.ecalls"], &["sp.cert_bytes"]),
+    (
+        "fig11_queries",
+        &["bench.fig11.queries"],
+        &[
+            "bench.fig11.dcert_proof_bytes",
+            "bench.fig11.lineage_proof_bytes",
+        ],
+    ),
+    ("ablation_batching", &["enclave.ecalls"], &[]),
+    (
+        "ablation_stateless",
+        &["enclave.ecalls", "enclave.bytes_in"],
+        &[],
+    ),
+    ("tee_comparison", &["enclave.ecalls"], &[]),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let problems = if args.first().map(String::as_str) == Some("--compare") {
+        match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => compare(a, b),
+            _ => vec!["--compare needs two file arguments".to_owned()],
+        }
+    } else {
+        let path = args
+            .first()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(bench_out_path);
+        check(&path)
+    };
+    if problems.is_empty() {
+        println!("check_bench: OK");
+        ExitCode::SUCCESS
+    } else {
+        for problem in &problems {
+            eprintln!("check_bench: {problem}");
+        }
+        eprintln!("check_bench: {} problem(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Why an export file could not be loaded.
+#[derive(Debug)]
+enum LoadError {
+    Io(std::io::Error),
+    Parse(ParseError),
+    MissingSchemaTag,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "{e}"),
+            LoadError::Parse(e) => write!(f, "{e}"),
+            LoadError::MissingSchemaTag => write!(f, "missing schema tag `{SCHEMA}`"),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    let doc = Json::parse(&text).map_err(LoadError::Parse)?;
+    if doc.get("schema") != Some(&Json::Str(SCHEMA.into())) {
+        return Err(LoadError::MissingSchemaTag);
+    }
+    Ok(doc)
+}
+
+fn check(path: &std::path::Path) -> Vec<String> {
+    let path = path.display().to_string();
+    let doc = match load(&path) {
+        Ok(doc) => doc,
+        Err(err) => return vec![format!("{path}: {err}")],
+    };
+    let mut problems = Vec::new();
+    for &(figure, counters, histograms) in REQUIRED {
+        let Some(section) = doc.get("figures").and_then(|f| f.get(figure)) else {
+            problems.push(format!("figure `{figure}` missing — did its binary run?"));
+            continue;
+        };
+        let metrics = section.get("metrics");
+        for &name in counters {
+            match metrics
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64)
+            {
+                None => problems.push(format!("{figure}: counter `{name}` absent")),
+                Some(0) => problems.push(format!("{figure}: counter `{name}` is zero")),
+                Some(_) => {}
+            }
+        }
+        for &name in histograms {
+            match metrics
+                .and_then(|m| m.get("histograms"))
+                .and_then(|h| h.get(name))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64)
+            {
+                None => problems.push(format!("{figure}: histogram `{name}` absent")),
+                Some(0) => problems.push(format!("{figure}: histogram `{name}` recorded nothing")),
+                Some(_) => {}
+            }
+        }
+    }
+    problems
+}
+
+/// Deterministic counters (everything not suffixed `_ns`) must agree
+/// between two same-seed exports, figure by figure.
+fn compare(path_a: &str, path_b: &str) -> Vec<String> {
+    let (doc_a, doc_b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            return [(path_a, a.err()), (path_b, b.err())]
+                .into_iter()
+                .filter_map(|(path, err)| err.map(|e| format!("{path}: {e}")))
+                .collect()
+        }
+    };
+    let mut problems = Vec::new();
+    for &(figure, _, _) in REQUIRED {
+        let counters = |doc: &Json| -> Option<Json> {
+            doc.get("figures")?
+                .get(figure)?
+                .get("metrics")?
+                .get("counters")
+                .cloned()
+        };
+        match (counters(&doc_a), counters(&doc_b)) {
+            (Some(Json::Obj(a)), Some(Json::Obj(b))) => {
+                let deterministic = |m: &std::collections::BTreeMap<String, Json>| {
+                    m.iter()
+                        .filter(|(name, _)| !name.ends_with("_ns"))
+                        .map(|(name, value)| (name.clone(), value.clone()))
+                        .collect::<Vec<_>>()
+                };
+                let (da, db) = (deterministic(&a), deterministic(&b));
+                if da != db {
+                    for ((name_a, val_a), (_, val_b)) in da.iter().zip(db.iter()) {
+                        if val_a != val_b {
+                            problems.push(format!(
+                                "{figure}: counter `{name_a}` differs: {val_a:?} vs {val_b:?}"
+                            ));
+                        }
+                    }
+                    if da.len() != db.len() {
+                        problems.push(format!(
+                            "{figure}: counter sets differ in size ({} vs {})",
+                            da.len(),
+                            db.len()
+                        ));
+                    }
+                }
+            }
+            (None, None) => {} // figure not exported in either run — nothing to compare
+            _ => problems.push(format!("{figure}: present in only one export")),
+        }
+    }
+    problems
+}

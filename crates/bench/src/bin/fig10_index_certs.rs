@@ -10,9 +10,12 @@
 
 #![forbid(unsafe_code)]
 
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE, INDEX_COUNTS};
 use dcert_bench::report::{banner, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};
+use dcert_obs::Registry;
 use dcert_query::sp::IndexKind;
 use dcert_sgx::CostModel;
 use dcert_workloads::Workload;
@@ -30,10 +33,16 @@ fn indexes(count: usize) -> Vec<(IndexKind, String)> {
         .collect()
 }
 
-fn measure(scheme: Scheme, count: usize, blocks: u64) -> (std::time::Duration, f64) {
+fn measure(
+    scheme: Scheme,
+    count: usize,
+    blocks: u64,
+    obs: &Registry,
+) -> (std::time::Duration, f64) {
     let mut rig = Rig::new(RigConfig {
         cost: CostModel::calibrated(),
         indexes: indexes(count),
+        obs: obs.clone(),
     });
     let result = rig.run(
         Workload::KvStore { keyspace: 500 },
@@ -58,26 +67,29 @@ fn main() {
         "#indexes", "augmented", "ecalls", "hierarchical", "ecalls"
     );
     println!("{}", "-".repeat(56));
+    let obs = Registry::new();
     let mut json_rows = Vec::new();
     for &count in INDEX_COUNTS {
-        let (aug, aug_ecalls) = measure(Scheme::Augmented, count, blocks);
-        let (hier, hier_ecalls) = measure(Scheme::Hierarchical, count, blocks);
+        let (aug, aug_ecalls) = measure(Scheme::Augmented, count, blocks, &obs);
+        let (hier, hier_ecalls) = measure(Scheme::Hierarchical, count, blocks, &obs);
         println!(
             "{count:>8} | {:>12} {aug_ecalls:>7.1} | {:>12} {hier_ecalls:>7.1}",
             fmt_duration(aug),
             fmt_duration(hier),
         );
-        json_rows.push(serde_json::json!({
-            "indexes": count,
-            "augmented_us": aug.as_secs_f64() * 1e6,
-            "hierarchical_us": hier.as_secs_f64() * 1e6,
-            "augmented_ecalls": aug_ecalls,
-            "hierarchical_ecalls": hier_ecalls,
-        }));
+        json_rows.push(obj(vec![
+            ("indexes", count.into()),
+            ("augmented_us", (aug.as_secs_f64() * 1e6).into()),
+            ("hierarchical_us", (hier.as_secs_f64() * 1e6).into()),
+            ("augmented_ecalls", aug_ecalls.into()),
+            ("hierarchical_ecalls", hier_ecalls.into()),
+        ]));
     }
     println!();
     println!("(KV workload, block size = {DEFAULT_BLOCK_SIZE} txs, {blocks} blocks per point)");
+    let rows = Json::Arr(json_rows);
+    export_figure("fig10_index_certs", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

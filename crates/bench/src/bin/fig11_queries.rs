@@ -14,8 +14,11 @@
 use std::time::Instant;
 
 use dcert_baselines::lineage::{verify_lineage, LineageIndex};
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::{scaled, QUERY_ACCOUNTS, QUERY_CHAIN_LENGTH, WINDOW_DISTANCES};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
+use dcert_obs::{Buckets, Registry};
 use dcert_primitives::hash::Hash;
 use dcert_query::history::verify_history;
 use dcert_query::HistoryIndex;
@@ -61,6 +64,16 @@ fn main() {
     let dcert_digest = dcert_idx.digest();
     let lineage_digest = lineage_idx.digest();
 
+    let obs = Registry::new();
+    let queries = obs.counter("bench.fig11.queries");
+    let results_hist = obs.histogram("bench.fig11.results", Buckets::exponential(1, 2, 16));
+    let dcert_proof_bytes = obs.histogram("bench.fig11.dcert_proof_bytes", Buckets::bytes());
+    let lineage_proof_bytes = obs.histogram("bench.fig11.lineage_proof_bytes", Buckets::bytes());
+    let dcert_query_ns = obs.timer("bench.fig11.dcert_query_ns");
+    let dcert_verify_ns = obs.timer("bench.fig11.dcert_verify_ns");
+    let lineage_query_ns = obs.timer("bench.fig11.lineage_query_ns");
+    let lineage_verify_ns = obs.timer("bench.fig11.lineage_verify_ns");
+
     println!(
         "{:>9} | {:>11} {:>11} {:>10} | {:>11} {:>11} {:>10}",
         "distance", "DCert query", "verify", "proof", "LC query", "verify", "proof"
@@ -94,6 +107,15 @@ fn main() {
 
         assert_eq!(d_results, l_results, "both indexes must agree");
 
+        queries.inc();
+        results_hist.observe(u64::try_from(d_results.len()).unwrap_or(u64::MAX));
+        dcert_proof_bytes.observe(u64::try_from(d_proof.size_bytes()).unwrap_or(u64::MAX));
+        lineage_proof_bytes.observe(u64::try_from(l_proof.size_bytes()).unwrap_or(u64::MAX));
+        dcert_query_ns.record(d_query);
+        dcert_verify_ns.record(d_verify);
+        lineage_query_ns.record(l_query);
+        lineage_verify_ns.record(l_verify);
+
         println!(
             "{distance:>9} | {:>11} {:>11} {:>10} | {:>11} {:>11} {:>10}",
             fmt_duration(d_query),
@@ -103,17 +125,17 @@ fn main() {
             fmt_duration(l_verify),
             fmt_bytes(l_proof.size_bytes()),
         );
-        json_rows.push(serde_json::json!({
-            "distance": distance,
-            "window": [t1, t2],
-            "results": d_results.len(),
-            "dcert_query_us": d_query.as_secs_f64() * 1e6,
-            "dcert_verify_us": d_verify.as_secs_f64() * 1e6,
-            "dcert_proof_bytes": d_proof.size_bytes(),
-            "lineage_query_us": l_query.as_secs_f64() * 1e6,
-            "lineage_verify_us": l_verify.as_secs_f64() * 1e6,
-            "lineage_proof_bytes": l_proof.size_bytes(),
-        }));
+        json_rows.push(obj(vec![
+            ("distance", distance.into()),
+            ("window", Json::Arr(vec![t1.into(), t2.into()])),
+            ("results", d_results.len().into()),
+            ("dcert_query_us", (d_query.as_secs_f64() * 1e6).into()),
+            ("dcert_verify_us", (d_verify.as_secs_f64() * 1e6).into()),
+            ("dcert_proof_bytes", d_proof.size_bytes().into()),
+            ("lineage_query_us", (l_query.as_secs_f64() * 1e6).into()),
+            ("lineage_verify_us", (l_verify.as_secs_f64() * 1e6).into()),
+            ("lineage_proof_bytes", l_proof.size_bytes().into()),
+        ]));
     }
     println!();
     println!(
@@ -122,8 +144,10 @@ fn main() {
         short(&dcert_digest),
         short(&lineage_digest)
     );
+    let rows = Json::Arr(json_rows);
+    export_figure("fig11_queries", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }
 

@@ -14,10 +14,13 @@
 use std::time::Instant;
 
 use dcert_baselines::TraditionalLightClient;
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::{scaled, CHAIN_LENGTHS};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig};
 use dcert_core::{expected_measurement, SuperlightClient};
+use dcert_obs::Registry;
 use dcert_sgx::CostModel;
 
 fn main() {
@@ -32,9 +35,11 @@ fn main() {
     // Build one certified chain to the maximum length, checkpointing the
     // certificate at each measured height.
     eprintln!("building a certified {max}-block chain...");
+    let obs = Registry::new();
     let mut rig = Rig::new(RigConfig {
         cost: CostModel::calibrated(),
         indexes: Vec::new(),
+        obs: obs.clone(),
     });
     let mut headers = vec![rig.genesis.header.clone()];
     let mut checkpoints = std::collections::HashMap::new();
@@ -69,6 +74,7 @@ fn main() {
             .validate_all(rig.engine.as_ref())
             .expect("chain valid");
         let light_time = started.elapsed();
+        obs.timer("bench.fig7.light_validate_ns").record(light_time);
 
         // Superlight client: one header + one certificate.
         let (header, cert) = &checkpoints[&height];
@@ -76,6 +82,11 @@ fn main() {
         let started = Instant::now();
         client.validate_chain(header, cert).expect("cert valid");
         let superlight_time = started.elapsed();
+        obs.counter("bench.fig7.validations").inc();
+        obs.timer("bench.fig7.superlight_validate_ns")
+            .record(superlight_time);
+        obs.gauge("bench.fig7.superlight_storage_bytes")
+            .record_max(i64::try_from(client.storage_bytes()).unwrap_or(i64::MAX));
 
         println!(
             "{height:>9} | {:>12} {:>12} {:>12} | {:>10} {:>12}",
@@ -85,16 +96,24 @@ fn main() {
             fmt_bytes(client.storage_bytes()),
             fmt_duration(superlight_time),
         );
-        json_rows.push(serde_json::json!({
-            "blocks": height,
-            "light_storage_bytes": light.storage_bytes(),
-            "light_storage_eth_equiv_bytes": light.ethereum_equivalent_bytes(),
-            "light_validate_us": light_time.as_secs_f64() * 1e6,
-            "superlight_storage_bytes": client.storage_bytes(),
-            "superlight_validate_us": superlight_time.as_secs_f64() * 1e6,
-        }));
+        json_rows.push(obj(vec![
+            ("blocks", height.into()),
+            ("light_storage_bytes", light.storage_bytes().into()),
+            (
+                "light_storage_eth_equiv_bytes",
+                light.ethereum_equivalent_bytes().into(),
+            ),
+            ("light_validate_us", (light_time.as_secs_f64() * 1e6).into()),
+            ("superlight_storage_bytes", client.storage_bytes().into()),
+            (
+                "superlight_validate_us",
+                (superlight_time.as_secs_f64() * 1e6).into(),
+            ),
+        ]));
     }
+    let rows = Json::Arr(json_rows);
+    export_figure("fig7_bootstrap", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

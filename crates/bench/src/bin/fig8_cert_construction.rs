@@ -11,9 +11,12 @@
 
 #![forbid(unsafe_code)]
 
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};
+use dcert_obs::Registry;
 use dcert_sgx::CostModel;
 use dcert_workloads::Workload;
 
@@ -28,11 +31,13 @@ fn main() {
         "", "rw-set", "proof-gen", "enclave", "trusted", "overhead", "total", "req bytes"
     );
     println!("{}", "-".repeat(86));
+    let obs = Registry::new();
     let mut json_rows = Vec::new();
     for workload in Workload::paper_defaults() {
         let mut rig = Rig::new(RigConfig {
             cost: CostModel::calibrated(),
             indexes: Vec::new(),
+            obs: obs.clone(),
         });
         let result = rig.run(workload, blocks, DEFAULT_BLOCK_SIZE, 42, Scheme::BlockOnly);
         let avg = result.average();
@@ -47,23 +52,31 @@ fn main() {
             fmt_duration(avg.total()),
             fmt_bytes(avg.request_bytes as usize),
         );
-        json_rows.push(serde_json::json!({
-            "workload": workload.label(),
-            "rw_set_us": avg.rw_set_gen.as_secs_f64() * 1e6,
-            "proof_gen_us": avg.proof_gen.as_secs_f64() * 1e6,
-            "enclave_total_us": avg.enclave_total.as_secs_f64() * 1e6,
-            "enclave_trusted_us": avg.enclave_trusted.as_secs_f64() * 1e6,
-            "overhead_factor": avg.overhead_factor(),
-            "total_us": avg.total().as_secs_f64() * 1e6,
-            "request_bytes": avg.request_bytes,
-        }));
+        json_rows.push(obj(vec![
+            ("workload", workload.label().into()),
+            ("rw_set_us", (avg.rw_set_gen.as_secs_f64() * 1e6).into()),
+            ("proof_gen_us", (avg.proof_gen.as_secs_f64() * 1e6).into()),
+            (
+                "enclave_total_us",
+                (avg.enclave_total.as_secs_f64() * 1e6).into(),
+            ),
+            (
+                "enclave_trusted_us",
+                (avg.enclave_trusted.as_secs_f64() * 1e6).into(),
+            ),
+            ("overhead_factor", avg.overhead_factor().into()),
+            ("total_us", (avg.total().as_secs_f64() * 1e6).into()),
+            ("request_bytes", avg.request_bytes.into()),
+        ]));
     }
     println!();
     println!(
         "(block size = {DEFAULT_BLOCK_SIZE} txs, {blocks} blocks per workload, averages \
          exclude the first warm-up block)"
     );
+    let rows = Json::Arr(json_rows);
+    export_figure("fig8_cert_construction", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

@@ -9,9 +9,12 @@
 
 #![forbid(unsafe_code)]
 
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, BLOCK_SIZES};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};
+use dcert_obs::Registry;
 use dcert_sgx::CostModel;
 use dcert_workloads::Workload;
 
@@ -30,12 +33,14 @@ fn main() {
         "", "#txs", "rw-set", "proof-gen", "enclave", "overhead", "total", "req bytes"
     );
     println!("{}", "-".repeat(82));
+    let obs = Registry::new();
     let mut json_rows = Vec::new();
     for workload in workloads {
         for &size in BLOCK_SIZES {
             let mut rig = Rig::new(RigConfig {
                 cost: CostModel::calibrated(),
                 indexes: Vec::new(),
+                obs: obs.clone(),
             });
             let result = rig.run(workload, blocks, size, 42, Scheme::BlockOnly);
             let avg = result.average();
@@ -49,20 +54,25 @@ fn main() {
                 fmt_duration(avg.total()),
                 fmt_bytes(avg.request_bytes as usize),
             );
-            json_rows.push(serde_json::json!({
-                "workload": workload.label(),
-                "block_size": size,
-                "rw_set_us": avg.rw_set_gen.as_secs_f64() * 1e6,
-                "proof_gen_us": avg.proof_gen.as_secs_f64() * 1e6,
-                "enclave_total_us": avg.enclave_total.as_secs_f64() * 1e6,
-                "overhead_factor": avg.overhead_factor(),
-                "total_us": avg.total().as_secs_f64() * 1e6,
-                "request_bytes": avg.request_bytes,
-            }));
+            json_rows.push(obj(vec![
+                ("workload", workload.label().into()),
+                ("block_size", size.into()),
+                ("rw_set_us", (avg.rw_set_gen.as_secs_f64() * 1e6).into()),
+                ("proof_gen_us", (avg.proof_gen.as_secs_f64() * 1e6).into()),
+                (
+                    "enclave_total_us",
+                    (avg.enclave_total.as_secs_f64() * 1e6).into(),
+                ),
+                ("overhead_factor", avg.overhead_factor().into()),
+                ("total_us", (avg.total().as_secs_f64() * 1e6).into()),
+                ("request_bytes", avg.request_bytes.into()),
+            ]));
         }
         println!("{}", "-".repeat(82));
     }
+    let rows = Json::Arr(json_rows);
+    export_figure("fig9_block_size", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

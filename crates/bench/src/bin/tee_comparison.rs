@@ -11,9 +11,12 @@
 
 #![forbid(unsafe_code)]
 
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
 use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE};
 use dcert_bench::report::{banner, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};
+use dcert_obs::Registry;
 use dcert_sgx::CostModel;
 use dcert_workloads::Workload;
 
@@ -34,11 +37,13 @@ fn main() {
         "TEE", "enclave", "trusted", "overhead", "total"
     );
     println!("{}", "-".repeat(64));
+    let obs = Registry::new();
     let mut json_rows = Vec::new();
     for (name, cost) in tees {
         let mut rig = Rig::new(RigConfig {
             cost: *cost,
             indexes: Vec::new(),
+            obs: obs.clone(),
         });
         let result = rig.run(
             Workload::SmallBank { customers: 500 },
@@ -55,17 +60,25 @@ fn main() {
             avg.overhead_factor(),
             fmt_duration(avg.total()),
         );
-        json_rows.push(serde_json::json!({
-            "tee": name,
-            "enclave_total_us": avg.enclave_total.as_secs_f64() * 1e6,
-            "enclave_trusted_us": avg.enclave_trusted.as_secs_f64() * 1e6,
-            "overhead_factor": avg.overhead_factor(),
-            "total_us": avg.total().as_secs_f64() * 1e6,
-        }));
+        json_rows.push(obj(vec![
+            ("tee", (*name).into()),
+            (
+                "enclave_total_us",
+                (avg.enclave_total.as_secs_f64() * 1e6).into(),
+            ),
+            (
+                "enclave_trusted_us",
+                (avg.enclave_trusted.as_secs_f64() * 1e6).into(),
+            ),
+            ("overhead_factor", avg.overhead_factor().into()),
+            ("total_us", (avg.total().as_secs_f64() * 1e6).into()),
+        ]));
     }
     println!();
     println!("(SmallBank, block size = {DEFAULT_BLOCK_SIZE} txs, {blocks} blocks per TEE)");
+    let rows = Json::Arr(json_rows);
+    export_figure("tee_comparison", &obs, rows.clone());
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+        println!("{}", rows.to_string_pretty());
     }
 }

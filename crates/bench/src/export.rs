@@ -1,0 +1,160 @@
+//! `BENCH_pr4.json`: the merged metrics export every figure binary writes.
+//!
+//! Each binary contributes one section under `figures.<name>` holding the
+//! figure's printed rows plus a full [`dcert_obs::Snapshot`] of its metric
+//! registry, so downstream tooling (and the `check_bench` gate in CI) reads
+//! one machine-readable file instead of scraping stdout. Binaries run as
+//! separate processes, so the writer is read-merge-write against whatever
+//! sections already exist; set `DCERT_BENCH_OUT` to redirect the file.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dcert_obs::Registry;
+
+use crate::json::{obj, Json};
+use crate::params::scale;
+
+/// Schema tag stamped into the export.
+pub const SCHEMA: &str = "dcert-bench/pr4";
+
+/// Default output file, relative to the working directory.
+pub const DEFAULT_OUT: &str = "BENCH_pr4.json";
+
+/// Where the export goes: `DCERT_BENCH_OUT` or [`DEFAULT_OUT`].
+pub fn bench_out_path() -> PathBuf {
+    std::env::var_os("DCERT_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_OUT))
+}
+
+/// Builds one figure section: the printed rows plus the registry snapshot
+/// (parsed into the same value space so the file nests cleanly).
+pub fn figure_section(registry: &Registry, rows: Json) -> Json {
+    let metrics = Json::parse(&registry.snapshot().to_json())
+        .expect("dcert-obs snapshot JSON is well-formed by construction");
+    obj(vec![
+        ("dcert_scale", scale().into()),
+        ("rows", rows),
+        ("metrics", metrics),
+    ])
+}
+
+/// Merges `figures.<figure>` into the export file and reports the path on
+/// stderr (stdout stays reserved for the human-readable tables).
+pub fn export_figure(figure: &str, registry: &Registry, rows: Json) {
+    let path = bench_out_path();
+    let section = figure_section(registry, rows);
+    match merge_section(&path, figure, section) {
+        Ok(()) => eprintln!("metrics: merged `{figure}` into {}", path.display()),
+        Err(err) => eprintln!("metrics: FAILED to write {}: {err}", path.display()),
+    }
+}
+
+/// Read-merge-write of one section. A missing or unparseable existing file
+/// starts a fresh document rather than failing the benchmark run.
+fn merge_section(
+    path: &std::path::Path,
+    figure: &str,
+    section: Json,
+) -> Result<(), std::io::Error> {
+    let mut doc = match std::fs::read_to_string(path).ok().map(|t| Json::parse(&t)) {
+        Some(Ok(existing)) if existing.get("schema") == Some(&Json::Str(SCHEMA.into())) => existing,
+        _ => obj(vec![
+            ("schema", SCHEMA.into()),
+            ("figures", Json::Obj(BTreeMap::new())),
+        ]),
+    };
+    if let Json::Obj(ref mut top) = doc {
+        match top
+            .entry("figures".to_owned())
+            .or_insert_with(|| Json::Obj(BTreeMap::new()))
+        {
+            Json::Obj(figures) => {
+                figures.insert(figure.to_owned(), section);
+            }
+            other => {
+                *other = Json::Obj(BTreeMap::from([(figure.to_owned(), section)]));
+            }
+        }
+    }
+    // Atomic-enough for CI: write a sibling temp file, then rename over.
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, doc.to_string_pretty())?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("dcert-bench-export-{name}.json"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn sections_from_separate_writes_accumulate() {
+        let path = tmp_file("accumulate");
+        let registry = Registry::new();
+        registry.counter("enclave.ecalls").add(5);
+        merge_section(
+            &path,
+            "fig8_cert_construction",
+            figure_section(&registry, Json::Arr(Vec::new())),
+        )
+        .expect("first write");
+        merge_section(
+            &path,
+            "fig10_index_certs",
+            figure_section(&registry, Json::Arr(Vec::new())),
+        )
+        .expect("second write");
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).expect("readable")).expect("parses");
+        assert_eq!(doc.get("schema"), Some(&Json::Str(SCHEMA.into())));
+        let figures = doc.get("figures").expect("figures object");
+        for figure in ["fig8_cert_construction", "fig10_index_certs"] {
+            let ecalls = figures
+                .get(figure)
+                .and_then(|s| s.get("metrics"))
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("enclave.ecalls"))
+                .and_then(Json::as_u64);
+            assert_eq!(ecalls, Some(5), "{figure} carries the registry snapshot");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewriting_a_section_replaces_it() {
+        let path = tmp_file("replace");
+        let registry = Registry::new();
+        registry.counter("net.published").add(1);
+        merge_section(&path, "f", figure_section(&registry, Json::Null)).expect("write");
+        registry.counter("net.published").add(1);
+        merge_section(&path, "f", figure_section(&registry, Json::Null)).expect("rewrite");
+        let doc = Json::parse(&std::fs::read_to_string(&path).expect("readable")).expect("parses");
+        let published = doc
+            .get("figures")
+            .and_then(|f| f.get("f"))
+            .and_then(|s| s.get("metrics"))
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("net.published"))
+            .and_then(Json::as_u64);
+        assert_eq!(published, Some(2), "second export wins");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_existing_file_starts_fresh() {
+        let path = tmp_file("corrupt");
+        std::fs::write(&path, "not json {{{").expect("seed garbage");
+        merge_section(&path, "f", figure_section(&Registry::new(), Json::Null))
+            .expect("recovers by rewriting");
+        let doc = Json::parse(&std::fs::read_to_string(&path).expect("readable")).expect("parses");
+        assert!(doc.get("figures").and_then(|f| f.get("f")).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -7,6 +7,7 @@ use dcert_chain::{Block, ChainState, ConsensusEngine, FullNode, GenesisBuilder, 
 use dcert_core::{
     expected_measurement, CertBreakdown, Certificate, CertificateIssuer, SuperlightClient,
 };
+use dcert_obs::Registry;
 use dcert_primitives::hash::Address;
 use dcert_primitives::keys::Keypair;
 use dcert_query::sp::IndexKind;
@@ -35,6 +36,9 @@ pub struct RigConfig {
     pub cost: CostModel,
     /// Indexes registered on the SP/enclave (kind, name).
     pub indexes: Vec<(IndexKind, String)>,
+    /// Metric registry attached to the CI enclave and the SP; the
+    /// disabled default keeps unmeasured rigs observation-free.
+    pub obs: Registry,
 }
 
 impl Default for RigConfig {
@@ -42,6 +46,7 @@ impl Default for RigConfig {
         RigConfig {
             cost: CostModel::calibrated(),
             indexes: Vec::new(),
+            obs: Registry::disabled(),
         }
     }
 }
@@ -59,6 +64,8 @@ pub struct Rig {
     pub genesis: Block,
     pub genesis_state: ChainState,
     pub executor: Executor,
+    /// The registry every instrumented component reports into.
+    pub obs: Registry,
     timestamp: u64,
 }
 
@@ -88,6 +95,7 @@ impl Rig {
         for (kind, name) in &config.indexes {
             sp.add_index(*kind, name);
         }
+        sp.attach_obs(&config.obs);
         let mut ias = AttestationService::with_seed([0xA5; 32]);
         let ci = CertificateIssuer::new(
             &genesis,
@@ -99,6 +107,7 @@ impl Rig {
             config.cost,
         )
         .expect("CI boots");
+        ci.attach_obs(&config.obs);
         let client = SuperlightClient::new(ias.public_key(), expected_measurement());
 
         Rig {
@@ -111,6 +120,7 @@ impl Rig {
             genesis,
             genesis_state,
             executor,
+            obs: config.obs,
             timestamp: 1_700_000_000,
         }
     }
@@ -266,6 +276,7 @@ mod tests {
         let mut rig = Rig::new(RigConfig {
             cost: CostModel::zero(),
             indexes: vec![(IndexKind::History, "history".into())],
+            obs: Registry::disabled(),
         });
         let result = rig.run(
             Workload::KvStore { keyspace: 16 },
@@ -280,6 +291,7 @@ mod tests {
         let mut rig2 = Rig::new(RigConfig {
             cost: CostModel::zero(),
             indexes: vec![(IndexKind::History, "history".into())],
+            obs: Registry::disabled(),
         });
         let result2 = rig2.run(
             Workload::KvStore { keyspace: 16 },
@@ -297,5 +309,33 @@ mod tests {
         rig3.client
             .validate_chain(&result3.latest_block.header, &result3.latest_cert)
             .unwrap();
+    }
+
+    #[test]
+    fn attached_registry_sees_rig_traffic() {
+        let obs = Registry::new();
+        let mut rig = Rig::new(RigConfig {
+            cost: CostModel::zero(),
+            indexes: vec![(IndexKind::History, "history".into())],
+            obs: obs.clone(),
+        });
+        rig.run(
+            Workload::KvStore { keyspace: 16 },
+            2,
+            2,
+            1,
+            Scheme::Hierarchical,
+        );
+        let snapshot = obs.snapshot();
+        assert!(
+            snapshot.counter("enclave.ecalls") > 0,
+            "CI enclave reports its ECalls through the rig's registry"
+        );
+        assert!(snapshot.counter("enclave.bytes_in") > 0);
+        let cert_bytes = snapshot
+            .histograms
+            .get("sp.cert_bytes")
+            .expect("SP records certificate sizes");
+        assert!(cert_bytes.count > 0);
     }
 }

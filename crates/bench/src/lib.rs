@@ -21,10 +21,17 @@
 //! Scale every experiment down/up with the `DCERT_SCALE` environment
 //! variable (default 1.0): chain lengths and block counts are multiplied
 //! by it, so `DCERT_SCALE=0.1` gives a quick smoke run.
+//!
+//! Every figure binary additionally attaches a [`dcert_obs::Registry`] to
+//! the components it drives and merges the resulting snapshot into
+//! `BENCH_pr4.json` (see [`export`]); `check_bench` gates CI on the
+//! required counters being present and non-zero.
 
 #![forbid(unsafe_code)]
 
+pub mod export;
 pub mod harness;
+pub mod json;
 pub mod naive;
 pub mod params;
 pub mod report;

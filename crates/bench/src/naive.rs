@@ -248,7 +248,7 @@ mod tests {
     fn naive_program_certifies_and_rejects_like_the_real_one() {
         let mut rig = Rig::new(RigConfig {
             cost: CostModel::zero(),
-            indexes: Vec::new(),
+            ..RigConfig::default()
         });
         // Seed some state via one applied block, then prepare the next.
         let mut gen = rig.generator(Workload::KvStore { keyspace: 16 }, 7);

@@ -370,6 +370,14 @@ impl CertificateIssuer {
         self.prev_block_cert.as_ref()
     }
 
+    /// Attaches a metric registry to the CI's enclave boundary, so every
+    /// subsequent ECall reports transitions, marshalled bytes, simulated
+    /// charges, and EPC residency into `registry` (see
+    /// [`Enclave::attach_obs`]).
+    pub fn attach_obs(&self, registry: &dcert_obs::Registry) {
+        self.enclave.attach_obs(registry);
+    }
+
     /// Algorithm 1: `gen_cert`. Certifies `block` (which must extend the
     /// CI's tip), advances the CI's chain, and returns the certificate with
     /// its construction breakdown.

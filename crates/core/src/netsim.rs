@@ -37,6 +37,7 @@
 use std::collections::BTreeMap;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dcert_obs::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 
 use dcert_primitives::codec::{Decode, Encode};
@@ -109,8 +110,15 @@ impl FaultConfig {
 pub struct NetStats {
     /// Messages published into the simulator.
     pub published: u64,
+    /// Per-(message, endpoint) delivery attempts — one per endpoint
+    /// joined at publish time, before any fault dice. The anchor of the
+    /// conservation law [`NetStats::conserves_deliveries`] checks.
+    pub attempted: u64,
     /// Per-endpoint deliveries that reached a live channel.
     pub delivered: u64,
+    /// Deliveries that came due after their endpoint hung up (the channel
+    /// was dropped) — scheduled, never received by anyone.
+    pub undeliverable: u64,
     /// Deliveries lost to `drop_rate`.
     pub dropped: u64,
     /// Extra deliveries created by `duplicate_rate`.
@@ -127,14 +135,31 @@ pub struct NetStats {
     pub partitioned: u64,
 }
 
+impl NetStats {
+    /// The delivery conservation law: every attempt is accounted for
+    /// exactly once. Attempts survive into scheduled copies (plus one
+    /// extra per duplication) unless they were partitioned, dropped, or
+    /// garbled; every scheduled copy is eventually delivered,
+    /// undeliverable, or still in flight (`in_flight` =
+    /// [`SimNet::in_flight`] at the moment these stats were read).
+    ///
+    /// `tests/chaos_network.rs` pins this as a property over arbitrary
+    /// fault schedules; it is what makes [`NetStats`] a trustworthy
+    /// replay oracle rather than a pile of independent counters.
+    pub fn conserves_deliveries(&self, in_flight: u64) -> bool {
+        self.delivered + self.undeliverable + in_flight
+            == self.attempted + self.duplicated - self.partitioned - self.dropped - self.garbled
+    }
+}
+
 /// A small, self-contained deterministic RNG (SplitMix64 stream): the
 /// fault schedule must be stable across platforms and dependency
 /// versions, so the simulator does not borrow `rand`'s generators.
 #[derive(Debug, Clone)]
-struct SimRng(u64);
+pub(crate) struct SimRng(u64);
 
 impl SimRng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         // Avoid the all-zero fixpoint without disturbing other seeds.
         SimRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
     }
@@ -148,7 +173,7 @@ impl SimRng {
     }
 
     /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -168,6 +193,39 @@ struct Delivery {
     message: NetMessage,
 }
 
+/// Registry handles mirroring [`NetStats`] (see [`SimNet::attach_obs`]).
+struct NetObs {
+    published: Counter,
+    attempted: Counter,
+    delivered: Counter,
+    undeliverable: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    corrupted: Counter,
+    garbled: Counter,
+    delayed: Counter,
+    partitioned: Counter,
+    in_flight: Gauge,
+}
+
+impl NetObs {
+    fn register(registry: &Registry) -> Self {
+        NetObs {
+            published: registry.counter("net.published"),
+            attempted: registry.counter("net.attempted"),
+            delivered: registry.counter("net.delivered"),
+            undeliverable: registry.counter("net.undeliverable"),
+            dropped: registry.counter("net.dropped"),
+            duplicated: registry.counter("net.duplicated"),
+            corrupted: registry.counter("net.corrupted"),
+            garbled: registry.counter("net.garbled"),
+            delayed: registry.counter("net.delayed"),
+            partitioned: registry.counter("net.partitioned"),
+            in_flight: registry.gauge("net.in_flight"),
+        }
+    }
+}
+
 struct SimState {
     rng: SimRng,
     config: FaultConfig,
@@ -179,6 +237,10 @@ struct SimState {
     pending: BTreeMap<(u64, u64), Delivery>,
     endpoints: Vec<Sender<NetMessage>>,
     stats: NetStats,
+    obs: Option<NetObs>,
+    /// [`NetStats`] as of the last registry sync; the next sync exports
+    /// the delta, so the registry counters equal the stats exactly.
+    obs_synced: NetStats,
 }
 
 impl SimState {
@@ -245,30 +307,61 @@ impl SimState {
         NetMessage::decode_all(&bytes).ok()
     }
 
+    /// The single delivery path: every scheduled copy that comes due goes
+    /// through here and lands in exactly one of `delivered` /
+    /// `undeliverable`. (Historically `flush_due` and `flush_all` each
+    /// counted deliveries themselves — and neither counted the send-failed
+    /// case, so copies to a hung-up endpoint silently vanished from the
+    /// books and no conservation law could hold.)
+    fn deliver(&mut self, delivery: Delivery) {
+        if self
+            .endpoints
+            .get(delivery.endpoint)
+            .is_some_and(|ep| ep.send(delivery.message).is_ok())
+        {
+            self.stats.delivered += 1;
+        } else {
+            self.stats.undeliverable += 1;
+        }
+    }
+
     /// Delivers every pending message due at or before the current tick.
     fn flush_due(&mut self) {
         let later = self.pending.split_off(&(self.now + 1, 0));
         for (_, delivery) in std::mem::replace(&mut self.pending, later) {
-            if self
-                .endpoints
-                .get(delivery.endpoint)
-                .is_some_and(|ep| ep.send(delivery.message).is_ok())
-            {
-                self.stats.delivered += 1;
-            }
+            self.deliver(delivery);
         }
     }
 
     /// Delivers everything still in flight, regardless of due tick.
     fn flush_all(&mut self) {
         for (_, delivery) in std::mem::take(&mut self.pending) {
-            if self
-                .endpoints
-                .get(delivery.endpoint)
-                .is_some_and(|ep| ep.send(delivery.message).is_ok())
-            {
-                self.stats.delivered += 1;
-            }
+            self.deliver(delivery);
+        }
+    }
+
+    /// Exports the stats delta since the last sync into the attached
+    /// registry (no-op when none is attached). Called at the end of every
+    /// public entry point, under the same lock as the mutation, so the
+    /// registry never lags the stats.
+    fn sync_obs(&mut self) {
+        if let Some(obs) = &self.obs {
+            let cur = self.stats;
+            let last = self.obs_synced;
+            obs.published.add(cur.published - last.published);
+            obs.attempted.add(cur.attempted - last.attempted);
+            obs.delivered.add(cur.delivered - last.delivered);
+            obs.undeliverable
+                .add(cur.undeliverable - last.undeliverable);
+            obs.dropped.add(cur.dropped - last.dropped);
+            obs.duplicated.add(cur.duplicated - last.duplicated);
+            obs.corrupted.add(cur.corrupted - last.corrupted);
+            obs.garbled.add(cur.garbled - last.garbled);
+            obs.delayed.add(cur.delayed - last.delayed);
+            obs.partitioned.add(cur.partitioned - last.partitioned);
+            obs.in_flight
+                .set(i64::try_from(self.pending.len()).unwrap_or(i64::MAX));
+            self.obs_synced = cur;
         }
     }
 }
@@ -310,8 +403,26 @@ impl SimNet {
                 pending: BTreeMap::new(),
                 endpoints: Vec::new(),
                 stats: NetStats::default(),
+                obs: None,
+                obs_synced: NetStats::default(),
             }),
         }
+    }
+
+    /// Registers this simulator's counters (`net.*`) in `registry` and
+    /// keeps them in lockstep with [`SimNet::stats`] from here on.
+    /// Anything already counted is exported immediately.
+    pub fn attach_obs(&self, registry: &Registry) {
+        let mut state = self.state.lock();
+        state.obs = Some(NetObs::register(registry));
+        state.obs_synced = NetStats::default();
+        state.sync_obs();
+    }
+
+    /// Deliveries scheduled but not yet due — the `in_flight` term of
+    /// [`NetStats::conserves_deliveries`].
+    pub fn in_flight(&self) -> u64 {
+        self.state.lock().pending.len() as u64
     }
 
     /// The replay seed this simulator was built with.
@@ -335,6 +446,7 @@ impl SimNet {
         let mut state = self.state.lock();
         state.now += ticks;
         state.flush_due();
+        state.sync_obs();
     }
 
     /// Heals the network: every fault is disabled (rates zeroed, partition
@@ -345,12 +457,15 @@ impl SimNet {
         let mut state = self.state.lock();
         state.config = FaultConfig::lossless();
         state.flush_all();
+        state.sync_obs();
     }
 
     /// Delivers everything in flight without disabling faults (a quiet
     /// period long enough for the reorder window to drain).
     pub fn flush(&self) {
-        self.state.lock().flush_all();
+        let mut state = self.state.lock();
+        state.flush_all();
+        state.sync_obs();
     }
 }
 
@@ -371,6 +486,7 @@ impl Transport for SimNet {
         state.stats.published += 1;
         let mut scheduled = 0usize;
         for endpoint in 0..state.endpoints.len() {
+            state.stats.attempted += 1;
             for (due, payload) in self.schedule(&mut state, &message, endpoint) {
                 let id = state.next_id;
                 state.next_id += 1;
@@ -386,6 +502,7 @@ impl Transport for SimNet {
         }
         state.now += 1;
         state.flush_due();
+        state.sync_obs();
         scheduled
     }
 
@@ -576,6 +693,83 @@ mod tests {
             seen += 1;
         }
         assert_eq!(seen as u64, stats.corrupted);
+    }
+
+    #[test]
+    fn conservation_law_holds_mid_flight_and_after_heal() {
+        let net = SimNet::new(
+            2024,
+            FaultConfig {
+                drop_rate: 0.2,
+                duplicate_rate: 0.15,
+                corrupt_rate: 0.1,
+                reorder_window: 5,
+                partitions: vec![Partition {
+                    start: 2,
+                    end: 8,
+                    endpoints: vec![1],
+                }],
+            },
+        );
+        let _rx0 = net.join();
+        let _rx1 = net.join();
+        for height in 1..=60 {
+            net.publish(block_msg(height));
+            let stats = net.stats();
+            assert!(
+                stats.conserves_deliveries(net.in_flight()),
+                "mid-flight at height {height}: {stats:?}, in_flight {}",
+                net.in_flight()
+            );
+        }
+        net.heal();
+        assert_eq!(net.in_flight(), 0);
+        let stats = net.stats();
+        assert_eq!(stats.attempted, 120, "60 publishes × 2 endpoints");
+        assert!(stats.conserves_deliveries(0), "after heal: {stats:?}");
+    }
+
+    #[test]
+    fn hung_up_endpoint_counts_undeliverable_not_delivered() {
+        let net = SimNet::new(3, FaultConfig::lossless());
+        let rx = net.join();
+        net.publish(block_msg(1));
+        drop(rx);
+        net.publish(block_msg(2));
+        let stats = net.stats();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.undeliverable, 1, "send to a dropped channel");
+        assert!(stats.conserves_deliveries(net.in_flight()));
+    }
+
+    #[test]
+    fn attached_registry_mirrors_stats() {
+        let registry = dcert_obs::Registry::new();
+        let net = SimNet::new(
+            11,
+            FaultConfig {
+                drop_rate: 0.3,
+                duplicate_rate: 0.2,
+                reorder_window: 3,
+                ..FaultConfig::lossless()
+            },
+        );
+        net.attach_obs(&registry);
+        let _rx = net.join();
+        for height in 1..=40 {
+            net.publish(block_msg(height));
+        }
+        net.heal();
+        let stats = net.stats();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("net.published"), stats.published);
+        assert_eq!(snapshot.counter("net.attempted"), stats.attempted);
+        assert_eq!(snapshot.counter("net.delivered"), stats.delivered);
+        assert_eq!(snapshot.counter("net.dropped"), stats.dropped);
+        assert_eq!(snapshot.counter("net.duplicated"), stats.duplicated);
+        assert_eq!(snapshot.counter("net.delayed"), stats.delayed);
+        assert_eq!(snapshot.gauge("net.in_flight"), 0, "healed net is drained");
+        assert!(stats.dropped > 0, "seed 11 at 30% must drop something");
     }
 
     #[test]

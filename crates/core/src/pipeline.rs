@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use dcert_chain::{Block, BlockHeader, ChainError, ChainState, FullNode};
+use dcert_obs::{Buckets, Counter, Gauge, Histogram, Registry};
 use dcert_primitives::codec::{encode_seq, Encode};
 use dcert_primitives::hash::Hash;
 use dcert_sgx::{AttestationReport, Enclave};
@@ -67,6 +68,7 @@ use crate::cert::Certificate;
 use crate::ci::{issue_encoded, CertBreakdown, CertificateIssuer, CiParts};
 use crate::error::CertError;
 use crate::messages::{BatchLink, IndexInput, ReadSet, WriteSet};
+use crate::netsim::SimRng;
 use crate::network::{NetMessage, Transport};
 use crate::program::CertProgram;
 
@@ -110,6 +112,11 @@ pub struct PipelineConfig {
     pub queue_depth: usize,
     /// Delivery-confirmation policy for the publisher stage.
     pub publish: PublishPolicy,
+    /// Metrics registry the stages record into (`pipeline.*`). Defaults
+    /// to a disabled registry — recording is then a no-op and nothing is
+    /// exported; `tests/pipeline_equivalence.rs` pins that instrumenting
+    /// changes no certificate bytes either way.
+    pub obs: Registry,
 }
 
 impl Default for PipelineConfig {
@@ -118,6 +125,7 @@ impl Default for PipelineConfig {
             preparers: 4,
             queue_depth: 8,
             publish: PublishPolicy::default(),
+            obs: Registry::disabled(),
         }
     }
 }
@@ -126,9 +134,15 @@ impl Default for PipelineConfig {
 ///
 /// [`Transport::publish`] acks with the number of deliveries it
 /// scheduled; a result below `min_acks` counts as a failed attempt and is
-/// retried with exponential backoff (`backoff`, doubled per attempt). A
-/// message still unconfirmed after `max_retries` retries goes to
-/// [`PipelineReport::dead_letters`] instead of wedging the pipeline.
+/// retried with truncated-exponential backoff: `backoff` doubled per
+/// attempt, capped at `max_backoff`, then scaled by a deterministic
+/// jitter factor in `[0.5, 1.0)` drawn from a [`SimRng`] stream seeded
+/// with `jitter_seed`. The jitter is what keeps a fleet of CIs that share
+/// a blackout from retrying in lockstep, and seeding it is what keeps a
+/// chaos run replayable — the whole retry schedule is a pure function of
+/// the policy. A message still unconfirmed after `max_retries` retries
+/// goes to [`PipelineReport::dead_letters`] instead of wedging the
+/// pipeline.
 #[derive(Debug, Clone)]
 pub struct PublishPolicy {
     /// Minimum deliveries for a publish to count as confirmed. The
@@ -140,6 +154,12 @@ pub struct PublishPolicy {
     pub max_retries: u32,
     /// Backoff before the first retry; doubles per subsequent retry.
     pub backoff: Duration,
+    /// Ceiling on the doubled backoff (pre-jitter). Without one, a
+    /// generous retry budget turns a persistent outage into multi-minute
+    /// sleeps that outlive the outage itself.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
 }
 
 impl Default for PublishPolicy {
@@ -148,6 +168,8 @@ impl Default for PublishPolicy {
             min_acks: 0,
             max_retries: 5,
             backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+            jitter_seed: 0,
         }
     }
 }
@@ -159,6 +181,18 @@ impl PublishPolicy {
             min_acks,
             ..PublishPolicy::default()
         }
+    }
+
+    /// The delay before retry number `retry` (1-based): truncated
+    /// exponential with deterministic full-range jitter. Pure given the
+    /// policy and the RNG position, so tests can replay — and benches
+    /// export — the exact schedule.
+    pub(crate) fn backoff_for(&self, retry: u32, jitter: &mut SimRng) -> Duration {
+        let doubled = self
+            .backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16));
+        let capped = doubled.min(self.max_backoff.max(self.backoff));
+        capped.mul_f64(0.5 + jitter.next_f64() / 2.0)
     }
 }
 
@@ -197,6 +231,62 @@ impl PipelineReport {
     /// Sum of all successful jobs' construction times.
     pub fn total_construction(&self) -> Duration {
         self.breakdowns.iter().map(CertBreakdown::total).sum()
+    }
+}
+
+/// Metric handles for the pipeline cost center (`pipeline.*`), registered
+/// once at [`CertPipeline::spawn`] and cloned into each stage thread.
+/// Recording through them is lock-free; against a disabled registry it is
+/// a no-op.
+#[derive(Clone)]
+struct PipelineObs {
+    /// Per-stage wall-clock latency (suffix `_ns`: stripped from replay
+    /// comparisons).
+    sequence_ns: Histogram,
+    prepare_ns: Histogram,
+    issue_ns: Histogram,
+    publish_ns: Histogram,
+    /// Blocks per sequenced job (1 except for `CertJob::Batch`).
+    batch_blocks: Histogram,
+    /// Peak occupancy of the submit queue and the issuer's reorder buffer
+    /// (suffix `_depth`: scheduling-dependent, stripped from replay
+    /// comparisons).
+    submit_depth: Gauge,
+    reorder_depth: Gauge,
+    jobs: Counter,
+    block_certs: Counter,
+    index_certs: Counter,
+    errors: Counter,
+    publish_attempts: Counter,
+    publish_retries: Counter,
+    dead_letters: Counter,
+    /// Computed retry backoffs in nanoseconds. Deliberately `_nanos`, not
+    /// `_ns`: the values come from [`PublishPolicy::backoff_for`], a pure
+    /// function of the policy, so they must replay bit-for-bit — the
+    /// blackout test in `tests/chaos_network.rs` reads growth off this
+    /// histogram.
+    backoff_nanos: Histogram,
+}
+
+impl PipelineObs {
+    fn register(registry: &Registry) -> Self {
+        PipelineObs {
+            sequence_ns: registry.timer("pipeline.stage.sequence_ns"),
+            prepare_ns: registry.timer("pipeline.stage.prepare_ns"),
+            issue_ns: registry.timer("pipeline.stage.issue_ns"),
+            publish_ns: registry.timer("pipeline.stage.publish_ns"),
+            batch_blocks: registry.histogram("pipeline.batch_blocks", Buckets::linear(1, 1, 16)),
+            submit_depth: registry.gauge("pipeline.submit_depth"),
+            reorder_depth: registry.gauge("pipeline.reorder_depth"),
+            jobs: registry.counter("pipeline.jobs"),
+            block_certs: registry.counter("pipeline.block_certs"),
+            index_certs: registry.counter("pipeline.index_certs"),
+            errors: registry.counter("pipeline.errors"),
+            publish_attempts: registry.counter("pipeline.publish.attempts"),
+            publish_retries: registry.counter("pipeline.publish.retries"),
+            dead_letters: registry.counter("pipeline.publish.dead_letters"),
+            backoff_nanos: registry.histogram("pipeline.publish.backoff_nanos", Buckets::latency()),
+        }
     }
 }
 
@@ -363,6 +453,7 @@ impl CertPipeline {
         let tip = node.tip().clone();
         let executor = node.executor().clone();
         let poison = Arc::new(AtomicBool::new(false));
+        let obs = PipelineObs::register(&config.obs);
 
         let depth = config.queue_depth.max(1);
         let workers = config.preparers.max(1);
@@ -376,11 +467,12 @@ impl CertPipeline {
 
         let fail_tx = issue_tx.clone();
         let seq_poison = poison.clone();
+        let seq_obs = obs.clone();
         let sequencer = thread::Builder::new()
             .name("dcert-sequencer".into())
             .spawn(move || {
                 sequencer_loop(
-                    submit_rx, prep_tx, fail_tx, state, tip, executor, seq_poison,
+                    submit_rx, prep_tx, fail_tx, state, tip, executor, seq_poison, seq_obs,
                 )
             })
             .expect("spawn sequencer");
@@ -390,6 +482,7 @@ impl CertPipeline {
                 let rx = prep_rx.clone();
                 let tx = issue_tx.clone();
                 let prep_poison = poison.clone();
+                let prep_obs = obs.clone();
                 thread::Builder::new()
                     .name(format!("dcert-preparer-{i}"))
                     .spawn(move || {
@@ -397,7 +490,10 @@ impl CertPipeline {
                             if prep_poison.load(Ordering::SeqCst) {
                                 break;
                             }
-                            if tx.send(prepare(task)).is_err() {
+                            let started = Instant::now();
+                            let prepared = prepare(task);
+                            prep_obs.prepare_ns.record(started.elapsed());
+                            if tx.send(prepared).is_err() {
                                 break;
                             }
                         }
@@ -416,6 +512,7 @@ impl CertPipeline {
         let report = parts.report;
         let prev_block_cert = parts.prev_block_cert;
         let issue_poison = poison.clone();
+        let issue_obs = obs.clone();
         let issuer = thread::Builder::new()
             .name("dcert-issuer".into())
             .spawn(move || {
@@ -427,6 +524,7 @@ impl CertPipeline {
                     report,
                     prev_block_cert,
                     issue_poison,
+                    issue_obs,
                 )
             })
             .expect("spawn issuer");
@@ -435,7 +533,7 @@ impl CertPipeline {
         let pub_poison = poison.clone();
         let publisher = thread::Builder::new()
             .name("dcert-publisher".into())
-            .spawn(move || publisher_loop(publish_rx, transport, policy, pub_poison))
+            .spawn(move || publisher_loop(publish_rx, transport, policy, pub_poison, obs))
             .expect("spawn publisher");
 
         CertPipeline {
@@ -561,6 +659,7 @@ impl Drop for CertPipeline {
 
 // --- sequencer -------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn sequencer_loop(
     jobs: Receiver<CertJob>,
     prep_tx: Sender<PrepTask>,
@@ -569,13 +668,23 @@ fn sequencer_loop(
     mut tip: BlockHeader,
     executor: Executor,
     poison: Arc<AtomicBool>,
+    obs: PipelineObs,
 ) {
-    for (seq, job) in (0u64..).zip(jobs) {
+    for (seq, job) in (0u64..).zip(jobs.iter()) {
         if poison.load(Ordering::SeqCst) {
             break;
         }
-        let sent = match sequence_job(job, &mut state, &mut tip, &executor, seq) {
-            Ok(task) => prep_tx.send(task).is_ok(),
+        // +1: the job just taken off the queue was part of the backlog.
+        obs.submit_depth
+            .record_max(i64::try_from(jobs.len() + 1).unwrap_or(i64::MAX));
+        let started = Instant::now();
+        let sequenced = sequence_job(job, &mut state, &mut tip, &executor, seq);
+        obs.sequence_ns.record(started.elapsed());
+        let sent = match sequenced {
+            Ok(task) => {
+                obs.batch_blocks.observe(task.links.len() as u64);
+                prep_tx.send(task).is_ok()
+            }
             // Route the failure straight to the issuer so the sequence
             // numbering stays contiguous for its reorder buffer.
             Err(error) => fail_tx.send(Prepared::failed(seq, error)).is_ok(),
@@ -880,6 +989,7 @@ struct Issuer {
     adopted: Option<(BlockHeader, ChainState)>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn issuer_loop(
     issue_rx: Receiver<Prepared>,
     publish_tx: Sender<JobOutcome>,
@@ -888,6 +998,7 @@ fn issuer_loop(
     report: AttestationReport,
     prev_block_cert: Option<Certificate>,
     poison: Arc<AtomicBool>,
+    obs: PipelineObs,
 ) -> IssuerFinal {
     let mut issuer = Issuer {
         enclave,
@@ -905,8 +1016,12 @@ fn issuer_loop(
             break;
         }
         pending.insert(prepared.seq, prepared);
+        obs.reorder_depth
+            .record_max(i64::try_from(pending.len()).unwrap_or(i64::MAX));
         while let Some(ready) = pending.remove(&next) {
+            let started = Instant::now();
             let outcome = issuer.process(ready);
+            obs.issue_ns.record(started.elapsed());
             next += 1;
             if publish_tx.send(outcome).is_err() {
                 break;
@@ -919,7 +1034,9 @@ fn issuer_loop(
     // the crash being simulated.
     if !poison.load(Ordering::SeqCst) {
         for (_, stranded) in std::mem::take(&mut pending) {
+            let started = Instant::now();
             let outcome = issuer.process(stranded);
+            obs.issue_ns.record(started.elapsed());
             if publish_tx.send(outcome).is_err() {
                 break;
             }
@@ -1116,53 +1233,84 @@ fn publisher_loop(
     transport: Arc<dyn Transport>,
     policy: PublishPolicy,
     poison: Arc<AtomicBool>,
+    obs: PipelineObs,
 ) -> PipelineReport {
     let mut report = PipelineReport::default();
+    let mut jitter = SimRng::new(policy.jitter_seed);
     for outcome in publish_rx {
         if poison.load(Ordering::SeqCst) {
             break;
         }
         report.jobs += 1;
+        obs.jobs.inc();
         match outcome.result {
             Ok((messages, breakdown)) => {
+                let started = Instant::now();
                 for message in messages {
                     match &message {
-                        NetMessage::BlockCert { .. } => report.block_certs += 1,
-                        NetMessage::IndexCert { .. } => report.index_certs += 1,
+                        NetMessage::BlockCert { .. } => {
+                            report.block_certs += 1;
+                            obs.block_certs.inc();
+                        }
+                        NetMessage::IndexCert { .. } => {
+                            report.index_certs += 1;
+                            obs.index_certs.inc();
+                        }
                         _ => {}
                     }
-                    publish_confirmed(&*transport, &policy, outcome.seq, message, &mut report);
+                    publish_confirmed(
+                        &*transport,
+                        &policy,
+                        outcome.seq,
+                        message,
+                        &mut report,
+                        &obs,
+                        &mut jitter,
+                    );
                 }
+                obs.publish_ns.record(started.elapsed());
                 report.breakdowns.push(breakdown);
             }
-            Err(error) => report.errors.push((outcome.seq, error)),
+            Err(error) => {
+                obs.errors.inc();
+                report.errors.push((outcome.seq, error));
+            }
         }
     }
     report
 }
 
-/// One acked publish: retries with exponential backoff until the
+/// One acked publish: retries on the policy's capped, jittered
+/// exponential schedule ([`PublishPolicy::backoff_for`]) until the
 /// transport confirms at least `min_acks` deliveries, dead-lettering the
 /// message when the budget runs out. With `min_acks == 0` this is a
-/// plain fire-and-forget broadcast (no clone, no sleeping).
+/// plain fire-and-forget broadcast (no clone, no sleeping). Every
+/// computed backoff is recorded into `pipeline.publish.backoff_nanos`
+/// before sleeping, so the schedule is observable without timing the
+/// sleeps themselves.
 fn publish_confirmed(
     transport: &dyn Transport,
     policy: &PublishPolicy,
     seq: u64,
     message: NetMessage,
     report: &mut PipelineReport,
+    obs: &PipelineObs,
+    jitter: &mut SimRng,
 ) {
     if policy.min_acks == 0 {
+        obs.publish_attempts.inc();
         transport.publish(message);
         return;
     }
     let mut attempts = 0u32;
     loop {
         attempts += 1;
+        obs.publish_attempts.inc();
         if transport.publish(message.clone()) >= policy.min_acks {
             return;
         }
         if attempts > policy.max_retries {
+            obs.dead_letters.inc();
             report.dead_letters.push(DeadLetter {
                 seq,
                 attempts,
@@ -1170,8 +1318,65 @@ fn publish_confirmed(
             });
             return;
         }
-        // Exponential backoff, capped so a large retry budget cannot
-        // overflow the shift.
-        thread::sleep(policy.backoff * (1u32 << (attempts - 1).min(16)));
+        obs.publish_retries.inc();
+        let backoff = policy.backoff_for(attempts, jitter);
+        obs.backoff_nanos
+            .observe(u64::try_from(backoff.as_nanos()).unwrap_or(u64::MAX));
+        thread::sleep(backoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_doubles_jitters_caps_and_replays() {
+        let policy = PublishPolicy {
+            min_acks: 1,
+            max_retries: 10,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            jitter_seed: 42,
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut jitter = SimRng::new(seed);
+            (1..=10)
+                .map(|retry| policy.backoff_for(retry, &mut jitter))
+                .collect()
+        };
+        let a = schedule(policy.jitter_seed);
+        assert_eq!(a, schedule(policy.jitter_seed), "same seed, same schedule");
+        for (i, delay) in a.iter().enumerate() {
+            // Pre-jitter base: 1 ms doubled per retry, capped at 8 ms.
+            let base = Duration::from_millis(1u64 << i.min(3));
+            assert!(
+                *delay >= base / 2 && *delay < base,
+                "retry {}: {delay:?} outside [{:?}, {:?})",
+                i + 1,
+                base / 2,
+                base
+            );
+        }
+        // The capped tail can never exceed max_backoff...
+        assert!(a.iter().all(|d| *d < Duration::from_millis(8)));
+        // ...and the early schedule genuinely grows: every pre-cap delay
+        // exceeds the previous retry's jitter ceiling.
+        assert!(a[1] >= Duration::from_millis(1));
+        assert!(a[2] >= Duration::from_millis(2));
+        assert!(a[3] >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn zero_retry_shift_saturates() {
+        let policy = PublishPolicy {
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_secs(1),
+            ..PublishPolicy::default()
+        };
+        let mut jitter = SimRng::new(0);
+        // A huge retry number must cap, not overflow the shift.
+        let delay = policy.backoff_for(u32::MAX, &mut jitter);
+        assert!(delay <= Duration::from_secs(1));
     }
 }

@@ -1,0 +1,488 @@
+//! The metric registry and its handle types.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::snapshot::{BucketCount, HistogramSnapshot, Snapshot};
+
+/// Sorted inclusive upper bounds for a [`Histogram`]'s buckets. A value
+/// `v` lands in the first bucket with `v <= bound`; values above every
+/// bound land in the implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buckets(Vec<u64>);
+
+impl Buckets {
+    /// Buckets from explicit bounds (sorted and deduplicated).
+    pub fn from_bounds(mut bounds: Vec<u64>) -> Self {
+        bounds.sort_unstable();
+        bounds.dedup();
+        Buckets(bounds)
+    }
+
+    /// `count` bounds starting at `first`, each `factor`× the previous.
+    pub fn exponential(first: u64, factor: u64, count: usize) -> Self {
+        let mut bounds = Vec::with_capacity(count);
+        let mut bound = first.max(1);
+        for _ in 0..count {
+            bounds.push(bound);
+            bound = bound.saturating_mul(factor.max(2));
+        }
+        Buckets::from_bounds(bounds)
+    }
+
+    /// `count` bounds `start, start+step, start+2·step, …`.
+    pub fn linear(start: u64, step: u64, count: usize) -> Self {
+        let step = step.max(1);
+        Buckets::from_bounds(
+            (0..count as u64)
+                .map(|i| start.saturating_add(i.saturating_mul(step)))
+                .collect(),
+        )
+    }
+
+    /// Nanosecond latency grid: 1 µs to ~68 s in powers of four. The
+    /// default for `*_ns` timers.
+    pub fn latency() -> Self {
+        Buckets::exponential(1_000, 4, 13)
+    }
+
+    /// Byte-size grid: 64 B to 4 GB in powers of four. The default for
+    /// payload/proof/certificate size histograms.
+    pub fn bytes() -> Self {
+        Buckets::exponential(64, 4, 14)
+    }
+
+    /// The sorted inclusive upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed metric (queue depths, residency levels).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    fn detached() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records `value` if it exceeds the current value (high-water mark).
+    pub fn record_max(&self, value: i64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Sorted inclusive upper bounds; `counts` has one extra overflow slot.
+    bounds: Box<[u64]>,
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket distribution metric. Observation is lock-free and
+/// allocation-free: one linear scan over the (small, fixed) bound table
+/// plus a handful of relaxed atomic updates.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn with_buckets(buckets: &Buckets) -> Self {
+        let bounds: Box<[u64]> = buckets.bounds().into();
+        let counts: Box<[AtomicU64]> = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds,
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let core = &*self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|bound| value <= *bound)
+            .unwrap_or(core.bounds.len());
+        if let Some(slot) = core.counts.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        core.total.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (the `*_ns` timer convention).
+    pub fn record(&self, duration: Duration) {
+        self.observe(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        let count = core.total.load(Ordering::Relaxed);
+        let mut buckets: Vec<BucketCount> = core
+            .bounds
+            .iter()
+            .zip(core.counts.iter())
+            .map(|(bound, slot)| BucketCount {
+                le: Some(*bound),
+                count: slot.load(Ordering::Relaxed),
+            })
+            .collect();
+        buckets.push(BucketCount {
+            le: None,
+            count: core
+                .counts
+                .last()
+                .map(|slot| slot.load(Ordering::Relaxed))
+                .unwrap_or(0),
+        });
+        HistogramSnapshot {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| core.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| core.max.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A shareable registry of named metrics.
+///
+/// Cloning is cheap (`Arc`); every clone sees the same metrics. Handles
+/// returned by [`Registry::counter`] / [`Registry::gauge`] /
+/// [`Registry::histogram`] stay valid for the registry's lifetime and are
+/// the hot-path interface — hold them, don't re-look-up names per event.
+///
+/// Registering the same name twice returns a handle onto the *same*
+/// metric (so independently wired subsystems can share a counter); a
+/// name re-registered as a different kind yields a detached handle that
+/// records nowhere rather than corrupting the original.
+#[derive(Debug, Clone)]
+pub struct Registry(Arc<Inner>);
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry(Arc::new(Inner {
+            enabled: true,
+            metrics: Mutex::new(BTreeMap::new()),
+        }))
+    }
+
+    /// A disabled registry: hands out detached handles, exports nothing.
+    /// The inert default for production paths that are not being measured.
+    pub fn disabled() -> Self {
+        Registry(Arc::new(Inner {
+            enabled: false,
+            metrics: Mutex::new(BTreeMap::new()),
+        }))
+    }
+
+    /// Whether this registry records and exports anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.enabled
+    }
+
+    fn with_metrics<T>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> T) -> T {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is still structurally sound — keep serving.
+        let mut metrics = match self.0.metrics.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut metrics)
+    }
+
+    /// Registers (or re-fetches) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.0.enabled {
+            return Counter::detached();
+        }
+        self.with_metrics(|metrics| {
+            match metrics
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Counter(Counter::detached()))
+            {
+                Metric::Counter(counter) => counter.clone(),
+                _ => Counter::detached(),
+            }
+        })
+    }
+
+    /// Registers (or re-fetches) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.0.enabled {
+            return Gauge::detached();
+        }
+        self.with_metrics(|metrics| {
+            match metrics
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+            {
+                Metric::Gauge(gauge) => gauge.clone(),
+                _ => Gauge::detached(),
+            }
+        })
+    }
+
+    /// Registers (or re-fetches) a histogram. `buckets` only takes effect
+    /// on first registration; later calls return the existing histogram
+    /// unchanged.
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Histogram {
+        if !self.0.enabled {
+            return Histogram::with_buckets(&buckets);
+        }
+        self.with_metrics(|metrics| {
+            match metrics
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Histogram(Histogram::with_buckets(&buckets)))
+            {
+                Metric::Histogram(histogram) => histogram.clone(),
+                _ => Histogram::with_buckets(&buckets),
+            }
+        })
+    }
+
+    /// A latency histogram with the default [`Buckets::latency`] grid.
+    /// By convention timer names end in `_ns` (wall-clock fields, stripped
+    /// by [`Snapshot::without_wall_clock`] for determinism comparisons).
+    pub fn timer(&self, name: &str) -> Histogram {
+        self.histogram(name, Buckets::latency())
+    }
+
+    /// A point-in-time copy of every metric, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snapshot = Snapshot::default();
+        if !self.0.enabled {
+            return snapshot;
+        }
+        self.with_metrics(|metrics| {
+            for (name, metric) in metrics.iter() {
+                match metric {
+                    Metric::Counter(counter) => {
+                        snapshot.counters.insert(name.clone(), counter.get());
+                    }
+                    Metric::Gauge(gauge) => {
+                        snapshot.gauges.insert(name.clone(), gauge.get());
+                    }
+                    Metric::Histogram(histogram) => {
+                        snapshot
+                            .histograms
+                            .insert(name.clone(), histogram.snapshot());
+                    }
+                }
+            }
+        });
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let registry = Registry::new();
+        let counter = registry.counter("a.count");
+        counter.inc();
+        counter.add(4);
+        assert_eq!(counter.get(), 5);
+        let gauge = registry.gauge("a.depth");
+        gauge.set(7);
+        gauge.sub(2);
+        gauge.add(1);
+        assert_eq!(gauge.get(), 6);
+        gauge.record_max(3);
+        assert_eq!(gauge.get(), 6, "record_max never lowers");
+        gauge.record_max(11);
+        assert_eq!(gauge.get(), 11);
+    }
+
+    #[test]
+    fn same_name_shares_the_metric() {
+        let registry = Registry::new();
+        registry.counter("shared").add(2);
+        registry.counter("shared").add(3);
+        assert_eq!(registry.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn kind_mismatch_detaches_instead_of_corrupting() {
+        let registry = Registry::new();
+        registry.counter("name").add(9);
+        let gauge = registry.gauge("name");
+        gauge.set(-1);
+        assert_eq!(registry.counter("name").get(), 9);
+        assert_eq!(registry.snapshot().gauges.get("name"), None);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let hist = Histogram::with_buckets(&Buckets::from_bounds(vec![10, 100]));
+        hist.observe(0); // first bucket
+        hist.observe(10); // exactly on the bound → first bucket
+        hist.observe(11); // second bucket
+        hist.observe(100); // exactly on the bound → second bucket
+        hist.observe(101); // overflow
+        hist.observe(u64::MAX); // overflow
+        let snap = hist.snapshot();
+        let counts: Vec<u64> = snap.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![2, 2, 2]);
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.min, Some(0));
+        assert_eq!(snap.max, Some(u64::MAX));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_min_max() {
+        let hist = Histogram::with_buckets(&Buckets::latency());
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, None);
+        assert_eq!(snap.max, None);
+        assert!(snap.buckets.iter().all(|b| b.count == 0));
+    }
+
+    #[test]
+    fn bucket_presets_are_sorted_and_nonempty() {
+        for buckets in [
+            Buckets::latency(),
+            Buckets::bytes(),
+            Buckets::exponential(1, 2, 8),
+            Buckets::linear(0, 5, 4),
+        ] {
+            assert!(!buckets.bounds().is_empty());
+            assert!(buckets.bounds().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn record_converts_durations_to_nanos() {
+        let registry = Registry::new();
+        let timer = registry.timer("t_ns");
+        timer.record(Duration::from_micros(3));
+        assert_eq!(timer.sum(), 3_000);
+        assert_eq!(timer.count(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_exports_nothing() {
+        let registry = Registry::disabled();
+        let counter = registry.counter("x");
+        counter.add(100); // harmless: detached
+        registry.gauge("y").set(1);
+        registry.timer("z_ns").observe(5);
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.gauges.is_empty());
+        assert!(snapshot.histograms.is_empty());
+        assert!(!registry.is_enabled());
+    }
+
+    #[test]
+    fn handles_are_shared_across_clones_and_threads() {
+        let registry = Registry::new();
+        let counter = registry.counter("threads");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread finishes");
+        }
+        assert_eq!(registry.clone().counter("threads").get(), 4000);
+    }
+}

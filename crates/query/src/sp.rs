@@ -9,12 +9,15 @@ use std::sync::Arc;
 
 use dcert_chain::{Block, ChainError, ChainState, ConsensusEngine, FullNode};
 use dcert_core::{Certificate, IndexInput, IndexVerifier};
+use dcert_obs::{Buckets, Counter, Histogram, Registry};
+use dcert_primitives::codec::Encode;
 use dcert_primitives::hash::{Address, Hash};
+use dcert_sgx::cost::timed;
 use dcert_vm::{Executor, StateKey};
 
-use crate::aggregate::{AggregateIndex, AggregateVerifier};
-use crate::history::{HistoryIndex, HistoryVerifier};
-use crate::inverted::{InvertedIndex, InvertedVerifier};
+use crate::aggregate::{AggQueryProof, Aggregate, AggregateIndex, AggregateVerifier};
+use crate::history::{HistoryIndex, HistoryProof, HistoryVerifier, Version};
+use crate::inverted::{InvertedIndex, InvertedVerifier, KeywordProof};
 
 /// An index the SP maintains block by block.
 ///
@@ -93,6 +96,48 @@ pub enum IndexKind {
     Aggregate,
 }
 
+/// Metric handles for the SP query cost center (`sp.*`) — the data
+/// behind the paper's Fig. 11 query-overhead comparison (VO size and
+/// serving time per query family).
+struct SpObs {
+    queries: Counter,
+    history_queries: Counter,
+    keyword_queries: Counter,
+    aggregate_queries: Counter,
+    /// Verification-object wire size per served query.
+    vo_bytes: Histogram,
+    /// Result entries per served query.
+    results: Histogram,
+    /// Wall-clock serving time (index walk + proof assembly).
+    serve_ns: Histogram,
+    /// Wire size of each index certificate recorded by the SP.
+    cert_bytes: Histogram,
+}
+
+impl SpObs {
+    fn register(registry: &Registry) -> Self {
+        SpObs {
+            queries: registry.counter("sp.queries"),
+            history_queries: registry.counter("sp.query.history"),
+            keyword_queries: registry.counter("sp.query.keyword"),
+            aggregate_queries: registry.counter("sp.query.aggregate"),
+            vo_bytes: registry.histogram("sp.query.vo_bytes", Buckets::bytes()),
+            results: registry.histogram("sp.query.results", Buckets::exponential(1, 2, 16)),
+            serve_ns: registry.timer("sp.query.serve_ns"),
+            cert_bytes: registry.histogram("sp.cert_bytes", Buckets::bytes()),
+        }
+    }
+
+    fn record_query(&self, family: &Counter, vo_bytes: usize, results: usize) {
+        self.queries.inc();
+        family.inc();
+        self.vo_bytes
+            .observe(u64::try_from(vo_bytes).unwrap_or(u64::MAX));
+        self.results
+            .observe(u64::try_from(results).unwrap_or(u64::MAX));
+    }
+}
+
 /// The SP: a full node plus its maintained indexes and their certificate
 /// bookkeeping.
 pub struct ServiceProvider {
@@ -104,6 +149,7 @@ pub struct ServiceProvider {
     certified: BTreeMap<String, (Hash, Option<Certificate>)>,
     /// Digests staged by the latest `stage_block`, awaiting certificates.
     staged: Vec<(String, Hash)>,
+    obs: Option<SpObs>,
 }
 
 impl std::fmt::Debug for ServiceProvider {
@@ -131,7 +177,14 @@ impl ServiceProvider {
             aggregates: BTreeMap::new(),
             certified: BTreeMap::new(),
             staged: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Registers this SP's query metrics (`sp.*`) in `registry`; every
+    /// `serve_*` call and recorded certificate is measured from here on.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(SpObs::register(registry));
     }
 
     /// Registers a new index under `name`.
@@ -197,6 +250,63 @@ impl ServiceProvider {
     /// Access an aggregate index for querying.
     pub fn aggregate(&self, name: &str) -> Option<&AggregateIndex> {
         self.aggregates.get(name)
+    }
+
+    /// Serves an authenticated time-window history query through the SP's
+    /// measured query path: the result and proof are exactly
+    /// [`HistoryIndex::query`]'s, with serving time, VO size, and result
+    /// count recorded into the attached registry. `None` if no history
+    /// index is registered under `name`.
+    pub fn serve_history(
+        &self,
+        name: &str,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> Option<(Vec<(u64, Version)>, HistoryProof)> {
+        let index = self.histories.get(name)?;
+        let ((results, proof), took) = timed(|| index.query(key, t1, t2));
+        if let Some(obs) = &self.obs {
+            obs.record_query(&obs.history_queries, proof.encoded_len(), results.len());
+            obs.serve_ns.record(took);
+        }
+        Some((results, proof))
+    }
+
+    /// Serves a conjunctive keyword query ([`InvertedIndex::query`])
+    /// through the measured query path. `None` if no inverted index is
+    /// registered under `name`.
+    pub fn serve_keywords(
+        &self,
+        name: &str,
+        keywords: &[&str],
+    ) -> Option<(Vec<Hash>, KeywordProof)> {
+        let index = self.inverteds.get(name)?;
+        let ((results, proof), took) = timed(|| index.query(keywords));
+        if let Some(obs) = &self.obs {
+            obs.record_query(&obs.keyword_queries, proof.encoded_len(), results.len());
+            obs.serve_ns.record(took);
+        }
+        Some((results, proof))
+    }
+
+    /// Serves a verifiable window aggregation ([`AggregateIndex::query`])
+    /// through the measured query path. `None` if no aggregate index is
+    /// registered under `name`.
+    pub fn serve_aggregate(
+        &self,
+        name: &str,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> Option<(Aggregate, AggQueryProof)> {
+        let index = self.aggregates.get(name)?;
+        let ((aggregate, proof), took) = timed(|| index.query(key, t1, t2));
+        if let Some(obs) = &self.obs {
+            obs.record_query(&obs.aggregate_queries, proof.encoded_len(), 1);
+            obs.serve_ns.record(took);
+        }
+        Some((aggregate, proof))
     }
 
     /// Processes one block: executes it, updates every index, advances the
@@ -270,6 +380,10 @@ impl ServiceProvider {
     pub fn record_certs(&mut self, certs: &[Certificate]) {
         assert_eq!(certs.len(), self.staged.len(), "certificate count mismatch");
         for ((name, digest), cert) in self.staged.drain(..).zip(certs) {
+            if let Some(obs) = &self.obs {
+                obs.cert_bytes
+                    .observe(u64::try_from(cert.encoded_len()).unwrap_or(u64::MAX));
+            }
             self.certified.insert(name, (digest, Some(cert.clone())));
         }
     }
@@ -353,6 +467,46 @@ mod tests {
         assert_eq!(inputs[0].prev_digest, Hash::ZERO);
         assert_ne!(inputs[0].new_digest, Hash::ZERO);
         assert_eq!(sp.height(), 1);
+    }
+
+    #[test]
+    fn serve_methods_match_direct_queries_and_record_metrics() {
+        let (mut miner, mut sp) = setup();
+        let registry = dcert_obs::Registry::new();
+        sp.attach_obs(&registry);
+        let kp = Keypair::from_seed([5; 32]);
+        let tx = Transaction::sign(
+            &kp,
+            0,
+            "kvstore",
+            dcert_workloads::kvstore::KvCall::Put {
+                key: b"acct".to_vec(),
+                value: b"stock bank memo".to_vec(),
+            }
+            .to_encoded_bytes(),
+        );
+        let block = miner.mine(vec![tx], 1).unwrap();
+        sp.stage_block(&block).unwrap();
+
+        let key = StateKey::new("kvstore", b"acct");
+        let (direct_res, direct_proof) = sp.history("history").unwrap().query(&key, 0, 10);
+        let (served_res, served_proof) = sp.serve_history("history", &key, 0, 10).unwrap();
+        assert_eq!(direct_res, served_res, "serve path must not change results");
+        assert_eq!(
+            direct_proof.to_encoded_bytes(),
+            served_proof.to_encoded_bytes()
+        );
+        let (kw_res, _) = sp.serve_keywords("inverted", &["stock", "bank"]).unwrap();
+        assert_eq!(kw_res.len(), 1);
+        assert!(sp.serve_history("no-such-index", &key, 0, 10).is_none());
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("sp.queries"), 2);
+        assert_eq!(snapshot.counter("sp.query.history"), 1);
+        assert_eq!(snapshot.counter("sp.query.keyword"), 1);
+        let vo = snapshot.histograms.get("sp.query.vo_bytes").unwrap();
+        assert_eq!(vo.count, 2);
+        assert!(vo.sum > 0, "VOs have nonzero wire size");
     }
 
     #[test]

@@ -92,16 +92,58 @@ impl CostModel {
         trusted.mul_f64(self.in_enclave_slowdown_pct as f64 / 100.0)
     }
 
-    /// The simulated charge for one boundary crossing moving `bytes`.
+    /// The simulated charge for one boundary crossing moving `bytes`,
+    /// considered in isolation (a fresh enclave with an empty EPC).
+    ///
+    /// Real EPC pressure is *cumulative* across crossings — a long run of
+    /// small ECalls fills the EPC just as surely as one huge one — so the
+    /// enclave boundary charges through [`CostModel::charge_crossing`]
+    /// with its persistent residency instead. This stateless form remains
+    /// for single-shot estimates only.
     pub fn crossing_cost(&self, bytes: usize) -> Duration {
-        let in_budget = bytes.min(self.epc_budget_bytes) as u64;
-        let paged = bytes.saturating_sub(self.epc_budget_bytes) as u64;
-        Duration::from_nanos(
-            self.transition_ns
-                + in_budget * self.per_byte_ns
-                + paged * (self.per_byte_ns + self.paging_per_byte_ns),
-        )
+        self.charge_crossing(bytes, &mut 0).cost
     }
+
+    /// The simulated charge for one boundary crossing moving `bytes` into
+    /// an enclave whose EPC already holds `resident_bytes`.
+    ///
+    /// `resident_bytes` is the boundary's cumulative working set: it is
+    /// advanced by `bytes`, and every byte landing beyond
+    /// `epc_budget_bytes` is charged the paging penalty on top of the
+    /// marshalling cost. This is the fix for the classic per-crossing
+    /// accounting bug, where payloads smaller than the budget could never
+    /// trigger paging no matter how many of them crossed: paging now fires
+    /// exactly when the *cumulative* residency crosses the budget, and the
+    /// charge is split correctly for a crossing that straddles it.
+    pub fn charge_crossing(&self, bytes: usize, resident_bytes: &mut u64) -> CrossingCharge {
+        let bytes = bytes as u64;
+        let budget = u64::try_from(self.epc_budget_bytes).unwrap_or(u64::MAX);
+        let headroom = budget.saturating_sub(*resident_bytes);
+        let in_budget = bytes.min(headroom);
+        let paged = bytes - in_budget;
+        *resident_bytes = resident_bytes.saturating_add(bytes);
+        let cost = Duration::from_nanos(
+            self.transition_ns
+                .saturating_add(in_budget.saturating_mul(self.per_byte_ns))
+                .saturating_add(
+                    paged.saturating_mul(self.per_byte_ns.saturating_add(self.paging_per_byte_ns)),
+                ),
+        );
+        CrossingCharge {
+            cost,
+            paged_bytes: paged,
+        }
+    }
+}
+
+/// What one boundary crossing cost, from [`CostModel::charge_crossing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossingCharge {
+    /// The simulated wall-clock charge (transition + marshalling + paging).
+    pub cost: Duration,
+    /// Bytes of this crossing that landed beyond the EPC budget and were
+    /// charged the paging penalty.
+    pub paged_bytes: u64,
 }
 
 impl Default for CostModel {
@@ -162,6 +204,71 @@ mod tests {
             model.crossing_cost(1500),
             Duration::from_nanos(100 + 2000 + 500 * 12)
         );
+    }
+
+    #[test]
+    fn cumulative_residency_triggers_paging_where_per_crossing_never_could() {
+        let model = CostModel {
+            transition_ns: 0,
+            per_byte_ns: 1,
+            epc_budget_bytes: 1000,
+            paging_per_byte_ns: 10,
+            in_enclave_slowdown_pct: 0,
+        };
+        // The buggy per-crossing model: 100-byte payloads are far below
+        // the 1000-byte budget, so paging never fires no matter how many
+        // crossings happen.
+        for _ in 0..20 {
+            assert_eq!(model.crossing_cost(100), Duration::from_nanos(100));
+        }
+        // The cumulative model: the same 20 crossings fill the EPC after
+        // 10 and page thereafter.
+        let mut resident = 0u64;
+        let mut paged_total = 0u64;
+        let mut cost_total = Duration::ZERO;
+        for _ in 0..20 {
+            let charge = model.charge_crossing(100, &mut resident);
+            paged_total += charge.paged_bytes;
+            cost_total += charge.cost;
+        }
+        assert_eq!(resident, 2000);
+        assert_eq!(paged_total, 1000, "bytes 1001..=2000 must page");
+        // 2000 bytes marshalled at 1 ns + 1000 paged bytes at 10 ns.
+        assert_eq!(cost_total, Duration::from_nanos(2000 + 10_000));
+    }
+
+    #[test]
+    fn straddling_crossing_splits_the_paging_charge() {
+        let model = CostModel {
+            transition_ns: 7,
+            per_byte_ns: 2,
+            epc_budget_bytes: 1000,
+            paging_per_byte_ns: 10,
+            in_enclave_slowdown_pct: 0,
+        };
+        let mut resident = 900u64;
+        let charge = model.charge_crossing(300, &mut resident);
+        assert_eq!(resident, 1200);
+        assert_eq!(charge.paged_bytes, 200);
+        // 100 bytes in budget at 2 ns, 200 paged at 12 ns, 7 ns transition.
+        assert_eq!(charge.cost, Duration::from_nanos(7 + 200 + 2400));
+        // Stateless form matches a fresh residency of zero.
+        assert_eq!(model.crossing_cost(300), Duration::from_nanos(7 + 600));
+    }
+
+    #[test]
+    fn unbounded_epc_models_never_page_cumulatively() {
+        let model = CostModel::trustzone();
+        let mut resident = 1u64 << 60; // absurdly large, realistic ceiling
+        let charge = model.charge_crossing(100, &mut resident);
+        assert_eq!(charge.paged_bytes, 0, "usize::MAX budget never pages");
+        assert_eq!(resident, (1 << 60) + 100);
+        // At the absolute numeric edge the residency saturates rather than
+        // wrapping (the charge itself is then headroom-limited, which is
+        // fine — nothing real gets within 2^63 bytes of it).
+        let mut edge = u64::MAX - 10;
+        model.charge_crossing(100, &mut edge);
+        assert_eq!(edge, u64::MAX, "residency saturates, no overflow");
     }
 
     #[test]

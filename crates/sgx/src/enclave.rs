@@ -10,9 +10,10 @@ use rand::rngs::OsRng;
 use rand::RngCore;
 
 use crate::attestation::Quote;
-use crate::cost::{spin, timed, CostModel};
+use crate::cost::{spin, timed, CostModel, CrossingCharge};
 use crate::error::SgxError;
 use crate::sealing::{self, SealedBlob};
+use dcert_obs::{Buckets, Counter, Gauge, Histogram, Registry};
 
 /// Domain tag for enclave measurements.
 const MEASUREMENT_DOMAIN: u8 = 0x30;
@@ -63,10 +64,83 @@ pub struct EnclaveStats {
     pub bytes_in: u64,
     /// Total bytes marshalled out of the enclave.
     pub bytes_out: u64,
+    /// Bytes charged the EPC paging penalty (cumulative residency beyond
+    /// the cost model's `epc_budget_bytes`).
+    pub paged_bytes: u64,
     /// Simulated transition/marshalling overhead.
     pub overhead: Duration,
     /// Wall-clock time spent running trusted code.
     pub trusted_time: Duration,
+}
+
+/// Metric handles for the enclave cost center (see
+/// [`Enclave::attach_obs`]). Registered once; every recording after that
+/// is lock-free in the registry.
+struct EnclaveObs {
+    ecalls: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    paged_bytes: Counter,
+    /// Deterministic simulated crossing charge (transition + marshalling +
+    /// paging), in nanoseconds. Named `_nanos`, not `_ns`: the value is a
+    /// pure function of the byte counts, so it must survive the
+    /// wall-clock-stripped determinism comparison.
+    sim_charge_nanos: Counter,
+    /// Full simulated overhead including the slowdown derived from the
+    /// measured trusted time — wall-clock-tainted, hence `_ns`.
+    overhead_ns: Counter,
+    /// Wall-clock trusted execution time.
+    trusted_time_ns: Counter,
+    epc_resident_bytes: Gauge,
+    crossing_bytes: Histogram,
+}
+
+impl EnclaveObs {
+    fn register(registry: &Registry) -> Self {
+        EnclaveObs {
+            ecalls: registry.counter("enclave.ecalls"),
+            bytes_in: registry.counter("enclave.bytes_in"),
+            bytes_out: registry.counter("enclave.bytes_out"),
+            paged_bytes: registry.counter("enclave.paged_bytes"),
+            sim_charge_nanos: registry.counter("enclave.sim_charge_nanos"),
+            overhead_ns: registry.counter("enclave.overhead_ns"),
+            trusted_time_ns: registry.counter("enclave.trusted_time_ns"),
+            epc_resident_bytes: registry.gauge("enclave.epc_resident_bytes"),
+            crossing_bytes: registry.histogram("enclave.crossing_bytes", Buckets::bytes()),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_ecall(
+        &self,
+        input_len: usize,
+        output_len: usize,
+        in_charge: CrossingCharge,
+        out_charge: CrossingCharge,
+        slowdown: Duration,
+        trusted: Duration,
+        resident_bytes: u64,
+    ) {
+        self.ecalls.inc();
+        self.bytes_in.add(input_len as u64);
+        self.bytes_out.add(output_len as u64);
+        self.paged_bytes
+            .add(in_charge.paged_bytes + out_charge.paged_bytes);
+        self.crossing_bytes.observe(input_len as u64);
+        self.crossing_bytes.observe(output_len as u64);
+        self.sim_charge_nanos
+            .add(saturating_nanos(in_charge.cost + out_charge.cost));
+        self.overhead_ns.add(saturating_nanos(
+            in_charge.cost + slowdown + out_charge.cost,
+        ));
+        self.trusted_time_ns.add(saturating_nanos(trusted));
+        self.epc_resident_bytes
+            .record_max(i64::try_from(resident_bytes).unwrap_or(i64::MAX));
+    }
+}
+
+fn saturating_nanos(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Everything behind the trust boundary: the trusted program plus the
@@ -75,6 +149,12 @@ pub struct EnclaveStats {
 struct Boundary<A> {
     app: A,
     stats: EnclaveStats,
+    /// Cumulative bytes marshalled into EPC-backed memory — the working
+    /// set the paging charge is assessed against. Deliberately *not* part
+    /// of [`EnclaveStats`]: resetting the benchmark counters must not
+    /// pretend the EPC emptied.
+    resident_bytes: u64,
+    obs: Option<EnclaveObs>,
 }
 
 /// A simulated SGX enclave hosting a [`TrustedApp`].
@@ -127,6 +207,8 @@ impl<A: TrustedApp> Enclave<A> {
             boundary: Mutex::new(Boundary {
                 app,
                 stats: EnclaveStats::default(),
+                resident_bytes: 0,
+                obs: None,
             }),
             measurement,
             platform: Keypair::from_seed(seed),
@@ -151,9 +233,30 @@ impl<A: TrustedApp> Enclave<A> {
         self.boundary.lock().stats
     }
 
-    /// Resets the boundary counters (between benchmark phases).
+    /// Resets the boundary counters (between benchmark phases). EPC
+    /// residency is *not* reset: clearing a counter does not free enclave
+    /// memory (see [`Enclave::reset_epc_residency`]).
     pub fn reset_stats(&self) {
         self.boundary.lock().stats = EnclaveStats::default();
+    }
+
+    /// Cumulative bytes marshalled into EPC-backed memory — the working
+    /// set the paging charge is assessed against.
+    pub fn epc_resident_bytes(&self) -> u64 {
+        self.boundary.lock().resident_bytes
+    }
+
+    /// Empties the simulated EPC working set (models an enclave
+    /// teardown/relaunch between independent benchmark phases).
+    pub fn reset_epc_residency(&self) {
+        self.boundary.lock().resident_bytes = 0;
+    }
+
+    /// Registers this enclave's cost-center metrics (`enclave.*`) in
+    /// `registry` and records every subsequent ECall into them. Attaching
+    /// a [`Registry::disabled`] registry is free and exports nothing.
+    pub fn attach_obs(&self, registry: &Registry) {
+        self.boundary.lock().obs = Some(EnclaveObs::register(registry));
     }
 
     /// The active cost model.
@@ -169,20 +272,36 @@ impl<A: TrustedApp> Enclave<A> {
     /// contention degrades exactly like a single-TCS enclave.
     pub fn ecall(&self, input: &[u8]) -> Vec<u8> {
         let mut boundary = self.boundary.lock();
-        let in_cost = self.cost.crossing_cost(input.len());
-        spin(in_cost);
+        let in_charge = self
+            .cost
+            .charge_crossing(input.len(), &mut boundary.resident_bytes);
+        spin(in_charge.cost);
         let (output, trusted) = timed(|| boundary.app.call(input));
         // In-EPC execution slowdown (MEE on every cache-line fill).
         let slowdown = self.cost.slowdown_cost(trusted);
         spin(slowdown);
-        let out_cost = self.cost.crossing_cost(output.len());
-        spin(out_cost);
+        let out_charge = self
+            .cost
+            .charge_crossing(output.len(), &mut boundary.resident_bytes);
+        spin(out_charge.cost);
 
         boundary.stats.ecalls += 1;
         boundary.stats.bytes_in += input.len() as u64;
         boundary.stats.bytes_out += output.len() as u64;
-        boundary.stats.overhead += in_cost + slowdown + out_cost;
+        boundary.stats.paged_bytes += in_charge.paged_bytes + out_charge.paged_bytes;
+        boundary.stats.overhead += in_charge.cost + slowdown + out_charge.cost;
         boundary.stats.trusted_time += trusted;
+        if let Some(obs) = &boundary.obs {
+            obs.record_ecall(
+                input.len(),
+                output.len(),
+                in_charge,
+                out_charge,
+                slowdown,
+                trusted,
+                boundary.resident_bytes,
+            );
+        }
         output
     }
 
@@ -322,6 +441,83 @@ mod tests {
         enclave.ecall(b"abc");
         enclave.reset_stats();
         assert_eq!(enclave.stats(), EnclaveStats::default());
+    }
+
+    #[test]
+    fn repeated_small_ecalls_accumulate_epc_residency_and_page() {
+        let cost = CostModel {
+            transition_ns: 0,
+            per_byte_ns: 0,
+            epc_budget_bytes: 1000,
+            paging_per_byte_ns: 0,
+            in_enclave_slowdown_pct: 0,
+        };
+        let enclave = Enclave::launch(Secret { key: 0, calls: 0 }, cost);
+        // Each call crosses 100 bytes in + 100 bytes out (xor echo), far
+        // below the 1000-byte budget individually. After 5 calls the
+        // cumulative working set hits the budget; the next 5 page fully.
+        for _ in 0..10 {
+            enclave.ecall(&[0u8; 100]);
+        }
+        assert_eq!(enclave.epc_resident_bytes(), 2000);
+        assert_eq!(enclave.stats().paged_bytes, 1000);
+        // Counter resets must not pretend the EPC emptied.
+        enclave.reset_stats();
+        assert_eq!(enclave.epc_resident_bytes(), 2000);
+        enclave.ecall(&[0u8; 100]);
+        assert_eq!(enclave.stats().paged_bytes, 200, "fully beyond budget");
+        // An explicit teardown does empty it.
+        enclave.reset_epc_residency();
+        assert_eq!(enclave.epc_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_boundary_accounting() {
+        let cost = CostModel {
+            transition_ns: 0,
+            per_byte_ns: 0,
+            epc_budget_bytes: 150,
+            paging_per_byte_ns: 0,
+            in_enclave_slowdown_pct: 0,
+        };
+        let enclave = Enclave::launch(Secret { key: 0, calls: 0 }, cost);
+        let registry = dcert_obs::Registry::new();
+        enclave.attach_obs(&registry);
+        enclave.ecall(&[0u8; 100]);
+        enclave.ecall(&[0u8; 100]);
+        let snapshot = registry.snapshot();
+        let stats = enclave.stats();
+        assert_eq!(snapshot.counter("enclave.ecalls"), stats.ecalls);
+        assert_eq!(snapshot.counter("enclave.bytes_in"), stats.bytes_in);
+        assert_eq!(snapshot.counter("enclave.bytes_out"), stats.bytes_out);
+        assert_eq!(snapshot.counter("enclave.paged_bytes"), stats.paged_bytes);
+        assert!(stats.paged_bytes > 0, "budget of 150 must page by call 2");
+        assert_eq!(
+            snapshot.gauge("enclave.epc_resident_bytes"),
+            i64::try_from(enclave.epc_resident_bytes()).unwrap()
+        );
+        let crossings = snapshot
+            .histograms
+            .get("enclave.crossing_bytes")
+            .expect("histogram registered");
+        assert_eq!(crossings.count, 4, "two calls, in + out each");
+    }
+
+    #[test]
+    fn disabled_registry_keeps_enclave_behavior_and_exports_nothing() {
+        let enclave = Enclave::launch(
+            Secret {
+                key: 0xff,
+                calls: 0,
+            },
+            CostModel::zero(),
+        );
+        let registry = dcert_obs::Registry::disabled();
+        enclave.attach_obs(&registry);
+        let out = enclave.ecall(&[0x0f, 0xf0]);
+        assert_eq!(out, vec![0xf0, 0x0f]);
+        assert_eq!(enclave.stats().ecalls, 1);
+        assert_eq!(registry.snapshot(), dcert_obs::Snapshot::default());
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod error;
 pub mod sealing;
 
 pub use attestation::{AttestationReport, AttestationService, Quote};
-pub use cost::CostModel;
+pub use cost::{CostModel, CrossingCharge};
 pub use enclave::{Enclave, EnclaveStats, TrustedApp};
 pub use error::SgxError;
 pub use sealing::SealedBlob;

@@ -17,6 +17,7 @@
 //! | [`chain`] | `dcert-chain` | blocks, consensus, state, full node |
 //! | [`sgx`] | `dcert-sgx` | enclave simulator, attestation, cost model |
 //! | [`core`] | `dcert-core` | **the paper's contribution**: certificates, CI, superlight client |
+//! | [`obs`] | `dcert-obs` | deterministic metrics: counters, gauges, histograms, snapshots |
 //! | [`query`] | `dcert-query` | certified indexes + verifiable queries |
 //! | [`baselines`] | `dcert-baselines` | traditional light client, LineageChain-style index |
 //! | [`workloads`] | `dcert-workloads` | Blockbench DN/CPU/IO/KV/SB |
@@ -30,6 +31,7 @@ pub use dcert_baselines as baselines;
 pub use dcert_chain as chain;
 pub use dcert_core as core;
 pub use dcert_merkle as merkle;
+pub use dcert_obs as obs;
 pub use dcert_primitives as primitives;
 pub use dcert_query as query;
 pub use dcert_sgx as sgx;

@@ -23,6 +23,7 @@ use dcert::core::{
     Partition, PipelineConfig, PipelineReport, PublishPolicy, QuorumClient, SimNet,
     SuperlightClient, Transport, TrustDomain,
 };
+use dcert::obs::{Registry, Snapshot};
 use dcert::primitives::keys::PublicKey;
 use dcert::workloads::Workload;
 
@@ -83,6 +84,11 @@ struct ChaosRun {
     superlight: SuperlightClient,
     quorum: QuorumClient,
     report: PipelineReport,
+    /// Final metric snapshot of the registry attached to both the SimNet
+    /// and the pipeline.
+    obs: Snapshot,
+    /// `SimNet::in_flight` at snapshot time, for the conservation law.
+    in_flight: u64,
 }
 
 /// Certifies the fixture chain through the pipeline over a `SimNet`
@@ -96,9 +102,15 @@ fn run_chaos(seed: u64, faults: FaultConfig) -> ChaosRun {
     let client_rx = net.join();
     let archive = Arc::new(CertArchive::new(net.clone() as Arc<dyn Transport>));
 
+    let obs = Registry::new();
+    net.attach_obs(&obs);
     let config = PipelineConfig {
         preparers: 2,
-        publish: PublishPolicy::require_acks(1),
+        publish: PublishPolicy {
+            jitter_seed: seed,
+            ..PublishPolicy::require_acks(1)
+        },
+        obs: obs.clone(),
         ..PipelineConfig::default()
     };
     let pipeline = CertPipeline::spawn(world.ci, config, archive.clone() as Arc<dyn Transport>);
@@ -155,6 +167,8 @@ fn run_chaos(seed: u64, faults: FaultConfig) -> ChaosRun {
         superlight,
         quorum,
         report,
+        obs: obs.snapshot(),
+        in_flight: net.in_flight(),
     }
 }
 
@@ -189,6 +203,25 @@ fn converges_at_default_fault_rates() {
         run.stats.dropped + run.stats.partitioned + run.stats.delayed > 0,
         "CHAOS_SEED={seed}: scenario injected no faults — not a chaos test"
     );
+    // Delivery accounting balances, and the attached registry agrees with
+    // the simulator's own ledger counter for counter.
+    assert!(
+        run.stats.conserves_deliveries(run.in_flight),
+        "CHAOS_SEED={seed}: NetStats leaked deliveries: {:?} (in flight {})",
+        run.stats,
+        run.in_flight
+    );
+    assert_eq!(run.obs.counter("net.delivered"), run.stats.delivered);
+    assert_eq!(run.obs.counter("net.attempted"), run.stats.attempted);
+    assert_eq!(run.obs.counter("net.dropped"), run.stats.dropped);
+    assert_eq!(run.obs.counter("net.duplicated"), run.stats.duplicated);
+    // Each block job broadcasts one message: initial attempts (attempts
+    // minus retries) must equal the job count exactly.
+    assert_eq!(
+        run.obs.counter("pipeline.publish.attempts") - run.obs.counter("pipeline.publish.retries"),
+        run.report.jobs,
+        "CHAOS_SEED={seed}: publish attempts drifted from the job count"
+    );
 }
 
 #[test]
@@ -205,6 +238,19 @@ fn fixed_seed_replays_bit_for_bit() {
         a.report.dead_letters.len(),
         b.report.dead_letters.len(),
         "CHAOS_SEED=1234: dead-letter schedule diverged"
+    );
+    // Every replay-stable metric — including the seeded backoff schedule
+    // in `pipeline.publish.backoff_nanos` — is bit-identical; only the
+    // `_ns`/`_depth` wall-clock and scheduling metrics may differ.
+    assert_eq!(
+        a.obs.without_wall_clock(),
+        b.obs.without_wall_clock(),
+        "CHAOS_SEED=1234: deterministic metrics diverged between replays"
+    );
+    assert_eq!(
+        a.obs.without_wall_clock().to_json(),
+        b.obs.without_wall_clock().to_json(),
+        "CHAOS_SEED=1234: snapshot encoding is not canonical"
     );
 }
 
@@ -232,6 +278,35 @@ fn total_blackout_dead_letters_then_resyncs() {
     assert_eq!(run.superlight.height(), Some(CHAIN), "CHAOS_SEED={seed}");
     assert_eq!(run.quorum.height(), Some(CHAIN), "CHAOS_SEED={seed}");
     assert_eq!(run.retained, fixture().expected, "CHAOS_SEED={seed}");
+
+    // The fixed backoff bug made every retry wait the same base delay.
+    // Under the exponential policy, the recorded schedule must grow: with
+    // 5 retries per blackout publish the largest backoff (≥ 16 ms ×
+    // jitter ≥ 0.5) dwarfs the smallest (< 1 ms × jitter < 1).
+    let backoffs = run
+        .obs
+        .histograms
+        .get("pipeline.publish.backoff_nanos")
+        .expect("CHAOS_SEED: retry backoffs are recorded");
+    let expected_retries = CHAIN * 5;
+    assert_eq!(
+        backoffs.count, expected_retries,
+        "CHAOS_SEED={seed}: one backoff per retry"
+    );
+    assert_eq!(
+        run.obs.counter("pipeline.publish.retries"),
+        expected_retries
+    );
+    assert_eq!(run.obs.counter("pipeline.publish.dead_letters"), CHAIN);
+    let (min, max) = (
+        backoffs.min.expect("non-empty"),
+        backoffs.max.expect("non-empty"),
+    );
+    assert!(
+        max >= 4 * min,
+        "CHAOS_SEED={seed}: backoff did not grow under sustained failure \
+         (min {min} ns, max {max} ns)"
+    );
 }
 
 proptest! {
@@ -267,6 +342,69 @@ proptest! {
         prop_assert_eq!(run.superlight.height(), Some(CHAIN));
         prop_assert_eq!(run.quorum.height(), Some(CHAIN));
         prop_assert_eq!(&run.retained, &fixture().expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The delivery ledger balances at **every instant**, not just at
+    /// rest: after each publish, clock advance, subscriber departure,
+    /// and the final heal,
+    /// `delivered + undeliverable + in_flight ==
+    ///  attempted + duplicated − partitioned − dropped − garbled`.
+    /// This is the invariant the duplicate-delivery accounting bug
+    /// violated — duplicates were delivered but never entered the ledger.
+    #[test]
+    fn netstats_conserve_deliveries_at_every_instant(
+        seed in any::<u64>(),
+        drop_rate in 0.0f64..0.5,
+        duplicate_rate in 0.0f64..0.3,
+        corrupt_rate in 0.0f64..0.3,
+        reorder_window in 0u64..8,
+        part_start in 0u64..12,
+        part_len in 0u64..6,
+    ) {
+        let faults = FaultConfig {
+            drop_rate,
+            duplicate_rate,
+            corrupt_rate,
+            reorder_window,
+            partitions: vec![Partition {
+                start: part_start,
+                end: part_start + part_len,
+                endpoints: vec![0],
+            }],
+        };
+        let net = SimNet::new(seed, faults);
+        let rx = net.join();
+        let mut quitter = Some(net.join());
+        let check = |step: &str| {
+            let (stats, in_flight) = (net.stats(), net.in_flight());
+            prop_assert!(
+                stats.conserves_deliveries(in_flight),
+                "seed {seed} after {step}: ledger out of balance: {stats:?} \
+                 (in flight {in_flight})"
+            );
+            Ok(())
+        };
+        for height in 1..=16u64 {
+            net.publish(NetMessage::CertRequest { from: height, to: height });
+            check("publish")?;
+            if height % 3 == 0 {
+                net.advance(2);
+                check("advance")?;
+            }
+            if height == 8 {
+                // One subscriber walks away mid-run: later deliveries to
+                // its endpoint must land in `undeliverable`, not vanish.
+                drop(quitter.take());
+            }
+        }
+        net.heal();
+        check("heal")?;
+        prop_assert_eq!(net.in_flight(), 0, "heal flushes everything pending");
+        while rx.try_recv().is_ok() {}
     }
 }
 

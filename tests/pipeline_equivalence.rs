@@ -31,6 +31,7 @@ use dcert::core::{
     CertError, CertJob, CertPipeline, Certificate, CertificateIssuer, Gossip, NetMessage,
     PipelineConfig, PipelineReport, SuperlightClient,
 };
+use dcert::obs::Registry;
 use dcert::primitives::codec::Encode;
 use dcert::primitives::hash::Hash;
 use dcert::primitives::keys::PublicKey;
@@ -235,6 +236,7 @@ fn run_pipeline(
     jobs: Vec<CertJob>,
     preparers: usize,
     queue_depth: usize,
+    obs: Registry,
 ) -> (Vec<Event>, CertificateIssuer, PipelineReport) {
     let gossip = Arc::new(Gossip::new());
     let feed = gossip.join();
@@ -243,6 +245,7 @@ fn run_pipeline(
         PipelineConfig {
             preparers,
             queue_depth,
+            obs,
             ..PipelineConfig::default()
         },
         gossip,
@@ -321,7 +324,13 @@ fn assert_equivalent(
     let (pipe_world, mut pipe_sp) = World::deterministic(plan.indexes());
     let jobs = build_jobs(&mut pipe_sp, &plan, &blocks);
     let job_count = jobs.len() as u64;
-    let (pipe_events, pipe_ci, report) = run_pipeline(pipe_world.ci, jobs, preparers, queue_depth);
+    let (pipe_events, pipe_ci, report) = run_pipeline(
+        pipe_world.ci,
+        jobs,
+        preparers,
+        queue_depth,
+        Registry::disabled(),
+    );
 
     assert_eq!(report.errors, Vec::new(), "no job may fail");
     assert_eq!(report.jobs, job_count);
@@ -425,6 +434,62 @@ proptest! {
     ) {
         assert_equivalent(plan, workload, txs, seed, preparers, queue_depth);
     }
+}
+
+// --- observability is inert -------------------------------------------------
+
+/// Attaching a live metrics registry must not change what the pipeline
+/// broadcasts: the instrumented arm and the disabled-registry arm produce
+/// byte-identical certificate streams over seed-identical worlds, while
+/// only the live registry records anything.
+#[test]
+fn attached_registry_is_behaviourally_inert() {
+    let plan = Plan::Hierarchical(
+        vec![
+            (IndexKind::History, "history"),
+            (IndexKind::Inverted, "keywords"),
+        ],
+        3,
+    );
+    let run = |registry: Registry| {
+        let (mut world, mut sp) = World::deterministic(plan.indexes());
+        let blocks = world.mine_blocks(
+            Workload::SmallBank { customers: 16 },
+            plan.block_count(),
+            2,
+            17,
+        );
+        let jobs = build_jobs(&mut sp, &plan, &blocks);
+        run_pipeline(world.ci, jobs, 3, 2, registry)
+    };
+
+    let live = Registry::new();
+    let (instrumented, _, live_report) = run(live.clone());
+    let disabled = Registry::disabled();
+    let (plain, _, plain_report) = run(disabled.clone());
+
+    assert_eq!(
+        instrumented, plain,
+        "a live registry changed the broadcast stream"
+    );
+    for (a, b) in instrumented.iter().zip(&plain) {
+        assert_eq!(
+            a.cert().to_encoded_bytes(),
+            b.cert().to_encoded_bytes(),
+            "certificates must serialize identically regardless of metrics"
+        );
+    }
+    assert_eq!(live_report.jobs, plain_report.jobs);
+
+    // The live registry saw every broadcast; the disabled one stayed
+    // empty and hands out detached handles.
+    assert_eq!(
+        live.snapshot().counter("pipeline.publish.attempts"),
+        instrumented.len() as u64
+    );
+    assert!(!disabled.is_enabled());
+    let empty = disabled.snapshot();
+    assert!(empty.counters.is_empty() && empty.histograms.is_empty() && empty.gauges.is_empty());
 }
 
 // --- orderly shutdown -------------------------------------------------------
