@@ -1,0 +1,39 @@
+//! Keyword-extraction micro-benchmark: the inverted index runs
+//! `extract_keywords` over every transaction payload of every block, so
+//! its per-word allocation behaviour is hot. The extractor now clones a
+//! right-sized `String` per emitted keyword and keeps the accumulator's
+//! capacity across words instead of re-allocating via `mem::take`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcert_query::extract_keywords;
+
+fn payload(words: usize) -> Vec<u8> {
+    // Realistic mixed payload: normal words, stop-length runs, digits
+    // (poisoned runs), and punctuation delimiters.
+    let mut out = Vec::new();
+    for i in 0..words {
+        match i % 5 {
+            0 => out.extend_from_slice(b"transfer "),
+            1 => out.extend_from_slice(format!("acct{i} ").as_bytes()),
+            2 => out.extend_from_slice(b"to, "),
+            3 => out.extend_from_slice(format!("{i}overdraft ").as_bytes()),
+            _ => out.extend_from_slice(b"settlement-batch "),
+        }
+    }
+    out
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keywords/extract");
+    for &words in &[16usize, 128, 1_024] {
+        let input = payload(words);
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &input, |b, input| {
+            b.iter(|| extract_keywords(input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Parallel Merkle construction: sequential vs. chunked scoped-thread
+//! builds at 2/4/8 workers, over 1 k / 10 k / 100 k leaves — the Fig. 8
+//! `merkle_threads` speedup at its source. Every configuration produces
+//! byte-identical trees (`tests/parallel_merkle.rs` pins this), so the
+//! only thing that may move here is wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcert_merkle::MerkleTree;
+use dcert_primitives::hash::{hash_bytes, Hash};
+
+fn leaves(n: usize) -> Vec<Hash> {
+    (0..n as u64).map(|i| hash_bytes(i.to_be_bytes())).collect()
+}
+
+fn bench_leaf_hash_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_build/from_leaf_hashes");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let input = leaves(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for &threads in &[1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{threads}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| MerkleTree::from_leaf_hashes_with_threads(input.clone(), threads));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_item_builds(c: &mut Criterion) {
+    // The `from_items` path also parallelises leaf hashing itself — this
+    // is what `Block::tx_root` pays per block.
+    let mut group = c.benchmark_group("merkle_build/from_items");
+    for &n in &[1_000usize, 10_000] {
+        let items: Vec<Vec<u8>> = (0..n as u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        for &threads in &[1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{threads}"), n),
+                &items,
+                |b, items| {
+                    b.iter(|| MerkleTree::from_items_with_threads(items.iter(), threads));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaf_hash_builds, bench_item_builds);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! CI gate over `BENCH_pr4.json`: verifies every figure binary exported
+//! CI gate over `BENCH_pr5.json`: verifies every figure binary exported
 //! its section and that the counters each experiment must move are present
 //! and non-zero. With `--compare A B` it instead checks that two exports
 //! from same-seed runs agree on every deterministic counter (names ending
@@ -35,6 +35,7 @@ const REQUIRED: &[(&str, &[&str], &[&str])] = &[
             "enclave.ecalls",
             "enclave.bytes_in",
             "enclave.sim_charge_nanos",
+            "enclave.marshal_reuse_bytes",
         ],
         &["enclave.crossing_bytes"],
     ),

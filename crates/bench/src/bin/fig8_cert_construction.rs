@@ -13,7 +13,7 @@
 
 use dcert_bench::export::export_figure;
 use dcert_bench::json::{obj, Json};
-use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE};
+use dcert_bench::params::{merkle_threads, scaled, BLOCKS_PER_MEASUREMENT, DEFAULT_BLOCK_SIZE};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};
 use dcert_obs::Registry;
@@ -25,7 +25,13 @@ fn main() {
         "Figure 8: certificate construction time by workload",
         "inside-enclave dominates; enclave overhead ≤ ~1.8×; proof-gen negligible",
     );
-    let blocks = scaled(BLOCKS_PER_MEASUREMENT);
+    // Parallel Merkle construction only moves wall-clock; exported
+    // counters stay byte-identical across settings (`check_bench --compare`).
+    dcert_merkle::set_build_threads(merkle_threads());
+    // At least two blocks per rig: marshal-buffer reuse only starts with
+    // the second request, and `enclave.marshal_reuse_bytes` is gated
+    // non-zero by check_bench even at smoke scale.
+    let blocks = scaled(BLOCKS_PER_MEASUREMENT).max(2);
     println!(
         "{:>4} | {:>10} {:>10} | {:>10} {:>10} {:>9} | {:>10} {:>9}",
         "", "rw-set", "proof-gen", "enclave", "trusted", "overhead", "total", "req bytes"

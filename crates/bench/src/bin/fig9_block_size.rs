@@ -11,7 +11,7 @@
 
 use dcert_bench::export::export_figure;
 use dcert_bench::json::{obj, Json};
-use dcert_bench::params::{scaled, BLOCKS_PER_MEASUREMENT, BLOCK_SIZES};
+use dcert_bench::params::{merkle_threads, scaled, BLOCKS_PER_MEASUREMENT, BLOCK_SIZES};
 use dcert_bench::report::{banner, fmt_bytes, fmt_duration, json_mode};
 use dcert_bench::{Rig, RigConfig, Scheme};
 use dcert_obs::Registry;
@@ -23,6 +23,9 @@ fn main() {
         "Figure 9: impact of block size on certificate construction (KV, SB)",
         "cost grows with #txs; enclave share grows with marshalled r/w-set bytes",
     );
+    // Parallel Merkle construction only moves wall-clock; exported
+    // counters stay byte-identical across settings (`check_bench --compare`).
+    dcert_merkle::set_build_threads(merkle_threads());
     let blocks = scaled(BLOCKS_PER_MEASUREMENT);
     let workloads = [
         Workload::KvStore { keyspace: 500 },

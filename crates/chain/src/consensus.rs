@@ -8,7 +8,7 @@
 
 use dcert_primitives::codec::{Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
-use dcert_primitives::hash::{hash_concat, Hash};
+use dcert_primitives::hash::{Hash, Hasher};
 use dcert_primitives::keys::{Keypair, PublicKey, Signature};
 
 use crate::block::BlockHeader;
@@ -128,7 +128,10 @@ impl ProofOfWork {
     }
 
     fn pow_digest(sealing: &Hash, nonce: u64) -> Hash {
-        hash_concat([sealing.as_bytes(), &nonce.to_be_bytes()])
+        Hasher::new()
+            .chain(sealing.as_bytes())
+            .chain(nonce.to_be_bytes())
+            .finalize()
     }
 }
 
@@ -139,10 +142,13 @@ impl ConsensusEngine for ProofOfWork {
 
     fn seal(&self, header: &mut BlockHeader) -> Result<(), ChainError> {
         let sealing = header.sealing_digest();
+        // Absorb the sealing digest once; each candidate nonce only clones
+        // the midstate instead of rehashing the 32-byte prefix.
+        let base = Hasher::new().chain(sealing.as_bytes());
         let mut nonce = 0u64;
         loop {
-            if leading_zero_bits(&Self::pow_digest(&sealing, nonce)) >= self.difficulty_bits as u32
-            {
+            let digest = base.clone().chain(nonce.to_be_bytes()).finalize();
+            if leading_zero_bits(&digest) >= self.difficulty_bits as u32 {
                 header.consensus = ConsensusProof::Pow {
                     difficulty_bits: self.difficulty_bits,
                     nonce,

@@ -74,6 +74,14 @@ pub struct CertificateIssuer {
     pk_enc: PublicKey,
     report: AttestationReport,
     prev_block_cert: Option<Certificate>,
+    /// Reused request-encoding buffer: every ECall request is marshalled
+    /// into this vector instead of a fresh allocation per call.
+    scratch: Vec<u8>,
+    /// Largest request encoding seen so far. Bytes up to this mark are
+    /// "served from reuse" — a pure function of the request-length
+    /// sequence (deliberately not `Vec::capacity`, which is
+    /// allocator-dependent), so the derived counter is deterministic.
+    scratch_high_water: usize,
 }
 
 /// The CI deconstructed into the pieces the pipeline's stages own while
@@ -246,6 +254,8 @@ impl CertificateIssuer {
             pk_enc,
             report,
             prev_block_cert,
+            scratch: Vec::new(),
+            scratch_high_water: 0,
         })
     }
 
@@ -586,12 +596,23 @@ impl CertificateIssuer {
     }
 
     /// Crosses the enclave boundary once and extracts a signature.
+    ///
+    /// The request is marshalled into the issuer's reused scratch buffer;
+    /// bytes below the buffer's high-water mark are attributed to the
+    /// `enclave.marshal_reuse_bytes` counter.
     fn issue(
         &mut self,
         request: &EcallRequest,
         breakdown: &mut CertBreakdown,
     ) -> Result<Signature, CertError> {
-        issue_encoded(&self.enclave, &request.to_encoded_bytes(), breakdown)
+        self.scratch.clear();
+        request.encode(&mut self.scratch);
+        let reused = self.scratch.len().min(self.scratch_high_water);
+        if reused > 0 {
+            self.enclave.note_marshal_reuse(reused as u64);
+        }
+        self.scratch_high_water = self.scratch_high_water.max(self.scratch.len());
+        issue_encoded(&self.enclave, &self.scratch, breakdown)
     }
 
     /// Tears the CI apart for the pipeline's stages.
@@ -605,7 +626,9 @@ impl CertificateIssuer {
         }
     }
 
-    /// Reassembles a CI from pipeline-owned parts.
+    /// Reassembles a CI from pipeline-owned parts. The marshalling scratch
+    /// starts empty: the pipeline's issuer kept its own buffer, and reuse
+    /// accounting is per-buffer by construction.
     pub(crate) fn from_parts(parts: CiParts) -> Self {
         CertificateIssuer {
             node: parts.node,
@@ -613,6 +636,8 @@ impl CertificateIssuer {
             pk_enc: parts.pk_enc,
             report: parts.report,
             prev_block_cert: parts.prev_block_cert,
+            scratch: Vec::new(),
+            scratch_high_water: 0,
         }
     }
 }

@@ -89,7 +89,8 @@ pub use messages::{BatchLink, BlockInput, EcallRequest, EcallResponse, IdxReques
 pub use netsim::{FaultConfig, NetStats, Partition, SimNet};
 pub use network::{CertArchive, Gossip, NetMessage, Transport};
 pub use pipeline::{
-    CertJob, CertPipeline, DeadLetter, PipelineConfig, PipelineReport, PublishPolicy,
+    CertJob, CertPipeline, DeadLetter, ParallelismConfig, PipelineConfig, PipelineReport,
+    PublishPolicy,
 };
 pub use program::{expected_measurement, CertProgram, CODE_IDENTITY};
 pub use quorum::{QuorumClient, TrustDomain};

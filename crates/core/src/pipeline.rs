@@ -112,6 +112,10 @@ pub struct PipelineConfig {
     pub queue_depth: usize,
     /// Delivery-confirmation policy for the publisher stage.
     pub publish: PublishPolicy,
+    /// Intra-block parallelism knobs (see [`ParallelismConfig`]). All
+    /// settings are byte-transparent: `tests/pipeline_equivalence.rs`
+    /// pins that certificates are unchanged at every thread count.
+    pub parallelism: ParallelismConfig,
     /// Metrics registry the stages record into (`pipeline.*`). Defaults
     /// to a disabled registry — recording is then a no-op and nothing is
     /// exported; `tests/pipeline_equivalence.rs` pins that instrumenting
@@ -125,9 +129,25 @@ impl Default for PipelineConfig {
             preparers: 4,
             queue_depth: 8,
             publish: PublishPolicy::default(),
+            parallelism: ParallelismConfig::default(),
             obs: Registry::disabled(),
         }
     }
+}
+
+/// Intra-block parallelism knobs, applied at [`CertPipeline::spawn`].
+///
+/// These tune *how fast* a single block's commitments are computed, never
+/// *what* they are — every output byte is identical at every setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Worker threads for Merkle-tree construction (tx roots, posting
+    /// lists). Applied via [`dcert_merkle::set_build_threads`], which is
+    /// process-global because tree builds also happen inside the enclave
+    /// program, beyond any per-pipeline configuration path. `0` (the
+    /// default) leaves the process-global setting untouched; values are
+    /// otherwise clamped to `1..=64`.
+    pub merkle_threads: usize,
 }
 
 /// How hard the publisher stage works to confirm a broadcast.
@@ -447,6 +467,9 @@ impl CertPipeline {
         config: PipelineConfig,
         transport: Arc<dyn Transport>,
     ) -> Self {
+        if config.parallelism.merkle_threads > 0 {
+            dcert_merkle::set_build_threads(config.parallelism.merkle_threads);
+        }
         let parts = ci.into_parts();
         let node = parts.node;
         let state = node.state().clone();
@@ -987,6 +1010,15 @@ struct Issuer {
     /// issuance.
     prev_index_certs: HashMap<String, Certificate>,
     adopted: Option<(BlockHeader, ChainState)>,
+    /// Reused request-marshalling buffer: every spliced request is
+    /// assembled here instead of a fresh `Vec` per ECall.
+    scratch: Vec<u8>,
+    /// Largest request encoding seen so far; bytes below this mark count
+    /// as reused (see [`Enclave::note_marshal_reuse`]). The issuer
+    /// processes jobs in strict sequence order, so the mark — and the
+    /// derived counter — is a pure function of the request stream,
+    /// identical to the sequential CI's.
+    scratch_high_water: usize,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1007,6 +1039,8 @@ fn issuer_loop(
         prev_block_cert,
         prev_index_certs: HashMap::new(),
         adopted: None,
+        scratch: Vec::new(),
+        scratch_high_water: 0,
     };
     // Preparers finish out of order; issue strictly by sequence number.
     let mut next = 0u64;
@@ -1103,14 +1137,15 @@ impl Issuer {
                 // leaves prev_block_cert untouched.
                 let mut issued = Vec::with_capacity(indexes.len());
                 for index in &indexes {
-                    let mut encoded =
-                        Vec::with_capacity(2 + head.len() + tail.len() + index.head.len());
-                    encoded.push(2u8);
-                    encoded.extend_from_slice(&head);
-                    self.prev_block_cert.encode(&mut encoded);
-                    encoded.extend_from_slice(&tail);
-                    self.splice_index(index, &mut encoded);
-                    let signature = issue_encoded(&self.enclave, &encoded, breakdown)?;
+                    self.scratch.clear();
+                    self.scratch
+                        .reserve(2 + head.len() + tail.len() + index.head.len());
+                    self.scratch.push(2u8);
+                    self.scratch.extend_from_slice(&head);
+                    self.prev_block_cert.encode(&mut self.scratch);
+                    self.scratch.extend_from_slice(&tail);
+                    splice_index(&self.prev_index_certs, index, &mut self.scratch);
+                    let signature = self.dispatch_scratch(breakdown)?;
                     issued.push(Certificate {
                         pk_enc: self.pk_enc,
                         report: self.report.clone(),
@@ -1131,14 +1166,15 @@ impl Issuer {
                 let block_cert = self.issue_block_cert(1, &head, &tail, &header, breakdown)?;
                 let mut issued = Vec::with_capacity(indexes.len());
                 for index in &indexes {
-                    let mut encoded =
-                        Vec::with_capacity(2 + idx_head.len() + idx_mid.len() + index.head.len());
-                    encoded.push(3u8);
-                    encoded.extend_from_slice(&idx_head);
-                    block_cert.encode(&mut encoded);
-                    encoded.extend_from_slice(&idx_mid);
-                    self.splice_index(index, &mut encoded);
-                    let signature = issue_encoded(&self.enclave, &encoded, breakdown)?;
+                    self.scratch.clear();
+                    self.scratch
+                        .reserve(2 + idx_head.len() + idx_mid.len() + index.head.len());
+                    self.scratch.push(3u8);
+                    self.scratch.extend_from_slice(&idx_head);
+                    block_cert.encode(&mut self.scratch);
+                    self.scratch.extend_from_slice(&idx_mid);
+                    splice_index(&self.prev_index_certs, index, &mut self.scratch);
+                    let signature = self.dispatch_scratch(breakdown)?;
                     issued.push(Certificate {
                         pk_enc: self.pk_enc,
                         report: self.report.clone(),
@@ -1172,19 +1208,20 @@ impl Issuer {
     /// One `prev_block_cert`-spliced ECall producing a certificate over
     /// `H(header)` (`SigGen` and `BatchSigGen` share this shape).
     fn issue_block_cert(
-        &self,
+        &mut self,
         tag: u8,
         head: &[u8],
         tail: &[u8],
         header: &BlockHeader,
         breakdown: &mut CertBreakdown,
     ) -> Result<Certificate, CertError> {
-        let mut encoded = Vec::with_capacity(1 + head.len() + tail.len() + 256);
-        encoded.push(tag);
-        encoded.extend_from_slice(head);
-        self.prev_block_cert.encode(&mut encoded);
-        encoded.extend_from_slice(tail);
-        let signature = issue_encoded(&self.enclave, &encoded, breakdown)?;
+        self.scratch.clear();
+        self.scratch.reserve(1 + head.len() + tail.len() + 256);
+        self.scratch.push(tag);
+        self.scratch.extend_from_slice(head);
+        self.prev_block_cert.encode(&mut self.scratch);
+        self.scratch.extend_from_slice(tail);
+        let signature = self.dispatch_scratch(breakdown)?;
         Ok(Certificate {
             pk_enc: self.pk_enc,
             report: self.report.clone(),
@@ -1193,12 +1230,19 @@ impl Issuer {
         })
     }
 
-    /// Appends `index` with its tracked `prev_cert` spliced in.
-    fn splice_index(&self, index: &PreparedIndex, encoded: &mut Vec<u8>) {
-        encoded.extend_from_slice(&index.head);
-        let prev = self.prev_index_certs.get(&index.index_type).cloned();
-        prev.encode(encoded);
-        encoded.extend_from_slice(&index.tail);
+    /// Dispatches the request currently marshalled in `self.scratch`,
+    /// crediting the bytes below the buffer's high-water mark to
+    /// `enclave.marshal_reuse_bytes`.
+    fn dispatch_scratch(
+        &mut self,
+        breakdown: &mut CertBreakdown,
+    ) -> Result<dcert_primitives::keys::Signature, CertError> {
+        let reused = self.scratch.len().min(self.scratch_high_water);
+        if reused > 0 {
+            self.enclave.note_marshal_reuse(reused as u64);
+        }
+        self.scratch_high_water = self.scratch_high_water.max(self.scratch.len());
+        issue_encoded(&self.enclave, &self.scratch, breakdown)
     }
 
     /// Records the issued index certificates and turns them into gossip
@@ -1224,6 +1268,21 @@ impl Issuer {
             })
             .collect()
     }
+}
+
+/// Appends `index` with its tracked `prev_cert` spliced in.
+///
+/// Free function (rather than an `Issuer` method) so the caller can borrow
+/// `prev_index_certs` while holding `&mut` to the issuer's scratch buffer.
+fn splice_index(
+    prev_index_certs: &HashMap<String, Certificate>,
+    index: &PreparedIndex,
+    encoded: &mut Vec<u8>,
+) {
+    encoded.extend_from_slice(&index.head);
+    let prev = prev_index_certs.get(&index.index_type).cloned();
+    prev.encode(encoded);
+    encoded.extend_from_slice(&index.tail);
 }
 
 // --- publisher -------------------------------------------------------------

@@ -39,7 +39,7 @@ pub mod smt;
 
 pub use aggmb::{AggMbTree, AggProof, Aggregate};
 pub use mbtree::{MbAppendProof, MbRangeProof, MbTree};
-pub use mht::{MerkleTree, MhtProof};
+pub use mht::{build_threads, set_build_threads, MerkleTree, MhtProof};
 pub use mpt::{Mpt, MptProof};
 pub use smt::{SmtProof, SparseMerkleTree};
 

@@ -5,24 +5,101 @@
 //! index. Odd nodes at a level are *promoted* (carried up unpaired) rather
 //! than duplicated, which avoids the classic CVE-2012-2459 duplication
 //! ambiguity.
+//!
+//! # Parallel construction
+//!
+//! Tree building is a pure per-level map (`next[i] = H(prev[2i] ||
+//! prev[2i+1])`), so it parallelises without changing a single output
+//! byte: [`MerkleTree::from_leaf_hashes_with_threads`] splits each level
+//! into contiguous chunks hashed by scoped threads and reassembles them
+//! in order. The result is structurally byte-identical to the sequential
+//! build for every leaf count and thread count — pinned by
+//! `tests/parallel_merkle.rs`. The process-global default used by
+//! [`MerkleTree::from_items`]/[`MerkleTree::from_leaf_hashes`] is set
+//! with [`set_build_threads`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
-use dcert_primitives::hash::{hash_concat, Hash};
+use dcert_primitives::hash::{Hash, Hasher};
 
 use crate::domain;
 use crate::ProofError;
 
 fn leaf_hash(item: &[u8]) -> Hash {
-    hash_concat([std::slice::from_ref(&domain::MHT_LEAF), item])
+    Hasher::with_domain(domain::MHT_LEAF).chain(item).finalize()
 }
 
 fn node_hash(left: &Hash, right: &Hash) -> Hash {
-    hash_concat([
-        std::slice::from_ref(&domain::MHT_NODE),
-        left.as_bytes(),
-        right.as_bytes(),
-    ])
+    Hasher::with_domain(domain::MHT_NODE)
+        .chain(left)
+        .chain(right)
+        .finalize()
+}
+
+/// Process-global default thread count for tree construction. `1` keeps
+/// every build sequential (the seed behaviour).
+static BUILD_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Hard cap on worker threads per build; keeps a misconfigured knob from
+/// spawning an unbounded number of scoped threads per level.
+const MAX_BUILD_THREADS: usize = 64;
+
+/// Minimum nodes at a level (or leaves in a batch) before chunked
+/// parallel hashing is worth the thread hand-off; below this the
+/// sequential loop wins.
+const PARALLEL_MIN_NODES: usize = 1024;
+
+/// Sets the process-global default thread count used by
+/// [`MerkleTree::from_items`] and [`MerkleTree::from_leaf_hashes`].
+///
+/// Values are clamped to `1..=64`. The output is byte-identical for every
+/// setting, so this is purely a throughput knob — racing configurations
+/// across threads cannot change any digest.
+pub fn set_build_threads(threads: usize) {
+    BUILD_THREADS.store(threads.clamp(1, MAX_BUILD_THREADS), Ordering::Relaxed);
+}
+
+/// Returns the process-global default thread count for tree construction.
+pub fn build_threads() -> usize {
+    BUILD_THREADS.load(Ordering::Relaxed)
+}
+
+/// Computes one tree level above `prev`, hashing adjacent pairs and
+/// promoting a trailing odd node unchanged. With `threads > 1` and a wide
+/// enough level, pair hashing is split across scoped threads; chunk
+/// boundaries fall on pair boundaries, so the output is byte-identical to
+/// the sequential loop.
+fn build_level(prev: &[Hash], threads: usize) -> Vec<Hash> {
+    let pairs = prev.len() / 2;
+    let (paired, promoted) = prev.split_at(pairs * 2);
+    let mut next = vec![Hash::ZERO; pairs];
+    if threads > 1 && prev.len() >= PARALLEL_MIN_NODES {
+        let chunk_pairs = pairs.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (out_chunk, in_chunk) in next
+                .chunks_mut(chunk_pairs)
+                .zip(paired.chunks(chunk_pairs * 2))
+            {
+                scope.spawn(move || {
+                    for (out, pair) in out_chunk.iter_mut().zip(in_chunk.chunks_exact(2)) {
+                        if let [l, r] = pair {
+                            *out = node_hash(l, r);
+                        }
+                    }
+                });
+            }
+        });
+    } else {
+        for (out, pair) in next.iter_mut().zip(paired.chunks_exact(2)) {
+            if let [l, r] = pair {
+                *out = node_hash(l, r);
+            }
+        }
+    }
+    next.extend(promoted.iter().copied());
+    next
 }
 
 /// A static Merkle hash tree over a list of items.
@@ -45,37 +122,69 @@ pub struct MerkleTree {
 }
 
 impl MerkleTree {
-    /// Builds a tree over the given items.
+    /// Builds a tree over the given items, using the process-global
+    /// thread default (see [`set_build_threads`]).
     pub fn from_items<I, T>(items: I) -> Self
     where
         I: IntoIterator<Item = T>,
-        T: AsRef<[u8]>,
+        T: AsRef<[u8]> + Sync,
     {
-        let leaves: Vec<Hash> = items.into_iter().map(|i| leaf_hash(i.as_ref())).collect();
-        Self::from_leaf_hashes(leaves)
+        Self::from_items_with_threads(items, build_threads())
     }
 
-    /// Builds a tree over pre-hashed leaves.
+    /// Builds a tree over the given items with an explicit thread count.
+    ///
+    /// Leaf hashing and every level above it are chunk-parallelised when
+    /// `threads > 1` and the batch is wide enough; the resulting tree is
+    /// byte-identical to the sequential build.
+    pub fn from_items_with_threads<I, T>(items: I, threads: usize) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]> + Sync,
+    {
+        let threads = threads.clamp(1, MAX_BUILD_THREADS);
+        let items: Vec<T> = items.into_iter().collect();
+        let leaves: Vec<Hash> = if threads > 1 && items.len() >= PARALLEL_MIN_NODES {
+            let chunk = items.len().div_ceil(threads).max(1);
+            let mut leaves = vec![Hash::ZERO; items.len()];
+            std::thread::scope(|scope| {
+                for (out_chunk, in_chunk) in leaves.chunks_mut(chunk).zip(items.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (out, item) in out_chunk.iter_mut().zip(in_chunk) {
+                            *out = leaf_hash(item.as_ref());
+                        }
+                    });
+                }
+            });
+            leaves
+        } else {
+            items.iter().map(|i| leaf_hash(i.as_ref())).collect()
+        };
+        Self::from_leaf_hashes_with_threads(leaves, threads)
+    }
+
+    /// Builds a tree over pre-hashed leaves, using the process-global
+    /// thread default (see [`set_build_threads`]).
     ///
     /// The caller is responsible for having produced the leaf hashes with a
     /// suitable domain-separated hash; [`MerkleTree::from_items`] does this
     /// automatically.
     pub fn from_leaf_hashes(leaves: Vec<Hash>) -> Self {
+        Self::from_leaf_hashes_with_threads(leaves, build_threads())
+    }
+
+    /// Builds a tree over pre-hashed leaves with an explicit thread count.
+    ///
+    /// Output is byte-identical to the sequential build for every leaf
+    /// count and thread count (`tests/parallel_merkle.rs` pins this).
+    pub fn from_leaf_hashes_with_threads(leaves: Vec<Hash>, threads: usize) -> Self {
+        let threads = threads.clamp(1, MAX_BUILD_THREADS);
         let mut levels = vec![leaves];
         while let Some(prev) = levels.last() {
             if prev.len() <= 1 {
                 break;
             }
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                match pair {
-                    [l, r] => next.push(node_hash(l, r)),
-                    // Odd node: promote unchanged. `chunks(2)` yields no
-                    // other widths, so the catch-all arm is dead.
-                    [single] => next.push(*single),
-                    _ => continue,
-                }
-            }
+            let next = build_level(prev, threads);
             levels.push(next);
         }
         MerkleTree { levels }
@@ -328,6 +437,52 @@ mod tests {
         let proof = tree.prove(10).unwrap();
         let bytes = proof.to_encoded_bytes();
         assert_eq!(MhtProof::decode_all(&bytes).unwrap(), proof);
+    }
+
+    #[test]
+    fn build_threads_knob_clamps_and_round_trips() {
+        let original = build_threads();
+        set_build_threads(0);
+        assert_eq!(build_threads(), 1);
+        set_build_threads(4);
+        assert_eq!(build_threads(), 4);
+        set_build_threads(usize::MAX);
+        assert_eq!(build_threads(), MAX_BUILD_THREADS);
+        set_build_threads(original);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_on_small_trees() {
+        // Below PARALLEL_MIN_NODES the parallel gate stays closed, but the
+        // delegation path must still produce the identical tree.
+        for n in [0usize, 1, 2, 3, 7, 33] {
+            let data = items(n);
+            let sequential = MerkleTree::from_items_with_threads(&data, 1);
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    MerkleTree::from_items_with_threads(&data, threads),
+                    sequential,
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(miri))] // wide enough to open the parallel gate; too slow under Miri
+    #[test]
+    fn parallel_gate_produces_identical_wide_trees() {
+        let data = items(1100);
+        let sequential = MerkleTree::from_items_with_threads(&data, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let parallel = MerkleTree::from_items_with_threads(&data, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+            let leaves: Vec<Hash> = data.iter().map(|i| leaf_hash(i)).collect();
+            assert_eq!(
+                MerkleTree::from_leaf_hashes_with_threads(leaves, threads),
+                sequential,
+                "pre-hashed, threads={threads}"
+            );
+        }
     }
 
     proptest! {

@@ -233,6 +233,12 @@ impl<T: Encode> Encode for Option<T> {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.encoded_len(),
+        }
+    }
 }
 
 impl<T: Decode> Decode for Option<T> {
@@ -252,6 +258,9 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
         self.0.encode(out);
         self.1.encode(out);
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
 }
 
 impl<A: Decode, B: Decode> Decode for (A, B) {
@@ -265,6 +274,9 @@ impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
         self.0.encode(out);
         self.1.encode(out);
         self.2.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
     }
 }
 
@@ -389,6 +401,12 @@ mod tests {
     fn encoded_len_matches_bytes() {
         let v: (u64, Vec<u8>) = (9, vec![1, 2, 3, 4, 5]);
         assert_eq!(v.encoded_len(), v.to_encoded_bytes().len());
+        let triple: (u8, String, bool) = (1, "abc".to_owned(), true);
+        assert_eq!(triple.encoded_len(), triple.to_encoded_bytes().len());
+        let some: Option<(u64, Vec<u8>)> = Some((3, vec![9; 7]));
+        assert_eq!(some.encoded_len(), some.to_encoded_bytes().len());
+        let none: Option<u64> = None;
+        assert_eq!(none.encoded_len(), none.to_encoded_bytes().len());
     }
 
     proptest! {

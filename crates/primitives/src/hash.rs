@@ -1,5 +1,10 @@
 //! SHA-256 digests and domain-separated hashing helpers.
+//!
+//! All hashing in the workspace funnels through the zero-allocation
+//! [`Hasher`] kernel: callers stream slices into the compression function
+//! directly instead of concatenating them into intermediate `Vec`s.
 
+use std::cell::RefCell;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -54,16 +59,16 @@ impl Hash {
         self.0 == [0u8; 32]
     }
 
-    /// Returns bit `i` (0 = most significant bit of byte 0).
+    /// Returns bit `i mod 256` (0 = most significant bit of byte 0).
     ///
     /// Used by the sparse Merkle tree to turn a hashed key into a path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= 256`.
+    /// The index is masked into range rather than asserted, so the SMT
+    /// verifier path stays panic-free on adversarial input; callers always
+    /// pass `i < 256` (a digest has exactly 256 bits), making the mask a
+    /// no-op in practice.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < 256, "bit index {i} out of range");
-        // The assert guarantees `i / 8 < 32`, so the lookup never misses.
+        let i = i % 256;
+        // After the mask, `i / 8 < 32`, so the lookup never misses.
         let byte = self.0.get(i / 8).copied().unwrap_or(0);
         (byte >> (7 - i % 8)) & 1 == 1
     }
@@ -113,6 +118,9 @@ impl Encode for Hash {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.0);
     }
+    fn encoded_len(&self) -> usize {
+        Hash::LEN
+    }
 }
 
 impl Decode for Hash {
@@ -127,6 +135,9 @@ impl Decode for Hash {
 impl Encode for Vec<Hash> {
     fn encode(&self, out: &mut Vec<u8>) {
         crate::codec::encode_seq(self, out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + Hash::LEN * self.len()
     }
 }
 
@@ -196,6 +207,9 @@ impl Encode for Address {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.0);
     }
+    fn encoded_len(&self) -> usize {
+        Address::LEN
+    }
 }
 
 impl Decode for Address {
@@ -207,38 +221,118 @@ impl Decode for Address {
     }
 }
 
+/// Zero-allocation streaming SHA-256 kernel with built-in domain separation.
+///
+/// Every digest in the workspace is produced by streaming slices into this
+/// kernel — no intermediate concatenation buffers. The free functions below
+/// ([`hash_bytes`], [`hash_pair`], [`hash_concat`], [`hash_domain`],
+/// [`hash_encoded`]) are thin wrappers; hot loops that hash many values can
+/// hold one `Hasher` and use [`Hasher::finalize_reset`] to avoid
+/// re-initialising the state per digest.
+///
+/// ```
+/// use dcert_primitives::hash::{hash_domain, Hasher};
+///
+/// let streamed = Hasher::with_domain(7).chain(b"payload").finalize();
+/// assert_eq!(streamed, hash_domain(7, b"payload"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Hasher(Sha256);
+
+impl Hasher {
+    /// Creates a fresh kernel with no input absorbed.
+    pub fn new() -> Self {
+        Hasher(Sha256::new())
+    }
+
+    /// Creates a kernel with a one-byte domain-separation tag already
+    /// absorbed: subsequent input is hashed as `H(domain || ...)`.
+    pub fn with_domain(domain: u8) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update([domain]);
+        Hasher(hasher)
+    }
+
+    /// Absorbs `bytes` into the state. Returns `&mut self` for loop-style
+    /// chaining.
+    pub fn update(&mut self, bytes: impl AsRef<[u8]>) -> &mut Self {
+        self.0.update(bytes.as_ref());
+        self
+    }
+
+    /// Absorbs `bytes` and returns the kernel by value, for
+    /// expression-style chaining into [`Hasher::finalize`].
+    #[must_use]
+    pub fn chain(mut self, bytes: impl AsRef<[u8]>) -> Self {
+        self.0.update(bytes.as_ref());
+        self
+    }
+
+    /// Consumes the kernel and returns the digest.
+    #[must_use]
+    pub fn finalize(self) -> Hash {
+        Hash(self.0.finalize().into())
+    }
+
+    /// Returns the digest and resets the state to empty, keeping the
+    /// kernel alive for the next value — the amortised path for loops.
+    pub fn finalize_reset(&mut self) -> Hash {
+        Hash(self.0.finalize_reset().into())
+    }
+}
+
+impl fmt::Debug for Hasher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Hasher(..)")
+    }
+}
+
 /// Hashes a byte string with SHA-256.
 pub fn hash_bytes(bytes: impl AsRef<[u8]>) -> Hash {
-    let mut hasher = Sha256::new();
-    hasher.update(bytes.as_ref());
-    Hash(hasher.finalize().into())
+    Hasher::new().chain(bytes).finalize()
 }
 
 /// Hashes the concatenation `left || right` — the Merkle inner-node rule
 /// `h = H(h_l || h_r)` from the paper (Fig. 1).
 pub fn hash_pair(left: &Hash, right: &Hash) -> Hash {
-    let mut hasher = Sha256::new();
-    hasher.update(left.as_bytes());
-    hasher.update(right.as_bytes());
-    Hash(hasher.finalize().into())
+    Hasher::new().chain(left).chain(right).finalize()
 }
 
 /// Hashes the concatenation of an arbitrary number of byte strings.
 pub fn hash_concat<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Hash {
-    let mut hasher = Sha256::new();
+    let mut hasher = Hasher::new();
     for part in parts {
         hasher.update(part);
     }
-    Hash(hasher.finalize().into())
+    hasher.finalize()
+}
+
+thread_local! {
+    /// Reusable encode buffer for [`hash_encoded`]: the canonical byte
+    /// image is built once per thread and reused across calls, so steady-
+    /// state structural hashing allocates nothing.
+    static ENCODE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Hashes a value through its canonical [`Encode`] representation.
 ///
 /// All structural digests in the framework (`H(hdr)`, transaction ids,
 /// state-leaf hashes, ...) are computed this way so that hashing is
-/// deterministic across processes.
+/// deterministic across processes. The encode buffer is a thread-local
+/// scratch vector, so repeated calls do not allocate.
 pub fn hash_encoded<T: Encode + ?Sized>(value: &T) -> Hash {
-    hash_bytes(value.to_encoded_bytes())
+    ENCODE_SCRATCH.with(|cell| {
+        // `take`/`replace` instead of `borrow_mut` so a re-entrant
+        // `encode` impl (one that itself calls `hash_encoded`) simply
+        // sees a fresh empty buffer instead of panicking.
+        let mut buf = cell.take();
+        buf.clear();
+        value.encode(&mut buf);
+        let digest = hash_bytes(&buf);
+        buf.clear();
+        cell.replace(buf);
+        digest
+    })
 }
 
 /// Domain-separated hash: `H(domain_tag || payload)`.
@@ -246,10 +340,7 @@ pub fn hash_encoded<T: Encode + ?Sized>(value: &T) -> Hash {
 /// Distinct Merkle structures use distinct domains so that, e.g., an SMT
 /// leaf can never be confused with an MB-tree node.
 pub fn hash_domain(domain: u8, payload: &[u8]) -> Hash {
-    let mut hasher = Sha256::new();
-    hasher.update([domain]);
-    hasher.update(payload);
-    Hash(hasher.finalize().into())
+    Hasher::with_domain(domain).chain(payload).finalize()
 }
 
 #[cfg(test)]
@@ -313,5 +404,75 @@ mod tests {
     fn zero_hash_is_zero() {
         assert!(Hash::ZERO.is_zero());
         assert!(!hash_bytes(b"x").is_zero());
+    }
+
+    #[test]
+    fn bit_out_of_range_is_masked_not_panicking() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0b1000_0001;
+        let h = Hash::from_bytes(bytes);
+        // 256 wraps to 0, 263 wraps to 7, usize::MAX wraps to MAX % 256.
+        assert_eq!(h.bit(256), h.bit(0));
+        assert_eq!(h.bit(263), h.bit(7));
+        assert_eq!(h.bit(usize::MAX), h.bit(usize::MAX % 256));
+    }
+
+    #[test]
+    fn hasher_streaming_matches_one_shot() {
+        let one_shot = hash_bytes(b"hello world");
+        let mut streamed = Hasher::new();
+        streamed.update(b"hello").update(b" ").update(b"world");
+        assert_eq!(streamed.finalize(), one_shot);
+        assert_eq!(
+            Hasher::new().chain(b"hello ").chain(b"world").finalize(),
+            one_shot
+        );
+    }
+
+    #[test]
+    fn hasher_with_domain_matches_hash_domain() {
+        assert_eq!(
+            Hasher::with_domain(9).chain(b"payload").finalize(),
+            hash_domain(9, b"payload")
+        );
+    }
+
+    #[test]
+    fn hasher_finalize_reset_is_a_fresh_state() {
+        let mut hasher = Hasher::new();
+        hasher.update(b"first");
+        assert_eq!(hasher.finalize_reset(), hash_bytes(b"first"));
+        hasher.update(b"second");
+        assert_eq!(hasher.finalize_reset(), hash_bytes(b"second"));
+    }
+
+    #[test]
+    fn hash_concat_matches_manual_concatenation() {
+        let parts: [&[u8]; 3] = [b"a", b"bc", b"def"];
+        assert_eq!(hash_concat(parts), hash_bytes(b"abcdef"));
+    }
+
+    #[test]
+    fn hash_encoded_scratch_reuse_is_observationally_pure() {
+        // Interleaved calls with different types/lengths must all match
+        // the naive allocate-per-call formulation.
+        for round in 0..3u8 {
+            let v: Vec<u8> = vec![round; 100];
+            assert_eq!(hash_encoded(&v), hash_bytes(v.to_encoded_bytes()));
+            let x = u64::from(round) * 7;
+            assert_eq!(hash_encoded(&x), hash_bytes(x.to_encoded_bytes()));
+        }
+    }
+
+    #[test]
+    fn encoded_len_overrides_match_bytes() {
+        let h = hash_bytes(b"len");
+        assert_eq!(h.encoded_len(), h.to_encoded_bytes().len());
+        let a = Address::from_seed(3);
+        assert_eq!(a.encoded_len(), a.to_encoded_bytes().len());
+        let v = vec![h, Hash::ZERO, hash_bytes(b"more")];
+        assert_eq!(v.encoded_len(), v.to_encoded_bytes().len());
+        let empty: Vec<Hash> = Vec::new();
+        assert_eq!(empty.encoded_len(), empty.to_encoded_bytes().len());
     }
 }

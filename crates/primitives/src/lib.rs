@@ -40,5 +40,5 @@ pub mod keys;
 
 pub use codec::{Decode, Encode};
 pub use error::{CodecError, CryptoError};
-pub use hash::{Address, Hash};
+pub use hash::{Address, Hash, Hasher};
 pub use keys::{Keypair, PublicKey, Signature};

@@ -15,7 +15,7 @@ use dcert_core::{CertError, IndexVerifier};
 use dcert_merkle::{domain, SmtProof, SparseMerkleTree};
 use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
-use dcert_primitives::hash::{hash_bytes, hash_concat, Hash};
+use dcert_primitives::hash::{hash_bytes, Hash, Hasher};
 use dcert_vm::StateKey;
 
 use crate::error::QueryError;
@@ -47,7 +47,10 @@ pub fn extract_keywords(payload: &[u8]) -> Vec<String> {
             }
         } else {
             if !poisoned && (3..=16).contains(&current.len()) {
-                keywords.push(std::mem::take(&mut current));
+                // Clone out a right-sized keyword and keep `current`'s
+                // buffer; `mem::take` here would discard the accumulated
+                // capacity and force a fresh allocation per word.
+                keywords.push(current.clone());
             }
             current.clear();
             poisoned = false;
@@ -59,15 +62,14 @@ pub fn extract_keywords(payload: &[u8]) -> Vec<String> {
 }
 
 fn keyword_key(keyword: &str) -> Hash {
-    hash_concat([b"ivk:".as_slice(), keyword.as_bytes()])
+    Hasher::new().chain(b"ivk:").chain(keyword).finalize()
 }
 
 fn chain_append(head: &Hash, tx_id: &Hash) -> Hash {
-    hash_concat([
-        std::slice::from_ref(&domain::INV_ENTRY),
-        head.as_bytes(),
-        tx_id.as_bytes(),
-    ])
+    Hasher::with_domain(domain::INV_ENTRY)
+        .chain(head.as_bytes())
+        .chain(tx_id.as_bytes())
+        .finalize()
 }
 
 /// Recomputes a posting-list chain head from scratch.

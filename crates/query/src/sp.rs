@@ -331,37 +331,43 @@ impl ServiceProvider {
         // the indexes.
         self.node.apply(block)?;
 
-        let mut inputs = Vec::new();
-        self.staged.clear();
-        for (name, index) in self
-            .histories
+        // Borrow the index maps and the bookkeeping as disjoint fields so
+        // the update loop can stream `&str` keys straight out of the maps —
+        // no intermediate Vec collections, no per-index key clone just to
+        // look up `certified`.
+        let ServiceProvider {
+            histories,
+            inverteds,
+            aggregates,
+            certified,
+            staged,
+            ..
+        } = self;
+        staged.clear();
+        let mut inputs = Vec::with_capacity(histories.len() + inverteds.len() + aggregates.len());
+        let indexes = histories
             .iter_mut()
-            .map(|(n, i)| (n.clone(), i as &mut dyn MaintainedIndex))
-            .collect::<Vec<_>>()
-            .into_iter()
+            .map(|(n, i)| (n.as_str(), i as &mut dyn MaintainedIndex))
             .chain(
-                self.inverteds
+                inverteds
                     .iter_mut()
-                    .map(|(n, i)| (n.clone(), i as &mut dyn MaintainedIndex))
-                    .collect::<Vec<_>>(),
+                    .map(|(n, i)| (n.as_str(), i as &mut dyn MaintainedIndex)),
             )
             .chain(
-                self.aggregates
+                aggregates
                     .iter_mut()
-                    .map(|(n, i)| (n.clone(), i as &mut dyn MaintainedIndex))
-                    .collect::<Vec<_>>(),
-            )
-        {
-            let (prev_digest, prev_cert) = self
-                .certified
-                .get(&name)
+                    .map(|(n, i)| (n.as_str(), i as &mut dyn MaintainedIndex)),
+            );
+        for (name, index) in indexes {
+            let (prev_digest, prev_cert) = certified
+                .get(name)
                 .cloned()
                 // dcert-lint: allow(r2-panic-freedom, reason = "SP-internal bookkeeping: register_* seeds this map for every index it iterates")
                 .expect("registered index has bookkeeping");
             let (aux, new_digest) = index.apply_block(block, &writes);
-            self.staged.push((name.clone(), new_digest));
+            staged.push((name.to_owned(), new_digest));
             inputs.push(IndexInput {
-                index_type: name,
+                index_type: name.to_owned(),
                 prev_digest,
                 prev_cert,
                 new_digest,

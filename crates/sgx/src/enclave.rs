@@ -67,6 +67,11 @@ pub struct EnclaveStats {
     /// Bytes charged the EPC paging penalty (cumulative residency beyond
     /// the cost model's `epc_budget_bytes`).
     pub paged_bytes: u64,
+    /// Bytes of ECall request encoding served from a reused marshalling
+    /// scratch buffer instead of a fresh allocation (see
+    /// [`Enclave::note_marshal_reuse`]). Purely an attribution counter —
+    /// it never feeds the cost model.
+    pub marshal_reuse_bytes: u64,
     /// Simulated transition/marshalling overhead.
     pub overhead: Duration,
     /// Wall-clock time spent running trusted code.
@@ -86,6 +91,10 @@ struct EnclaveObs {
     /// pure function of the byte counts, so it must survive the
     /// wall-clock-stripped determinism comparison.
     sim_charge_nanos: Counter,
+    /// Bytes of request encoding served from a reused marshalling scratch
+    /// buffer. Deterministic: a pure function of the request-length
+    /// sequence, so it participates in the determinism comparison.
+    marshal_reuse_bytes: Counter,
     /// Full simulated overhead including the slowdown derived from the
     /// measured trusted time — wall-clock-tainted, hence `_ns`.
     overhead_ns: Counter,
@@ -103,6 +112,7 @@ impl EnclaveObs {
             bytes_out: registry.counter("enclave.bytes_out"),
             paged_bytes: registry.counter("enclave.paged_bytes"),
             sim_charge_nanos: registry.counter("enclave.sim_charge_nanos"),
+            marshal_reuse_bytes: registry.counter("enclave.marshal_reuse_bytes"),
             overhead_ns: registry.counter("enclave.overhead_ns"),
             trusted_time_ns: registry.counter("enclave.trusted_time_ns"),
             epc_resident_bytes: registry.gauge("enclave.epc_resident_bytes"),
@@ -305,6 +315,20 @@ impl<A: TrustedApp> Enclave<A> {
         output
     }
 
+    /// Records that `bytes` of ECall request encoding were written into a
+    /// reused marshalling scratch buffer instead of a freshly allocated
+    /// `Vec`. Callers (the certificate issuers) compute the figure from
+    /// their own scratch high-water mark, so the count is a pure function
+    /// of the request-length sequence — deterministic across runs and
+    /// thread settings.
+    pub fn note_marshal_reuse(&self, bytes: u64) {
+        let mut boundary = self.boundary.lock();
+        boundary.stats.marshal_reuse_bytes += bytes;
+        if let Some(obs) = &boundary.obs {
+            obs.marshal_reuse_bytes.add(bytes);
+        }
+    }
+
     /// Produces a quote binding `report_data` (e.g. `H(pk_enc)`) to this
     /// enclave's measurement, signed by the platform key.
     pub fn quote(&self, report_data: Hash) -> Quote {
@@ -439,8 +463,26 @@ mod tests {
     fn reset_stats_zeroes_counters() {
         let enclave = Enclave::launch(Secret { key: 1, calls: 0 }, CostModel::zero());
         enclave.ecall(b"abc");
+        enclave.note_marshal_reuse(17);
         enclave.reset_stats();
         assert_eq!(enclave.stats(), EnclaveStats::default());
+    }
+
+    #[test]
+    fn marshal_reuse_accumulates_in_stats_and_registry() {
+        let enclave = Enclave::launch(Secret { key: 0, calls: 0 }, CostModel::zero());
+        let registry = dcert_obs::Registry::new();
+        enclave.attach_obs(&registry);
+        enclave.note_marshal_reuse(100);
+        enclave.note_marshal_reuse(28);
+        assert_eq!(enclave.stats().marshal_reuse_bytes, 128);
+        assert_eq!(
+            registry.snapshot().counter("enclave.marshal_reuse_bytes"),
+            128
+        );
+        // Attribution only: the cost model never sees these bytes.
+        assert_eq!(enclave.stats().ecalls, 0);
+        assert_eq!(enclave.stats().bytes_in, 0);
     }
 
     #[test]
