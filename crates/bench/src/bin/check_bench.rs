@@ -1,4 +1,4 @@
-//! CI gate over `BENCH_pr5.json`: verifies every figure binary exported
+//! CI gate over `BENCH_pr6.json`: verifies every figure binary exported
 //! its section and that the counters each experiment must move are present
 //! and non-zero. With `--compare A B` it instead checks that two exports
 //! from same-seed runs agree on every deterministic counter (names ending
@@ -56,6 +56,16 @@ const REQUIRED: &[(&str, &[&str], &[&str])] = &[
         &[],
     ),
     ("tee_comparison", &["enclave.ecalls"], &[]),
+    (
+        "fig_store_coldstart",
+        &[
+            "bench.fig_store.coldstarts",
+            "store.appends",
+            "store.recovery_replays",
+            "store.fsyncs",
+        ],
+        &["bench.fig_store.open_ns", "bench.fig_store.verify_ns"],
+    ),
 ];
 
 fn main() -> ExitCode {

@@ -76,6 +76,7 @@ pub mod error;
 pub mod messages;
 pub mod netsim;
 pub mod network;
+pub mod persist;
 pub mod pipeline;
 pub mod program;
 pub mod quorum;
@@ -88,6 +89,7 @@ pub use error::CertError;
 pub use messages::{BatchLink, BlockInput, EcallRequest, EcallResponse, IdxRequest, IndexInput};
 pub use netsim::{FaultConfig, NetStats, Partition, SimNet};
 pub use network::{CertArchive, Gossip, NetMessage, Transport};
+pub use persist::RecoverError;
 pub use pipeline::{
     CertJob, CertPipeline, DeadLetter, ParallelismConfig, PipelineConfig, PipelineReport,
     PublishPolicy,

@@ -26,9 +26,14 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use dcert_chain::{Block, BlockHeader};
+use dcert_primitives::codec::{Decode, Encode};
 use dcert_primitives::hash::Hash;
+use dcert_primitives::keys::PublicKey;
+use dcert_store::{Record, Store, StoreError, StreamId};
 
 use crate::cert::Certificate;
+use crate::error::CertError;
+use crate::persist::{RecoverError, ARCHIVE_PRUNED_KEY};
 
 /// A message on the gossip network.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,14 +181,138 @@ pub struct CertArchive<T: Transport + ?Sized> {
     /// hierarchical job publishes a block certificate then its index
     /// certificates for the same height).
     retained: Mutex<BTreeMap<u64, Vec<NetMessage>>>,
+    /// Durable backend, when attached: every newly retained certificate
+    /// is appended and synced before `publish` returns, so a restarted CI
+    /// can keep answering resyncs for pre-crash history.
+    store: Option<Mutex<Box<dyn Store>>>,
+    /// First storage failure, if any. Publishing keeps forwarding on the
+    /// live network after a disk fault, but the archive stops claiming
+    /// durability — callers check [`CertArchive::store_error`].
+    store_error: Mutex<Option<StoreError>>,
+}
+
+impl<T: Transport + ?Sized> std::fmt::Debug for CertArchive<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CertArchive")
+            .field("retained", &self.retained_len())
+            .field("tip_height", &self.tip_height())
+            .field("durable", &self.store.is_some())
+            .field("store_error", &self.store_error.lock())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: Transport + ?Sized> CertArchive<T> {
-    /// Wraps `inner` with a retained store.
+    /// Wraps `inner` with an in-memory retained store (no durability).
     pub fn new(inner: std::sync::Arc<T>) -> Self {
         CertArchive {
             inner,
             retained: Mutex::new(BTreeMap::new()),
+            store: None,
+            store_error: Mutex::new(None),
+        }
+    }
+
+    /// Wraps `inner` with a durable retained store, recovering whatever
+    /// certified history `store` already holds.
+    ///
+    /// Every intact recovered record is decoded and its certificate
+    /// **re-verified** against the trust anchors (`ias_key`,
+    /// `measurement`) before it is served to resync requests — a store
+    /// whose surviving bytes fail verification is refused, never served.
+    /// Records below a recovered prune watermark are dropped (they are
+    /// redo leftovers from a crash mid-prune).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError`] when a recovered record fails to decode or its
+    /// certificate fails re-verification.
+    pub fn with_store(
+        inner: std::sync::Arc<T>,
+        store: Box<dyn Store>,
+        ias_key: &PublicKey,
+        measurement: &Hash,
+    ) -> Result<Self, RecoverError> {
+        let mut retained: BTreeMap<u64, Vec<NetMessage>> = BTreeMap::new();
+        let pruned_below = match store.head(ARCHIVE_PRUNED_KEY) {
+            Some(bytes) => u64::decode_all(&bytes)?,
+            None => 0,
+        };
+        for record in store.records() {
+            if record.stream != StreamId::Cert || record.height < pruned_below {
+                continue;
+            }
+            let message = NetMessage::decode_all(&record.body)?;
+            match &message {
+                NetMessage::BlockCert { header, cert } => {
+                    cert.verify(ias_key, measurement, &header.hash())?;
+                }
+                NetMessage::IndexCert {
+                    header,
+                    digest,
+                    cert,
+                    ..
+                } => {
+                    let expected = Certificate::index_digest(&header.hash(), digest);
+                    cert.verify(ias_key, measurement, &expected)?;
+                }
+                // Only certificate messages are ever persisted; anything
+                // else in the cert stream is not certified history.
+                _ => return Err(RecoverError::Cert(CertError::DigestMismatch)),
+            }
+            let entry = retained.entry(record.height).or_default();
+            if !entry.contains(&message) {
+                entry.push(message);
+            }
+        }
+        Ok(CertArchive {
+            inner,
+            retained: Mutex::new(retained),
+            store: Some(Mutex::new(store)),
+            store_error: Mutex::new(None),
+        })
+    }
+
+    /// The first storage failure observed by this archive, if any. `None`
+    /// means every retained certificate is durable (or no store is
+    /// attached).
+    pub fn store_error(&self) -> Option<StoreError> {
+        self.store_error.lock().clone()
+    }
+
+    /// The attached store's durable height (0 without a store).
+    pub fn durable_height(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map_or(0, |store| store.lock().durable_height())
+    }
+
+    /// Detaches and returns the durable store (orderly shutdown: the
+    /// caller can hand it to a successor archive via
+    /// [`CertArchive::with_store`]).
+    pub fn into_store(self) -> Option<Box<dyn Store>> {
+        self.store.map(Mutex::into_inner)
+    }
+
+    /// Appends and syncs one newly retained certificate message; a
+    /// failure poisons the archive's durability claim instead of
+    /// panicking or blocking the live broadcast.
+    fn persist(&self, height: u64, message: &NetMessage) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        let mut guard = store.lock();
+        let record = Record {
+            height,
+            stream: StreamId::Cert,
+            body: message.to_encoded_bytes(),
+        };
+        let result = guard.append(&record).and_then(|()| guard.sync());
+        if let Err(e) = result {
+            let mut poison = self.store_error.lock();
+            if poison.is_none() {
+                *poison = Some(e);
+            }
         }
     }
 
@@ -223,9 +352,31 @@ impl<T: Transport + ?Sized> CertArchive<T> {
     /// Drops retained certificates below `height` (bounded memory for
     /// long-running CIs; clients further behind than the retention
     /// horizon re-bootstrap from a checkpoint instead).
+    ///
+    /// With a store attached the watermark is recorded in the head region
+    /// *before* segment files are unlinked, so a crash mid-prune recovers
+    /// to either the pre-prune or post-prune archive — never a gap.
     pub fn prune_below(&self, height: u64) {
         let mut retained = self.retained.lock();
         *retained = retained.split_off(&height);
+        drop(retained);
+        if let Some(store) = &self.store {
+            let mut guard = store.lock();
+            // Sync the watermark before any segment is unlinked: losing
+            // it (even on an orderly close — the backend only syncs a
+            // prune that actually drops a segment) would resurrect
+            // pruned certificates on the next recovery.
+            let result = guard
+                .put_head(ARCHIVE_PRUNED_KEY, height.to_encoded_bytes())
+                .and_then(|()| guard.sync())
+                .and_then(|()| guard.prune_below(height));
+            if let Err(e) = result {
+                let mut poison = self.store_error.lock();
+                if poison.is_none() {
+                    *poison = Some(e);
+                }
+            }
+        }
     }
 }
 
@@ -241,9 +392,12 @@ impl<T: Transport + ?Sized> Transport for CertArchive<T> {
             let mut retained = self.retained.lock();
             let entry = retained.entry(height).or_default();
             // Retention is idempotent: the publisher's retry loop re-sends
-            // the same message, which must not inflate the archive.
+            // the same message, which must not inflate the archive (or the
+            // durable log).
             if !entry.contains(&message) {
                 entry.push(message.clone());
+                drop(retained);
+                self.persist(height, &message);
             }
         }
         self.inner.publish(message)
@@ -388,5 +542,151 @@ mod tests {
         }
         archive.prune_below(4);
         assert_eq!(archive.messages_in(0, u64::MAX).len(), 2);
+    }
+
+    /// A miniature certificate authority issuing *verifiable* certs, for
+    /// the recovery paths (which re-verify everything they replay).
+    struct RealCa {
+        ias: dcert_sgx::AttestationService,
+        enclave_key: dcert_primitives::keys::Keypair,
+        measurement: Hash,
+    }
+
+    impl RealCa {
+        fn new() -> Self {
+            use dcert_primitives::keys::Keypair;
+            let mut ias = dcert_sgx::AttestationService::with_seed([1; 32]);
+            let platform = Keypair::from_seed([2; 32]);
+            ias.register_platform(platform.public());
+            RealCa {
+                ias,
+                enclave_key: Keypair::from_seed([3; 32]),
+                measurement: dcert_primitives::hash::hash_bytes(b"mini-program"),
+            }
+        }
+
+        fn certify(&self, digest: Hash) -> Certificate {
+            use dcert_primitives::keys::Keypair;
+            let platform = Keypair::from_seed([2; 32]);
+            let quote = dcert_sgx::Quote::sign(
+                &platform,
+                self.measurement,
+                Certificate::key_binding(&self.enclave_key.public()),
+            );
+            Certificate {
+                pk_enc: self.enclave_key.public(),
+                report: self.ias.attest(&quote).unwrap(),
+                digest,
+                signature: self.enclave_key.sign(digest.as_bytes()),
+            }
+        }
+
+        fn block_cert(&self, height: u64) -> NetMessage {
+            let h = header(height);
+            let cert = self.certify(h.hash());
+            NetMessage::BlockCert { header: h, cert }
+        }
+    }
+
+    #[test]
+    fn archive_with_store_survives_handoff() {
+        use dcert_store::MemStore;
+        let ca = RealCa::new();
+        let bus = Arc::new(Gossip::new());
+        let archive = CertArchive::with_store(
+            bus.clone(),
+            Box::new(MemStore::new()),
+            &ca.ias.public_key(),
+            &ca.measurement,
+        )
+        .unwrap();
+        for height in 1..=5u64 {
+            archive.publish(ca.block_cert(height));
+        }
+        // Re-publishing (retry path) must not duplicate durable records.
+        archive.publish(ca.block_cert(3));
+        assert_eq!(archive.store_error(), None);
+        assert_eq!(archive.durable_height(), 5);
+        let expected = archive.messages_in(0, u64::MAX);
+
+        let store = archive.into_store().unwrap();
+        assert_eq!(store.records().len(), 5);
+        let recovered =
+            CertArchive::with_store(bus, store, &ca.ias.public_key(), &ca.measurement).unwrap();
+        assert_eq!(recovered.messages_in(0, u64::MAX), expected);
+        assert_eq!(recovered.tip_height(), Some(5));
+    }
+
+    #[test]
+    fn archive_recovery_refuses_forged_records() {
+        use dcert_primitives::codec::Encode;
+        use dcert_store::{MemStore, Record, Store, StreamId};
+        let ca = RealCa::new();
+        let mut store = MemStore::new();
+        let mut message = ca.block_cert(1);
+        if let NetMessage::BlockCert { cert, .. } = &mut message {
+            cert.signature = ca.certify(Hash::ZERO).signature;
+        }
+        store
+            .append(&Record {
+                height: 1,
+                stream: StreamId::Cert,
+                body: message.to_encoded_bytes(),
+            })
+            .unwrap();
+        store.sync().unwrap();
+        let bus = Arc::new(Gossip::new());
+        let err =
+            CertArchive::with_store(bus, Box::new(store), &ca.ias.public_key(), &ca.measurement)
+                .unwrap_err();
+        assert!(matches!(err, crate::persist::RecoverError::Cert(_)));
+    }
+
+    #[test]
+    fn archive_recovery_refuses_undecodable_records() {
+        use dcert_store::{MemStore, Record, Store, StreamId};
+        let ca = RealCa::new();
+        let mut store = MemStore::new();
+        store
+            .append(&Record {
+                height: 1,
+                stream: StreamId::Cert,
+                body: vec![0xFF; 10],
+            })
+            .unwrap();
+        store.sync().unwrap();
+        let bus = Arc::new(Gossip::new());
+        let err =
+            CertArchive::with_store(bus, Box::new(store), &ca.ias.public_key(), &ca.measurement)
+                .unwrap_err();
+        assert!(matches!(err, crate::persist::RecoverError::Codec(_)));
+    }
+
+    #[test]
+    fn archive_prune_watermark_filters_recovery() {
+        use dcert_store::MemStore;
+        let ca = RealCa::new();
+        let bus = Arc::new(Gossip::new());
+        let archive = CertArchive::with_store(
+            bus.clone(),
+            Box::new(MemStore::new()),
+            &ca.ias.public_key(),
+            &ca.measurement,
+        )
+        .unwrap();
+        for height in 1..=5u64 {
+            archive.publish(ca.block_cert(height));
+        }
+        archive.prune_below(4);
+        assert_eq!(archive.store_error(), None);
+        let store = archive.into_store().unwrap();
+        let recovered =
+            CertArchive::with_store(bus, store, &ca.ias.public_key(), &ca.measurement).unwrap();
+        let heights: Vec<u64> = recovered
+            .messages_in(0, u64::MAX)
+            .iter()
+            .filter_map(NetMessage::height)
+            .collect();
+        assert_eq!(heights, vec![4, 5]);
     }
 }

@@ -83,8 +83,9 @@ const ED25519_HOME: &str = "crates/primitives/src/keys.rs";
 
 /// Untrusted-input modules: every byte they verify or decode may be
 /// attacker-supplied, so they must reject, never panic.
-const R2_VERIFIER_MODULES: [&str; 16] = [
+const R2_VERIFIER_MODULES: [&str; 17] = [
     "crates/core/src/superlight.rs",
+    "crates/store/src/",
     "crates/core/src/quorum.rs",
     "crates/core/src/cert.rs",
     "crates/core/src/messages.rs",

@@ -113,7 +113,10 @@ impl InvertedIndex {
     }
 
     /// Derives the per-keyword appends of a block, in transaction order.
-    fn block_appends(block: &Block) -> BTreeMap<String, Vec<Hash>> {
+    ///
+    /// Crate-visible so [`crate::sp::ServiceProvider`] can persist the
+    /// appends of each staged block into its `Keywords` record stream.
+    pub(crate) fn block_appends(block: &Block) -> BTreeMap<String, Vec<Hash>> {
         let mut appends: BTreeMap<String, Vec<Hash>> = BTreeMap::new();
         for tx in &block.txs {
             let id = tx.id();
@@ -164,6 +167,32 @@ impl InvertedIndex {
 
         let update = InvertedUpdate { prev_heads, proof };
         (update.to_encoded_bytes(), self.digest())
+    }
+
+    /// Replays persisted per-keyword appends (one block's worth, as
+    /// derived by [`InvertedIndex::block_appends`]) without the block or
+    /// the update proof — the mutation half of
+    /// [`InvertedIndex::apply_block`], used by store recovery. Applying
+    /// the same appends yields the same dictionary root by construction.
+    // expect() here reads SP-maintained 32-byte chain heads (see the
+    // dcert-lint rationale at the call sites).
+    #[allow(clippy::expect_used)]
+    pub(crate) fn replay_appends(&mut self, appends: &[(String, Vec<Hash>)]) {
+        for (keyword, ids) in appends {
+            let list = self.postings.entry(keyword.clone()).or_default();
+            let mut head = self
+                .dictionary
+                .get(&keyword_key(keyword))
+                // dcert-lint: allow(r2-panic-freedom, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
+                .map(|bytes| Hash::from_bytes(bytes.try_into().expect("32-byte heads")))
+                .unwrap_or(Hash::ZERO);
+            for id in ids {
+                list.push(*id);
+                head = chain_append(&head, id);
+            }
+            self.dictionary
+                .insert(keyword_key(keyword), head.as_bytes().to_vec());
+        }
     }
 
     /// Answers a **disjunctive** keyword query ("w1 OR w2 OR ..."),
@@ -586,6 +615,21 @@ mod tests {
         let (mut result, proof) = index.query(&["stock"]);
         result.push(hash_bytes(b"injected"));
         assert!(verify_keywords(&digest, &["stock"], &result, &proof).is_err());
+    }
+
+    #[test]
+    fn replay_appends_matches_apply_block() {
+        let mut live = InvertedIndex::new("inverted");
+        let mut replayed = InvertedIndex::new("inverted");
+        for height in 1..=5u64 {
+            let block = memo_block(height, &["stock bank sale", "bank bond note"]);
+            live.apply_block(&block);
+            let appends: Vec<(String, Vec<Hash>)> =
+                InvertedIndex::block_appends(&block).into_iter().collect();
+            replayed.replay_appends(&appends);
+        }
+        assert_eq!(live.digest(), replayed.digest());
+        assert_eq!(live.query(&["bank"]).0, replayed.query(&["bank"]).0);
     }
 
     #[test]

@@ -44,4 +44,7 @@ pub use error::QueryError;
 pub use history::{HistoryIndex, HistoryProof, HistoryVerifier};
 pub use inverted::{extract_keywords, InvertedIndex, InvertedVerifier, KeywordProof};
 pub use inverted::{verify_keywords, verify_keywords_any};
-pub use sp::{MaintainedIndex, ServiceProvider};
+pub use sp::{
+    CertifiedEntry, KeywordPage, MaintainedIndex, ServiceProvider, WritesPage, SP_CERT_PREFIX,
+    SP_HEIGHT_KEY,
+};

@@ -1,0 +1,101 @@
+//! Typed errors for the storage engine.
+//!
+//! Recovery is a trust boundary: a store that cannot prove its on-disk
+//! state intact must *refuse to serve* with one of these variants — never
+//! panic, never hand back bytes it cannot vouch for. The variants are
+//! `Clone + PartialEq + Eq` so the kill-at-every-offset suite can assert on
+//! exact refusal reasons.
+
+use std::fmt;
+
+use dcert_primitives::CodecError;
+
+/// An error produced by a [`crate::Store`] backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O operation failed. `op` names the store
+    /// operation (e.g. `"segment append"`), `detail` carries the OS error
+    /// text.
+    Io {
+        /// Store operation that failed.
+        op: &'static str,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// A segment or head file did not start with the expected magic bytes.
+    BadMagic {
+        /// File name (relative to the store directory).
+        file: String,
+    },
+    /// Both head-region slots exist but neither decodes to a valid head
+    /// state: the durable watermark is unknowable, so recovery refuses.
+    HeadCorrupt {
+        /// Why the head region was rejected.
+        detail: &'static str,
+    },
+    /// The intact prefix of a segment is shorter than the durable watermark
+    /// recorded in the head region: acknowledged data was lost or
+    /// corrupted, so the store refuses to serve rather than silently
+    /// rewind.
+    DurableDataLost {
+        /// Index of the offending segment file.
+        segment: u32,
+        /// Durable byte length the head region promised.
+        durable: u64,
+        /// Intact byte length actually recovered.
+        recovered: u64,
+    },
+    /// A record payload failed canonical decoding.
+    Codec(CodecError),
+    /// A record payload exceeds the maximum frame size.
+    RecordTooLarge(usize),
+    /// A previous write error poisoned the store; it no longer accepts
+    /// appends (reads keep working so in-flight clients can drain).
+    Poisoned,
+    /// The recovered state failed semantic re-verification against the
+    /// latest certificate (performed by the store's consumer).
+    VerifyFailed(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, detail } => write!(f, "i/o failure during {op}: {detail}"),
+            StoreError::BadMagic { file } => write!(f, "bad magic bytes in {file}"),
+            StoreError::HeadCorrupt { detail } => {
+                write!(f, "head region unrecoverable: {detail}")
+            }
+            StoreError::DurableDataLost {
+                segment,
+                durable,
+                recovered,
+            } => write!(
+                f,
+                "segment {segment}: durable watermark {durable} exceeds intact prefix {recovered}"
+            ),
+            StoreError::Codec(e) => write!(f, "record decode failed: {e}"),
+            StoreError::RecordTooLarge(n) => write!(f, "record payload of {n} bytes too large"),
+            StoreError::Poisoned => write!(f, "store poisoned by an earlier write failure"),
+            StoreError::VerifyFailed(what) => {
+                write!(f, "recovered state failed re-verification: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Maps an [`std::io::Error`] into [`StoreError::Io`], tagging the failing
+/// store operation.
+pub(crate) fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> StoreError {
+    move |e| StoreError::Io {
+        op,
+        detail: e.to_string(),
+    }
+}

@@ -1,0 +1,280 @@
+//! The mutable head region: a tiny, atomically-replaced summary of what
+//! is durable.
+//!
+//! Segment files are append-only and immutable once rolled; everything
+//! mutable lives here. The head is two slot files (`head-a.dch`,
+//! `head-b.dch`), each holding [`HEAD_MAGIC`] followed by one CRC-framed
+//! [`HeadState`]. Writes alternate slots with a strictly increasing
+//! sequence number, so a torn head write can only damage the slot being
+//! replaced — the previous state survives in the other slot. Recovery
+//! takes the valid slot with the highest sequence number; if both slots
+//! exist but neither decodes, the durable watermark is unknowable and the
+//! store refuses to open ([`StoreError::HeadCorrupt`]).
+//!
+//! The head state carries three things:
+//!
+//! 1. the **durable watermark** — per-segment byte lengths covered by the
+//!    last fsync, and the highest block height those bytes certify,
+//! 2. the **key-value entries** — small consumer checkpoints (latest
+//!    certified digests, headers, prune marks) that must travel with the
+//!    watermark they were synced under,
+//! 3. the **sequence number** — total order over head writes.
+
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::CodecError;
+
+use crate::error::StoreError;
+use crate::frame::{append_frame, decode_framed, HEAD_MAGIC};
+
+/// File name of the first head slot.
+pub const HEAD_SLOT_A: &str = "head-a.dch";
+
+/// File name of the second head slot.
+pub const HEAD_SLOT_B: &str = "head-b.dch";
+
+/// Durable byte length of one segment file at the time of a head write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMark {
+    /// Segment file index (`seg-<index>.dcs`).
+    pub index: u32,
+    /// Bytes of that file (including magic) covered by the last fsync.
+    pub durable_len: u64,
+}
+
+impl Encode for SegmentMark {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index.encode(out);
+        self.durable_len.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 8
+    }
+}
+
+impl Decode for SegmentMark {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SegmentMark {
+            index: u32::decode(r)?,
+            durable_len: u64::decode(r)?,
+        })
+    }
+}
+
+/// The mutable state persisted in a head slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeadState {
+    /// Strictly increasing head-write sequence number (0 = never synced).
+    pub seq: u64,
+    /// Highest block height fully covered by durable segment bytes.
+    pub durable_height: u64,
+    /// Durable byte length per live segment, ascending by index.
+    pub segments: Vec<SegmentMark>,
+    /// Consumer checkpoint entries, ascending by key.
+    pub entries: Vec<(String, Vec<u8>)>,
+}
+
+impl Encode for HeadState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.durable_height.encode(out);
+        encode_seq(&self.segments, out);
+        encode_seq(&self.entries, out);
+    }
+}
+
+impl Decode for HeadState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(HeadState {
+            seq: u64::decode(r)?,
+            durable_height: u64::decode(r)?,
+            segments: decode_seq(r)?,
+            entries: decode_seq(r)?,
+        })
+    }
+}
+
+impl HeadState {
+    /// Returns the durable byte length recorded for segment `index`, or
+    /// `None` if the head does not cover it.
+    pub fn durable_len(&self, index: u32) -> Option<u64> {
+        self.segments
+            .iter()
+            .find(|m| m.index == index)
+            .map(|m| m.durable_len)
+    }
+
+    /// Serializes this state as a full head-slot file (magic + frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::RecordTooLarge`] if the entries outgrow the
+    /// maximum frame size.
+    pub fn encode_slot_file(&self) -> Result<Vec<u8>, StoreError> {
+        let mut out = Vec::with_capacity(64 + self.entries.len() * 32);
+        out.extend_from_slice(&HEAD_MAGIC);
+        append_frame(&self.to_encoded_bytes(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Parses a head-slot file (magic + one frame). Never panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BadMagic`] or [`StoreError::HeadCorrupt`] on
+    /// any damage.
+    pub fn decode_slot_file(file: &str, bytes: &[u8]) -> Result<HeadState, StoreError> {
+        let Some(magic) = bytes.get(..HEAD_MAGIC.len()) else {
+            return Err(StoreError::BadMagic { file: file.into() });
+        };
+        if magic != HEAD_MAGIC {
+            return Err(StoreError::BadMagic { file: file.into() });
+        }
+        let framed = bytes.get(HEAD_MAGIC.len()..).unwrap_or(&[]);
+        let payload = decode_framed(framed)?;
+        HeadState::decode_all(payload).map_err(|_| StoreError::HeadCorrupt {
+            detail: "head state decode failed",
+        })
+    }
+
+    /// Slot file the *next* head write (sequence `seq + 1`) goes to.
+    /// Alternating on the sequence number guarantees the slot holding the
+    /// current state is never overwritten.
+    pub fn next_slot(&self) -> &'static str {
+        if (self.seq + 1) % 2 == 1 {
+            HEAD_SLOT_A
+        } else {
+            HEAD_SLOT_B
+        }
+    }
+}
+
+/// Picks the authoritative head among the two decoded slot attempts.
+///
+/// Missing slots are `None`; corrupt slots are `Some(Err(..))`. The rule:
+/// the valid slot with the highest sequence wins; a single corrupt slot
+/// falls back to the other valid slot (a torn head write); but if at least
+/// one slot exists and *no* slot is valid, the watermark is unknowable.
+///
+/// # Errors
+///
+/// Returns [`StoreError::HeadCorrupt`] in the unknowable case.
+pub fn choose_head(
+    slot_a: Option<Result<HeadState, StoreError>>,
+    slot_b: Option<Result<HeadState, StoreError>>,
+) -> Result<Option<HeadState>, StoreError> {
+    let any_present = slot_a.is_some() || slot_b.is_some();
+    let best = [slot_a, slot_b]
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .max_by_key(|h| h.seq);
+    match best {
+        Some(head) => Ok(Some(head)),
+        None if any_present => Err(StoreError::HeadCorrupt {
+            detail: "no head slot decodes",
+        }),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> HeadState {
+        HeadState {
+            seq,
+            durable_height: seq * 3,
+            segments: vec![SegmentMark {
+                index: 0,
+                durable_len: 8 + seq * 40,
+            }],
+            entries: vec![("sp.header".into(), vec![1, 2, 3])],
+        }
+    }
+
+    #[test]
+    fn slot_file_round_trip() {
+        let head = sample(5);
+        let bytes = head.encode_slot_file().unwrap();
+        assert_eq!(
+            HeadState::decode_slot_file("head-a.dch", &bytes).unwrap(),
+            head
+        );
+    }
+
+    #[test]
+    fn every_truncation_of_slot_file_is_refused() {
+        let bytes = sample(9).encode_slot_file().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                HeadState::decode_slot_file("head-a.dch", &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_of_slot_file_is_refused() {
+        let bytes = sample(2).encode_slot_file().unwrap();
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x40;
+            assert!(
+                HeadState::decode_slot_file("head-a.dch", &flipped).is_err(),
+                "flip {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn slots_alternate() {
+        assert_eq!(sample(0).next_slot(), HEAD_SLOT_A);
+        assert_eq!(sample(1).next_slot(), HEAD_SLOT_B);
+        assert_eq!(sample(2).next_slot(), HEAD_SLOT_A);
+    }
+
+    #[test]
+    fn choose_head_prefers_highest_valid_seq() {
+        let a = sample(4);
+        let b = sample(7);
+        let chosen = choose_head(Some(Ok(a)), Some(Ok(b.clone())))
+            .unwrap()
+            .unwrap();
+        assert_eq!(chosen, b);
+    }
+
+    #[test]
+    fn choose_head_falls_back_past_one_corrupt_slot() {
+        let good = sample(4);
+        let torn = Err(StoreError::HeadCorrupt {
+            detail: "frame crc mismatch",
+        });
+        let chosen = choose_head(Some(torn), Some(Ok(good.clone())))
+            .unwrap()
+            .unwrap();
+        assert_eq!(chosen, good);
+    }
+
+    #[test]
+    fn choose_head_refuses_when_all_present_slots_corrupt() {
+        let torn = || {
+            Some(Err(StoreError::HeadCorrupt {
+                detail: "frame crc mismatch",
+            }))
+        };
+        assert!(matches!(
+            choose_head(torn(), torn()),
+            Err(StoreError::HeadCorrupt { .. })
+        ));
+        assert!(matches!(
+            choose_head(torn(), None),
+            Err(StoreError::HeadCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn choose_head_fresh_store() {
+        assert_eq!(choose_head(None, None).unwrap(), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! `MemStore` — the in-RAM reference backend.
+//!
+//! Exactly the behavior the workspace had before persistence existed:
+//! appends land in a `Vec`, head entries in a `BTreeMap`, and `sync` is
+//! free. It is kept for two reasons: fast tests, and as the *oracle* the
+//! equivalence suite compares [`crate::SegmentStore`] against — every read
+//! a segment store answers must be byte-identical to a `MemStore` fed the
+//! same history.
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+use crate::frame::Record;
+use crate::Store;
+
+/// In-memory [`Store`] backend.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    records: Vec<Record>,
+    entries: BTreeMap<String, Vec<u8>>,
+    durable_height: u64,
+    max_height: u64,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn backend(&self) -> &'static str {
+        "mem"
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        self.max_height = self.max_height.max(record.height);
+        self.records.push(record.clone());
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.durable_height = self.max_height;
+        Ok(())
+    }
+
+    fn put_head(&mut self, key: &str, value: Vec<u8>) -> Result<(), StoreError> {
+        self.entries.insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    fn head(&self, key: &str) -> Option<Vec<u8>> {
+        self.entries.get(key).cloned()
+    }
+
+    fn head_entries(&self) -> Vec<(String, Vec<u8>)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn records(&self) -> Vec<Record> {
+        self.records.clone()
+    }
+
+    fn durable_height(&self) -> u64 {
+        self.durable_height
+    }
+
+    fn max_height(&self) -> u64 {
+        self.max_height
+    }
+
+    fn prune_below(&mut self, height: u64) -> Result<(), StoreError> {
+        self.records.retain(|r| r.height >= height);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::StreamId;
+
+    #[test]
+    fn durable_height_follows_sync() {
+        let mut store = MemStore::new();
+        store
+            .append(&Record::new(3, StreamId::Cert, vec![1]))
+            .unwrap();
+        assert_eq!(store.durable_height(), 0);
+        assert_eq!(store.max_height(), 3);
+        store.sync().unwrap();
+        assert_eq!(store.durable_height(), 3);
+    }
+
+    #[test]
+    fn head_entries_sorted_and_overwritable() {
+        let mut store = MemStore::new();
+        store.put_head("b", vec![2]).unwrap();
+        store.put_head("a", vec![1]).unwrap();
+        store.put_head("b", vec![9]).unwrap();
+        assert_eq!(store.head("b"), Some(vec![9]));
+        assert_eq!(
+            store.head_entries(),
+            vec![("a".into(), vec![1]), ("b".into(), vec![9])]
+        );
+    }
+
+    #[test]
+    fn prune_below_drops_exactly() {
+        let mut store = MemStore::new();
+        for h in 1..=5 {
+            store
+                .append(&Record::new(h, StreamId::Cert, vec![]))
+                .unwrap();
+        }
+        store.prune_below(3).unwrap();
+        let heights: Vec<u64> = store.records().iter().map(|r| r.height).collect();
+        assert_eq!(heights, vec![3, 4, 5]);
+    }
+}

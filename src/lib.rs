@@ -19,6 +19,7 @@
 //! | [`core`] | `dcert-core` | **the paper's contribution**: certificates, CI, superlight client |
 //! | [`obs`] | `dcert-obs` | deterministic metrics: counters, gauges, histograms, snapshots |
 //! | [`query`] | `dcert-query` | certified indexes + verifiable queries |
+//! | [`store`] | `dcert-store` | crash-safe segment/head persistence for certified history |
 //! | [`baselines`] | `dcert-baselines` | traditional light client, LineageChain-style index |
 //! | [`workloads`] | `dcert-workloads` | Blockbench DN/CPU/IO/KV/SB |
 //!
@@ -35,5 +36,6 @@ pub use dcert_obs as obs;
 pub use dcert_primitives as primitives;
 pub use dcert_query as query;
 pub use dcert_sgx as sgx;
+pub use dcert_store as store;
 pub use dcert_vm as vm;
 pub use dcert_workloads as workloads;

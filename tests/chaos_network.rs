@@ -19,15 +19,16 @@ use proptest::prelude::*;
 
 use dcert::chain::Block;
 use dcert::core::{
-    expected_measurement, CertArchive, CertJob, CertPipeline, FaultConfig, NetMessage, NetStats,
-    Partition, PipelineConfig, PipelineReport, PublishPolicy, QuorumClient, SimNet,
+    expected_measurement, CertArchive, CertJob, CertPipeline, FaultConfig, Gossip, NetMessage,
+    NetStats, Partition, PipelineConfig, PipelineReport, PublishPolicy, QuorumClient, SimNet,
     SuperlightClient, Transport, TrustDomain,
 };
 use dcert::obs::{Registry, Snapshot};
 use dcert::primitives::keys::PublicKey;
+use dcert::store::{SegmentStore, Store, StoreConfig};
 use dcert::workloads::Workload;
 
-use common::World;
+use common::{temp_dir, World};
 
 /// Chain length for every chaos scenario.
 const CHAIN: u64 = 20;
@@ -96,14 +97,40 @@ struct ChaosRun {
 /// through the resync protocol until they converge (or panics with the
 /// seed after a bounded number of rounds).
 fn run_chaos(seed: u64, faults: FaultConfig) -> ChaosRun {
+    run_chaos_with_store(seed, faults, None)
+}
+
+/// [`run_chaos`], optionally with the archive persisting to a
+/// [`SegmentStore`] in `store_dir` (its `store.*` metrics land in the same
+/// registry as the network's and pipeline's).
+fn run_chaos_with_store(
+    seed: u64,
+    faults: FaultConfig,
+    store_dir: Option<&std::path::Path>,
+) -> ChaosRun {
     let fx = fixture();
     let (world, _) = World::deterministic(Vec::new());
     let net = Arc::new(SimNet::new(seed, faults));
     let client_rx = net.join();
-    let archive = Arc::new(CertArchive::new(net.clone() as Arc<dyn Transport>));
 
     let obs = Registry::new();
     net.attach_obs(&obs);
+    let archive = match store_dir {
+        Some(dir) => {
+            let store = SegmentStore::open(StoreConfig::new(dir).obs(obs.clone()))
+                .expect("archive store opens");
+            Arc::new(
+                CertArchive::with_store(
+                    net.clone() as Arc<dyn Transport>,
+                    Box::new(store),
+                    &fx.ias_key,
+                    &expected_measurement(),
+                )
+                .expect("archive store recovers"),
+            )
+        }
+        None => Arc::new(CertArchive::new(net.clone() as Arc<dyn Transport>)),
+    };
     let config = PipelineConfig {
         preparers: 2,
         publish: PublishPolicy {
@@ -161,6 +188,11 @@ fn run_chaos(seed: u64, faults: FaultConfig) -> ChaosRun {
         };
         archive.republish(from, to);
     }
+    assert!(
+        archive.store_error().is_none(),
+        "CHAOS_SEED={seed}: archive store poisoned: {:?}",
+        archive.store_error()
+    );
     ChaosRun {
         stats: net.stats(),
         retained: archive.messages_in(1, CHAIN),
@@ -252,6 +284,71 @@ fn fixed_seed_replays_bit_for_bit() {
         b.obs.without_wall_clock().to_json(),
         "CHAOS_SEED=1234: snapshot encoding is not canonical"
     );
+}
+
+/// The full chaos scenario with the archive persisting every retained
+/// certificate to a [`SegmentStore`]: convergence is unchanged, the
+/// `store.*` counters are part of the replay-stable snapshot, and after a
+/// crash that tears the segment tail, a successor archive recovers —
+/// counting its replays and truncations in a fresh registry — and
+/// re-serves the sequential issuer's exact stream.
+#[test]
+fn durable_archive_survives_chaos_and_a_torn_tail() {
+    let seed = 0xD15C;
+    let fx = fixture();
+    let dir = temp_dir("chaos-archive");
+    let run = run_chaos_with_store(seed, default_faults(), Some(&dir));
+    assert_eq!(run.superlight.height(), Some(CHAIN), "CHAOS_SEED={seed}");
+    assert_eq!(run.quorum.height(), Some(CHAIN), "CHAOS_SEED={seed}");
+    assert_eq!(run.retained, fx.expected, "CHAOS_SEED={seed}");
+    // One append per unique retained certificate: duplicated deliveries
+    // and publish retries never reach the disk, and a fresh directory
+    // records no recovery work.
+    assert_eq!(run.obs.counter("store.appends"), CHAIN, "CHAOS_SEED={seed}");
+    assert_eq!(run.obs.counter("store.recovery_replays"), 0);
+    assert_eq!(run.obs.counter("store.tail_truncations"), 0);
+    assert!(run.obs.counter("store.fsyncs") > 0, "CHAOS_SEED={seed}");
+
+    // Same seed, fresh directory: the store counters must be as
+    // replay-stable as every other deterministic metric.
+    let dir_replay = temp_dir("chaos-archive-replay");
+    let replay = run_chaos_with_store(seed, default_faults(), Some(&dir_replay));
+    assert_eq!(
+        run.obs.without_wall_clock(),
+        replay.obs.without_wall_clock(),
+        "CHAOS_SEED={seed}: store metrics diverged between replays"
+    );
+    std::fs::remove_dir_all(&dir_replay).ok();
+
+    // Crash mid-append: the process died while writing the next frame,
+    // leaving half a frame header past the durable watermark.
+    let seg = dir.join("seg-00000000.dcs");
+    let mut bytes = std::fs::read(&seg).expect("segment readable");
+    bytes.extend_from_slice(&[0xEE; 7]);
+    std::fs::write(&seg, bytes).expect("segment writable");
+
+    let recovery_obs = Registry::new();
+    let store = SegmentStore::open(StoreConfig::new(&dir).obs(recovery_obs.clone()))
+        .expect("torn tail recovers");
+    let snap = recovery_obs.snapshot();
+    assert_eq!(snap.counter("store.recovery_replays"), CHAIN);
+    assert_eq!(snap.counter("store.tail_truncations"), 1);
+    assert_eq!(snap.counter("store.truncated_bytes"), 7);
+    assert_eq!(store.durable_height(), CHAIN);
+
+    let successor = CertArchive::with_store(
+        Arc::new(Gossip::new()),
+        Box::new(store),
+        &fx.ias_key,
+        &expected_measurement(),
+    )
+    .expect("recovered certificates re-verify");
+    assert_eq!(
+        successor.messages_in(1, CHAIN),
+        fx.expected,
+        "CHAOS_SEED={seed}: recovered archive diverged from sequential issuance"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

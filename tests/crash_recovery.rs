@@ -21,15 +21,18 @@ mod common;
 use std::sync::Arc;
 use std::time::Duration;
 
-use common::{World, TEST_PLATFORM_SEED};
+use common::{temp_dir, World, TEST_PLATFORM_SEED};
 use dcert::chain::{Block, BlockHeader, ChainState, ConsensusEngine, FullNode};
 use dcert::core::{
-    BlockInput, CertError, CertJob, CertPipeline, CertProgram, Certificate, CertificateIssuer,
-    EcallRequest, EcallResponse, Gossip, NetMessage, PipelineConfig, Transport,
+    expected_measurement, BlockInput, CertError, CertJob, CertPipeline, CertProgram, Certificate,
+    CertificateIssuer, EcallRequest, EcallResponse, Gossip, NetMessage, PipelineConfig, Transport,
 };
+use dcert::obs::{Registry, Snapshot};
 use dcert::primitives::hash::Address;
+use dcert::query::sp::IndexKind;
 use dcert::sgx::enclave::Sealable;
 use dcert::sgx::CostModel;
+use dcert::store::{SegmentStore, Store, StoreConfig};
 use dcert::vm::Executor;
 use dcert::workloads::{Workload, WorkloadGen};
 
@@ -280,6 +283,85 @@ fn mid_flight_kill_never_double_issues() {
     for (pair, want) in published.iter().zip(expected.iter()) {
         assert_eq!(pair, want);
     }
+}
+
+/// One run of the SP persistence drill: certify a short chain into a
+/// [`SegmentStore`], kill the process mid-append (torn tail past the
+/// durable watermark), reopen into the same metrics registry, recover
+/// through certificate re-verification, and return the replay-stable
+/// part of the snapshot for cross-run comparison.
+fn sp_store_drill(label: &str) -> Snapshot {
+    const DRILL_CHAIN: u64 = 4;
+    let indexes = vec![(IndexKind::History, "history")];
+    let (mut world, mut sp) = World::deterministic(indexes.clone());
+    let obs = Registry::new();
+    let dir = temp_dir(label);
+    sp.attach_store(Box::new(
+        SegmentStore::open(StoreConfig::new(&dir).obs(obs.clone())).expect("drill store opens"),
+    ));
+
+    let blocks = world.mine_blocks(
+        Workload::KvStore { keyspace: 16 },
+        DRILL_CHAIN as usize,
+        3,
+        9,
+    );
+    for block in &blocks {
+        let inputs = sp.stage_block(block).expect("stages");
+        let (certs, _) = world
+            .ci
+            .certify_augmented(block, &inputs)
+            .expect("certifies");
+        sp.record_certs(&certs);
+    }
+    assert!(sp.store_error().is_none(), "store poisoned during the run");
+    let live_digest = sp.certified_digest("history");
+    let live_cert = sp.certificate("history").cloned();
+
+    // Crash: the store dies with the process, mid-way through appending
+    // the next record — half a frame header lands past the watermark.
+    drop(sp.take_store());
+    drop(sp);
+    let seg = dir.join("seg-00000000.dcs");
+    let mut bytes = std::fs::read(&seg).expect("segment readable");
+    bytes.extend_from_slice(&[0xEE; 5]);
+    std::fs::write(&seg, bytes).expect("segment writable");
+
+    // Restart: recovery counts its replays and the tail truncation in the
+    // same registry the live run used.
+    let store =
+        SegmentStore::open(StoreConfig::new(&dir).obs(obs.clone())).expect("torn tail recovers");
+    assert_eq!(store.durable_height(), DRILL_CHAIN);
+    let (_, fresh_sp) = World::deterministic(indexes);
+    let recovered = fresh_sp
+        .recover_from(
+            &world.ias.public_key(),
+            &expected_measurement(),
+            Box::new(store),
+        )
+        .expect("recovered pages re-verify");
+    assert_eq!(recovered.index_height(), DRILL_CHAIN);
+    assert_eq!(recovered.certified_digest("history"), live_digest);
+    assert_eq!(recovered.certificate("history").cloned(), live_cert);
+
+    let snap = obs.snapshot();
+    // Two streams (writes + keywords) per block, replayed once.
+    assert_eq!(snap.counter("store.recovery_replays"), DRILL_CHAIN * 2);
+    assert_eq!(snap.counter("store.tail_truncations"), 1);
+    assert_eq!(snap.counter("store.truncated_bytes"), 5);
+    std::fs::remove_dir_all(&dir).ok();
+    snap.without_wall_clock()
+}
+
+/// The persistence layer's crash drill: an SP on a [`SegmentStore`]
+/// killed mid-append resumes byte-identically, and the whole drill —
+/// including the `store.recovery_replays` / `store.tail_truncations`
+/// counters — is replay-stable across independent runs.
+#[test]
+fn sp_on_segment_store_resumes_with_replay_stable_metrics() {
+    let a = sp_store_drill("sp-drill-a");
+    let b = sp_store_drill("sp-drill-b");
+    assert_eq!(a, b, "store metrics diverged between identical drills");
 }
 
 /// A valid [`BlockInput`] for a height-1 block over the genesis state —

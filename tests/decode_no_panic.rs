@@ -28,8 +28,13 @@ use dcert::primitives::keys::{Keypair, PublicKey, Signature};
 use dcert::query::aggregate::AggregateIndex;
 use dcert::query::history::HistoryIndex;
 use dcert::query::inverted::InvertedIndex;
-use dcert::query::{AggQueryProof, HistoryProof, KeywordProof};
+use dcert::query::{
+    AggQueryProof, CertifiedEntry, HistoryProof, KeywordPage, KeywordProof, WritesPage,
+};
 use dcert::sgx::{sealing, AttestationReport, AttestationService, Quote, SealedBlob};
+use dcert::store::frame::{append_frame, scan_frames};
+use dcert::store::head::HEAD_SLOT_A;
+use dcert::store::{HeadState, Record, SegmentMark, StreamId};
 use dcert::vm::StateKey;
 use proptest::prelude::*;
 
@@ -75,6 +80,19 @@ fn try_decode_everything(bytes: &[u8]) {
     let _ = AggQueryProof::decode_all(bytes);
     let _ = SkipRangeProof::decode_all(bytes);
     let _ = LineageProof::decode_all(bytes);
+    // Persistence layer: segment records, head state, SP pages.
+    let _ = Record::decode_all(bytes);
+    let _ = StreamId::decode_all(bytes);
+    let _ = SegmentMark::decode_all(bytes);
+    let _ = HeadState::decode_all(bytes);
+    let _ = WritesPage::decode_all(bytes);
+    let _ = KeywordPage::decode_all(bytes);
+    let _ = CertifiedEntry::decode_all(bytes);
+    // Framing decoders (distinct from plain codecs: CRC-checked length-
+    // prefixed frames and magic-guarded slot files).
+    let _ = scan_frames(bytes);
+    let _ = dcert::store::frame::decode_framed(bytes);
+    let _ = HeadState::decode_slot_file(HEAD_SLOT_A, bytes);
 }
 
 /// A named valid encoding plus its own type's decoder (for asserting that
@@ -187,6 +205,30 @@ fn sample_encodings() -> Vec<Probe> {
 
     let sealed = sealing::seal(&[7; 32], &hash_bytes(b"program"), b"enclave state");
 
+    let record = Record::new(5, StreamId::Writes, b"page bytes".to_vec());
+    let head_state = HeadState {
+        seq: 3,
+        durable_height: 2,
+        segments: vec![SegmentMark {
+            index: 0,
+            durable_len: 4096,
+        }],
+        entries: vec![("sp.height".to_string(), 2u64.to_encoded_bytes())],
+    };
+    let writes_page = WritesPage {
+        writes: vec![
+            (key, Some(b"v1".to_vec())),
+            (StateKey::new("kvstore", b"gone"), None),
+        ],
+    };
+    let keyword_page = KeywordPage {
+        appends: vec![("stock".to_string(), vec![hash_bytes(b"tx-1")])],
+    };
+    let certified_entry = CertifiedEntry {
+        digest: hash_bytes(b"index digest"),
+        anchor: Some((hash_bytes(b"hdr"), hash_bytes(b"dig"), cert.clone())),
+    };
+
     vec![
         probe("Hash", &hash_bytes(b"x")),
         probe("PublicKey", &kp.public()),
@@ -235,6 +277,13 @@ fn sample_encodings() -> Vec<Probe> {
         probe("AggQueryProof", &agg_query_proof),
         probe("SkipRangeProof", &skip_proof),
         probe("LineageProof", &lineage_proof),
+        probe("Record", &record),
+        probe("StreamId", &StreamId::Checkpoint),
+        probe("SegmentMark", &head_state.segments[0]),
+        probe("HeadState", &head_state),
+        probe("WritesPage", &writes_page),
+        probe("KeywordPage", &keyword_page),
+        probe("CertifiedEntry", &certified_entry),
     ]
 }
 
@@ -268,6 +317,83 @@ fn every_decoder_survives_every_other_types_encoding() {
     // Cross-wiring: each type's valid bytes fed to all other decoders.
     for p in sample_encodings() {
         try_decode_everything(&p.bytes);
+    }
+}
+
+fn sample_head_state() -> HeadState {
+    HeadState {
+        seq: 7,
+        durable_height: 4,
+        segments: vec![SegmentMark {
+            index: 1,
+            durable_len: 512,
+        }],
+        entries: vec![("sp.cert.history".to_string(), vec![0xAB; 24])],
+    }
+}
+
+/// The head-slot file decoder (magic + one CRC frame) must reject every
+/// truncation and every single-byte corruption of a valid slot — a torn
+/// or bit-rotted head write can never decode to a wrong watermark.
+#[test]
+fn head_slot_file_damage_fails_cleanly() {
+    let slot = sample_head_state().encode_slot_file().expect("encodes");
+    assert!(HeadState::decode_slot_file(HEAD_SLOT_A, &slot).is_ok());
+    for cut in 0..slot.len() {
+        assert!(
+            HeadState::decode_slot_file(HEAD_SLOT_A, &slot[..cut]).is_err(),
+            "truncation at {cut}/{} must fail",
+            slot.len()
+        );
+    }
+    for pos in 0..slot.len() {
+        let mut bytes = slot.clone();
+        bytes[pos] ^= 0x01;
+        assert!(
+            HeadState::decode_slot_file(HEAD_SLOT_A, &bytes).is_err(),
+            "flipped byte {pos} must fail"
+        );
+    }
+}
+
+/// The segment frame scanner must yield exactly a *prefix* of the
+/// original records for every truncation and single-byte corruption of a
+/// valid frame stream — never a wrong record, never a panic.
+#[test]
+fn segment_frame_stream_damage_yields_record_prefix() {
+    let originals: Vec<Record> = (1..=3u64)
+        .map(|h| Record::new(h, StreamId::Cert, vec![h as u8; 48]))
+        .collect();
+    let mut stream = Vec::new();
+    for record in &originals {
+        append_frame(&record.to_encoded_bytes(), &mut stream).expect("frames");
+    }
+    let full = scan_frames(&stream);
+    assert_eq!(full.records, originals);
+    assert_eq!(full.valid_len, stream.len() as u64);
+    assert_eq!(full.stop, None);
+
+    let mut damaged: Vec<Vec<u8>> = (0..stream.len())
+        .map(|cut| stream[..cut].to_vec())
+        .collect();
+    damaged.extend((0..stream.len()).map(|pos| {
+        let mut bytes = stream.clone();
+        bytes[pos] ^= 0x01;
+        bytes
+    }));
+    for (case, bytes) in damaged.iter().enumerate() {
+        let scan = scan_frames(bytes);
+        assert!(scan.valid_len as usize <= bytes.len(), "case {case}");
+        assert_eq!(
+            scan.records,
+            originals[..scan.records.len()],
+            "case {case}: surviving records must be a prefix"
+        );
+        assert_eq!(
+            scan.stop.is_none(),
+            scan.valid_len as usize == bytes.len(),
+            "case {case}: a scan stops early iff bytes remain"
+        );
     }
 }
 
