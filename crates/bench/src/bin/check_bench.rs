@@ -1,10 +1,16 @@
-//! CI gate over `BENCH_pr6.json`: verifies every figure binary exported
+//! CI gate over `BENCH_pr7.json`: verifies every figure binary exported
 //! its section and that the counters each experiment must move are present
 //! and non-zero. With `--compare A B` it instead checks that two exports
 //! from same-seed runs agree on every deterministic counter (names ending
 //! in `_ns` measure wall-clock time and are exempt by convention).
 //!
+//! A `--figure NAME` flag (usable in both modes) restricts the gate to
+//! one figure's section — partial CI jobs that only run a single binary
+//! (e.g. the `serve-load` smoke) gate on their own export without
+//! requiring every other figure to have run.
+//!
 //! Run with: `cargo run -p dcert-bench --bin check_bench [file]`
+//!       or: `cargo run -p dcert-bench --bin check_bench -- --figure fig_serve [file]`
 //!       or: `cargo run -p dcert-bench --bin check_bench -- --compare a.json b.json`
 
 #![forbid(unsafe_code)]
@@ -66,13 +72,48 @@ const REQUIRED: &[(&str, &[&str], &[&str])] = &[
         ],
         &["bench.fig_store.open_ns", "bench.fig_store.verify_ns"],
     ),
+    (
+        "fig_serve",
+        &[
+            "serve.requests",
+            "serve.backend_calls",
+            "serve.cache_hits",
+            "serve.coalesce_hits",
+            "serve.shed_queue_full",
+            "serve.shed_rate_limited",
+            "serve.invalidations",
+        ],
+        &["serve.wait_ticks", "serve.payload_bytes"],
+    ),
 ];
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--figure NAME` restricts both modes to one REQUIRED entry.
+    let figure = match args.iter().position(|a| a == "--figure") {
+        Some(at) if at + 1 < args.len() => {
+            args.remove(at);
+            Some(args.remove(at))
+        }
+        Some(_) => {
+            eprintln!("check_bench: --figure needs a figure name");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    if let Some(name) = &figure {
+        if !REQUIRED.iter().any(|(figure, _, _)| figure == name) {
+            eprintln!("check_bench: unknown figure `{name}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let required: Vec<&(&str, &[&str], &[&str])> = REQUIRED
+        .iter()
+        .filter(|(name, _, _)| figure.as_deref().is_none_or(|f| f == *name))
+        .collect();
     let problems = if args.first().map(String::as_str) == Some("--compare") {
         match (args.get(1), args.get(2)) {
-            (Some(a), Some(b)) => compare(a, b),
+            (Some(a), Some(b)) => compare(&required, a, b),
             _ => vec!["--compare needs two file arguments".to_owned()],
         }
     } else {
@@ -80,7 +121,7 @@ fn main() -> ExitCode {
             .first()
             .map(std::path::PathBuf::from)
             .unwrap_or_else(bench_out_path);
-        check(&path)
+        check(&required, &path)
     };
     if problems.is_empty() {
         println!("check_bench: OK");
@@ -121,14 +162,14 @@ fn load(path: &str) -> Result<Json, LoadError> {
     Ok(doc)
 }
 
-fn check(path: &std::path::Path) -> Vec<String> {
+fn check(required: &[&(&str, &[&str], &[&str])], path: &std::path::Path) -> Vec<String> {
     let path = path.display().to_string();
     let doc = match load(&path) {
         Ok(doc) => doc,
         Err(err) => return vec![format!("{path}: {err}")],
     };
     let mut problems = Vec::new();
-    for &(figure, counters, histograms) in REQUIRED {
+    for &&(figure, counters, histograms) in required {
         let Some(section) = doc.get("figures").and_then(|f| f.get(figure)) else {
             problems.push(format!("figure `{figure}` missing — did its binary run?"));
             continue;
@@ -163,7 +204,7 @@ fn check(path: &std::path::Path) -> Vec<String> {
 
 /// Deterministic counters (everything not suffixed `_ns`) must agree
 /// between two same-seed exports, figure by figure.
-fn compare(path_a: &str, path_b: &str) -> Vec<String> {
+fn compare(required: &[&(&str, &[&str], &[&str])], path_a: &str, path_b: &str) -> Vec<String> {
     let (doc_a, doc_b) = match (load(path_a), load(path_b)) {
         (Ok(a), Ok(b)) => (a, b),
         (a, b) => {
@@ -174,7 +215,7 @@ fn compare(path_a: &str, path_b: &str) -> Vec<String> {
         }
     };
     let mut problems = Vec::new();
-    for &(figure, _, _) in REQUIRED {
+    for &&(figure, _, _) in required {
         let counters = |doc: &Json| -> Option<Json> {
             doc.get("figures")?
                 .get(figure)?

@@ -317,6 +317,10 @@ impl Encode for crate::network::NetMessage {
                 to.encode(out);
             }
             NetMessage::Shutdown => out.push(4),
+            NetMessage::Serve { payload } => {
+                out.push(5);
+                payload.encode(out);
+            }
         }
     }
 }
@@ -341,6 +345,9 @@ impl Decode for crate::network::NetMessage {
                 to: u64::decode(r)?,
             }),
             4 => Ok(NetMessage::Shutdown),
+            5 => Ok(NetMessage::Serve {
+                payload: Vec::<u8>::decode(r)?,
+            }),
             other => Err(CodecError::InvalidTag(other)),
         }
     }
@@ -473,6 +480,9 @@ mod tests {
             },
             NetMessage::CertRequest { from: 3, to: 9 },
             NetMessage::Shutdown,
+            NetMessage::Serve {
+                payload: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
         ];
         for message in messages {
             assert_eq!(

@@ -69,6 +69,13 @@ pub enum NetMessage {
     },
     /// Orderly shutdown marker (simulation control, not a protocol item).
     Shutdown,
+    /// An opaque serving-protocol frame (client request, response, or
+    /// typed refusal). The gossip fabric carries it without inspecting
+    /// it; `dcert-serve::wire::ServeWire` owns the payload codec.
+    Serve {
+        /// Canonical `ServeWire` bytes.
+        payload: Vec<u8>,
+    },
 }
 
 impl NetMessage {
@@ -80,7 +87,9 @@ impl NetMessage {
             NetMessage::BlockCert { header, .. } | NetMessage::IndexCert { header, .. } => {
                 Some(header.height)
             }
-            NetMessage::CertRequest { .. } | NetMessage::Shutdown => None,
+            NetMessage::CertRequest { .. } | NetMessage::Shutdown | NetMessage::Serve { .. } => {
+                None
+            }
         }
     }
 }

@@ -120,9 +120,10 @@ impl SuperlightClient {
                     },
                 }
             }
-            NetMessage::Block(_) | NetMessage::CertRequest { .. } | NetMessage::Shutdown => {
-                SyncOutcome::Ignored
-            }
+            NetMessage::Block(_)
+            | NetMessage::CertRequest { .. }
+            | NetMessage::Shutdown
+            | NetMessage::Serve { .. } => SyncOutcome::Ignored,
         }
     }
 

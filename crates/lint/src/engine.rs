@@ -83,7 +83,7 @@ const ED25519_HOME: &str = "crates/primitives/src/keys.rs";
 
 /// Untrusted-input modules: every byte they verify or decode may be
 /// attacker-supplied, so they must reject, never panic.
-const R2_VERIFIER_MODULES: [&str; 17] = [
+const R2_VERIFIER_MODULES: [&str; 18] = [
     "crates/core/src/superlight.rs",
     "crates/store/src/",
     "crates/core/src/quorum.rs",
@@ -99,6 +99,7 @@ const R2_VERIFIER_MODULES: [&str; 17] = [
     "crates/merkle/src/smt.rs",
     "crates/merkle/src/aggmb.rs",
     "crates/query/src/",
+    "crates/serve/src/wire.rs",
     "crates/sgx/src/sealing.rs",
     "crates/sgx/src/attestation.rs",
 ];

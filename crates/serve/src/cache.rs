@@ -1,0 +1,148 @@
+//! Generation-keyed proof cache.
+//!
+//! Entries are keyed by the canonical [`QuerySpec`](crate::QuerySpec)
+//! bytes and are valid only for the **generation** they were inserted
+//! under. The front-end bumps the generation whenever anything that can
+//! change an answer moves — `stage_block` advances the index height,
+//! `record_certs`/`advance_staged` move the certified digests — and a
+//! bump clears the cache wholesale. That makes "no stale proof survives
+//! a height advance" a structural property rather than a bookkeeping
+//! discipline: there is no code path that can return a pre-advance entry
+//! afterwards, because no pre-advance entry exists.
+//!
+//! Eviction is deterministic: entries carry an insertion sequence number
+//! and the oldest insertion is evicted first (FIFO). No wall-clock, no
+//! access-time LRU — the replay suites compare hit/miss counters across
+//! same-seed runs byte-for-byte.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::wire::ServeResponse;
+
+/// A fixed-capacity FIFO cache of canonical response payloads.
+#[derive(Debug)]
+pub struct ProofCache {
+    capacity: usize,
+    generation: u64,
+    entries: HashMap<Vec<u8>, ServeResponse>,
+    insertion_order: VecDeque<Vec<u8>>,
+}
+
+impl ProofCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// caching entirely — every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        ProofCache {
+            capacity,
+            generation: 0,
+            entries: HashMap::new(),
+            insertion_order: VecDeque::new(),
+        }
+    }
+
+    /// The current generation (bumped by [`ProofCache::invalidate`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the cached response for a spec key. The `id` of the
+    /// returned response is the *original* requester's; callers re-stamp
+    /// it with the current request id.
+    pub fn get(&self, spec_key: &[u8]) -> Option<&ServeResponse> {
+        self.entries.get(spec_key)
+    }
+
+    /// Inserts a response under `spec_key`, evicting the oldest insertion
+    /// if the cache is full. Keys already present keep their original
+    /// insertion rank (the payload for a key cannot change within a
+    /// generation, so a re-insert is a no-op in value terms).
+    pub fn insert(&mut self, spec_key: Vec<u8>, response: ServeResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.contains_key(&spec_key) {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.insertion_order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.insertion_order.push_back(spec_key.clone());
+        self.entries.insert(spec_key, response);
+    }
+
+    /// Clears every entry and bumps the generation: nothing cached before
+    /// this call can ever be served after it.
+    pub fn invalidate(&mut self) {
+        self.generation = self.generation.saturating_add(1);
+        self.entries.clear();
+        self.insertion_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(height: u64, byte: u8) -> ServeResponse {
+        ServeResponse {
+            id: 0,
+            certified_height: height,
+            payload: vec![byte],
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_is_deterministic() {
+        let mut cache = ProofCache::new(2);
+        cache.insert(b"a".to_vec(), response(1, 0xA));
+        cache.insert(b"b".to_vec(), response(1, 0xB));
+        cache.insert(b"c".to_vec(), response(1, 0xC));
+        assert!(cache.get(b"a").is_none(), "oldest insertion evicted");
+        assert!(cache.get(b"b").is_some());
+        assert!(cache.get(b"c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_clears_everything_and_bumps_generation() {
+        let mut cache = ProofCache::new(4);
+        cache.insert(b"a".to_vec(), response(1, 0xA));
+        let before = cache.generation();
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.generation(), before + 1);
+        assert!(cache.get(b"a").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut cache = ProofCache::new(0);
+        cache.insert(b"a".to_vec(), response(1, 0xA));
+        assert!(cache.get(b"a").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_keeps_first_value_and_rank() {
+        let mut cache = ProofCache::new(2);
+        cache.insert(b"a".to_vec(), response(1, 0xA));
+        cache.insert(b"a".to_vec(), response(9, 0xF));
+        assert_eq!(cache.get(b"a").map(|r| r.certified_height), Some(1));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,548 @@
+//! Canonical wire types for the serving front-end.
+//!
+//! Clients talk to a [`ServeFront`](crate::ServeFront) with exactly three
+//! message shapes: a [`ServeRequest`] naming a query, a [`ServeResponse`]
+//! carrying the canonical `(results, proof)` bytes at a certified height,
+//! or a [`ServeRefusal`] with a typed reason (sheds are never silent).
+//! [`ServeWire`] is the envelope carried opaquely inside
+//! `NetMessage::Serve` so the gossip fabric needs no knowledge of query
+//! semantics.
+//!
+//! Everything here decodes attacker-supplied bytes, so this module is held
+//! to `dcert-lint` R2 panic-freedom (no unwrap/expect/indexing/truncating
+//! casts) and is swept by `tests/decode_no_panic.rs`.
+
+use dcert_merkle::aggmb::Aggregate;
+use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
+use dcert_primitives::error::CodecError;
+use dcert_primitives::hash::Hash;
+use dcert_query::history::Version;
+use dcert_query::{AggQueryProof, HistoryProof, KeywordProof};
+use dcert_vm::StateKey;
+
+/// One verifiable query, exactly as the `ServiceProvider` serve methods
+/// take it. The canonical encoding of a spec doubles as the coalescing
+/// and cache key: two requests coalesce iff their specs encode to the
+/// same bytes, which is precisely when the backend would answer them
+/// with byte-identical `(results, proof)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Time-window history query against a named history index.
+    History {
+        /// Registered index name.
+        index: String,
+        /// Account/state key whose versions are requested.
+        key: StateKey,
+        /// Window start height (inclusive).
+        t1: u64,
+        /// Window end height (inclusive).
+        t2: u64,
+    },
+    /// Conjunctive keyword query against a named inverted index.
+    Keywords {
+        /// Registered index name.
+        index: String,
+        /// Keywords, in the client's order (order is part of the proof's
+        /// argument vector, so it is deliberately *not* canonicalized).
+        keywords: Vec<String>,
+    },
+    /// Verifiable window aggregation against a named aggregate index.
+    Aggregate {
+        /// Registered index name.
+        index: String,
+        /// Account/state key whose window aggregate is requested.
+        key: StateKey,
+        /// Window start height (inclusive).
+        t1: u64,
+        /// Window end height (inclusive).
+        t2: u64,
+    },
+}
+
+impl QuerySpec {
+    /// The registered index name this spec targets.
+    pub fn index(&self) -> &str {
+        match self {
+            QuerySpec::History { index, .. }
+            | QuerySpec::Keywords { index, .. }
+            | QuerySpec::Aggregate { index, .. } => index,
+        }
+    }
+
+    /// The canonical spec key: the coalescing and cache-lookup identity.
+    pub fn cache_key(&self) -> Vec<u8> {
+        self.to_encoded_bytes()
+    }
+}
+
+impl Encode for QuerySpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QuerySpec::History { index, key, t1, t2 } => {
+                out.push(0);
+                index.encode(out);
+                key.encode(out);
+                t1.encode(out);
+                t2.encode(out);
+            }
+            QuerySpec::Keywords { index, keywords } => {
+                out.push(1);
+                index.encode(out);
+                encode_seq(keywords, out);
+            }
+            QuerySpec::Aggregate { index, key, t1, t2 } => {
+                out.push(2);
+                index.encode(out);
+                key.encode(out);
+                t1.encode(out);
+                t2.encode(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            QuerySpec::History { index, key, t1, t2 }
+            | QuerySpec::Aggregate { index, key, t1, t2 } => {
+                index.encoded_len() + key.encoded_len() + t1.encoded_len() + t2.encoded_len()
+            }
+            QuerySpec::Keywords { index, keywords } => {
+                index.encoded_len() + 4 + keywords.iter().map(Encode::encoded_len).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl Decode for QuerySpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(QuerySpec::History {
+                index: String::decode(r)?,
+                key: StateKey::decode(r)?,
+                t1: u64::decode(r)?,
+                t2: u64::decode(r)?,
+            }),
+            1 => Ok(QuerySpec::Keywords {
+                index: String::decode(r)?,
+                keywords: decode_seq(r)?,
+            }),
+            2 => Ok(QuerySpec::Aggregate {
+                index: String::decode(r)?,
+                key: StateKey::decode(r)?,
+                t1: u64::decode(r)?,
+                t2: u64::decode(r)?,
+            }),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+/// One client request: who is asking, their request id (for matching the
+/// reply), and what they ask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Client identity the admission layer rate-limits on.
+    pub client: u64,
+    /// Client-chosen request id, echoed verbatim in the reply.
+    pub id: u64,
+    /// The query itself.
+    pub query: QuerySpec,
+}
+
+impl Encode for ServeRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.client.encode(out);
+        self.id.encode(out);
+        self.query.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.client.encoded_len() + self.id.encoded_len() + self.query.encoded_len()
+    }
+}
+
+impl Decode for ServeRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ServeRequest {
+            client: u64::decode(r)?,
+            id: u64::decode(r)?,
+            query: QuerySpec::decode(r)?,
+        })
+    }
+}
+
+/// A successful reply: the canonical `(results, proof)` encoding served
+/// at `certified_height`. The payload is byte-identical to what a direct
+/// uncached `ServiceProvider::serve_*` call at the same height would
+/// produce through the [`encode_history_payload`]-family helpers — the
+/// equivalence suite pins this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// The request id this answers.
+    pub id: u64,
+    /// The index height the answer (and its proofs) reflect.
+    pub certified_height: u64,
+    /// Canonical `(results, proof)` bytes; see the payload helpers.
+    pub payload: Vec<u8>,
+}
+
+impl Encode for ServeResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.certified_height.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + self.certified_height.encoded_len() + self.payload.encoded_len()
+    }
+}
+
+impl Decode for ServeResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ServeResponse {
+            id: u64::decode(r)?,
+            certified_height: u64::decode(r)?,
+            payload: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+/// Why a request was refused. Every shed path produces one of these —
+/// the front-end never drops a request silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The pending-query queue is at capacity; retry after a drain.
+    QueueFull {
+        /// Distinct queries pending when the request arrived.
+        depth: u64,
+    },
+    /// The client exhausted its token bucket.
+    RateLimited {
+        /// Virtual ticks until the bucket refills by one token.
+        retry_after_ticks: u64,
+    },
+    /// The total number of parked waiters is at capacity.
+    Backlogged {
+        /// Waiters parked when the request arrived.
+        waiters: u64,
+    },
+    /// No index is registered under the requested name.
+    UnknownIndex,
+}
+
+impl Encode for RefusalReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RefusalReason::QueueFull { depth } => {
+                out.push(0);
+                depth.encode(out);
+            }
+            RefusalReason::RateLimited { retry_after_ticks } => {
+                out.push(1);
+                retry_after_ticks.encode(out);
+            }
+            RefusalReason::Backlogged { waiters } => {
+                out.push(2);
+                waiters.encode(out);
+            }
+            RefusalReason::UnknownIndex => out.push(3),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            RefusalReason::UnknownIndex => 1,
+            _ => 9,
+        }
+    }
+}
+
+impl Decode for RefusalReason {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(RefusalReason::QueueFull {
+                depth: u64::decode(r)?,
+            }),
+            1 => Ok(RefusalReason::RateLimited {
+                retry_after_ticks: u64::decode(r)?,
+            }),
+            2 => Ok(RefusalReason::Backlogged {
+                waiters: u64::decode(r)?,
+            }),
+            3 => Ok(RefusalReason::UnknownIndex),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefusalReason::QueueFull { depth } => {
+                write!(f, "queue full ({depth} queries pending)")
+            }
+            RefusalReason::RateLimited { retry_after_ticks } => {
+                write!(f, "rate limited (retry in {retry_after_ticks} ticks)")
+            }
+            RefusalReason::Backlogged { waiters } => {
+                write!(f, "backlogged ({waiters} waiters parked)")
+            }
+            RefusalReason::UnknownIndex => write!(f, "unknown index"),
+        }
+    }
+}
+
+/// A typed refusal: the request id plus the reason it was shed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRefusal {
+    /// The request id this refuses.
+    pub id: u64,
+    /// Why.
+    pub reason: RefusalReason,
+}
+
+impl Encode for ServeRefusal {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.reason.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + self.reason.encoded_len()
+    }
+}
+
+impl Decode for ServeRefusal {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ServeRefusal {
+            id: u64::decode(r)?,
+            reason: RefusalReason::decode(r)?,
+        })
+    }
+}
+
+impl std::fmt::Display for ServeRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request {} refused: {}", self.id, self.reason)
+    }
+}
+
+impl std::error::Error for ServeRefusal {}
+
+/// The envelope carried inside `NetMessage::Serve`: either direction of
+/// the serve protocol in one decodable shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeWire {
+    /// Client → front-end.
+    Request(ServeRequest),
+    /// Front-end → client: success.
+    Response(ServeResponse),
+    /// Front-end → client: typed shed.
+    Refusal(ServeRefusal),
+}
+
+impl Encode for ServeWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServeWire::Request(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            ServeWire::Response(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+            ServeWire::Refusal(m) => {
+                out.push(2);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ServeWire::Request(m) => m.encoded_len(),
+            ServeWire::Response(m) => m.encoded_len(),
+            ServeWire::Refusal(m) => m.encoded_len(),
+        }
+    }
+}
+
+impl Decode for ServeWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_byte()? {
+            0 => Ok(ServeWire::Request(ServeRequest::decode(r)?)),
+            1 => Ok(ServeWire::Response(ServeResponse::decode(r)?)),
+            2 => Ok(ServeWire::Refusal(ServeRefusal::decode(r)?)),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical payload encodings.
+//
+// The response payload is the `(results, proof)` pair exactly as the
+// backend produced it, under the one canonical encoding both the serving
+// path and the direct path share — byte equality of payloads is the
+// equivalence suite's oracle.
+// ---------------------------------------------------------------------------
+
+/// Encodes a history answer as the canonical response payload.
+pub fn encode_history_payload(results: &[(u64, Version)], proof: &HistoryProof) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_seq(results, &mut out);
+    proof.encode(&mut out);
+    out
+}
+
+/// Decodes a history response payload.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed or trailing bytes.
+pub fn decode_history_payload(
+    bytes: &[u8],
+) -> Result<(Vec<(u64, Version)>, HistoryProof), CodecError> {
+    let mut r = Reader::new(bytes);
+    let results = decode_seq(&mut r)?;
+    let proof = HistoryProof::decode(&mut r)?;
+    finish(r)?;
+    Ok((results, proof))
+}
+
+/// Encodes a keyword answer as the canonical response payload.
+pub fn encode_keyword_payload(results: &[Hash], proof: &KeywordProof) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_seq(results, &mut out);
+    proof.encode(&mut out);
+    out
+}
+
+/// Decodes a keyword response payload.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed or trailing bytes.
+pub fn decode_keyword_payload(bytes: &[u8]) -> Result<(Vec<Hash>, KeywordProof), CodecError> {
+    let mut r = Reader::new(bytes);
+    let results = decode_seq(&mut r)?;
+    let proof = KeywordProof::decode(&mut r)?;
+    finish(r)?;
+    Ok((results, proof))
+}
+
+/// Encodes an aggregate answer as the canonical response payload.
+pub fn encode_aggregate_payload(aggregate: &Aggregate, proof: &AggQueryProof) -> Vec<u8> {
+    let mut out = Vec::new();
+    aggregate.encode(&mut out);
+    proof.encode(&mut out);
+    out
+}
+
+/// Decodes an aggregate response payload.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed or trailing bytes.
+pub fn decode_aggregate_payload(bytes: &[u8]) -> Result<(Aggregate, AggQueryProof), CodecError> {
+    let mut r = Reader::new(bytes);
+    let aggregate = Aggregate::decode(&mut r)?;
+    let proof = AggQueryProof::decode(&mut r)?;
+    finish(r)?;
+    Ok((aggregate, proof))
+}
+
+fn finish(r: Reader<'_>) -> Result<(), CodecError> {
+    if r.remaining() != 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<QuerySpec> {
+        vec![
+            QuerySpec::History {
+                index: "history".into(),
+                key: StateKey::new("kvstore", b"acct-1"),
+                t1: 3,
+                t2: 17,
+            },
+            QuerySpec::Keywords {
+                index: "inverted".into(),
+                keywords: vec!["stock".into(), "bank".into()],
+            },
+            QuerySpec::Aggregate {
+                index: "agg".into(),
+                key: StateKey::new("kvstore", b"acct-2"),
+                t1: 0,
+                t2: u64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        for (i, spec) in specs().into_iter().enumerate() {
+            let request = ServeRequest {
+                client: 42,
+                id: i as u64,
+                query: spec,
+            };
+            for wire in [
+                ServeWire::Request(request.clone()),
+                ServeWire::Response(ServeResponse {
+                    id: request.id,
+                    certified_height: 9,
+                    payload: vec![1, 2, 3],
+                }),
+                ServeWire::Refusal(ServeRefusal {
+                    id: request.id,
+                    reason: RefusalReason::QueueFull { depth: 8 },
+                }),
+            ] {
+                let bytes = wire.to_encoded_bytes();
+                assert_eq!(bytes.len(), wire.encoded_len());
+                assert_eq!(ServeWire::decode_all(&bytes).unwrap(), wire);
+            }
+        }
+    }
+
+    #[test]
+    fn refusal_reasons_round_trip() {
+        for reason in [
+            RefusalReason::QueueFull { depth: 3 },
+            RefusalReason::RateLimited {
+                retry_after_ticks: 7,
+            },
+            RefusalReason::Backlogged { waiters: 1000 },
+            RefusalReason::UnknownIndex,
+        ] {
+            let bytes = reason.to_encoded_bytes();
+            assert_eq!(bytes.len(), reason.encoded_len());
+            assert_eq!(RefusalReason::decode_all(&bytes).unwrap(), reason);
+        }
+    }
+
+    #[test]
+    fn cache_key_is_injective_across_kinds() {
+        let keys: Vec<Vec<u8>> = specs().iter().map(QuerySpec::cache_key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(QuerySpec::decode_all(&[9]).is_err());
+        assert!(ServeWire::decode_all(&[7]).is_err());
+        assert!(RefusalReason::decode_all(&[200]).is_err());
+    }
+}

@@ -30,9 +30,11 @@ pub mod donothing;
 pub mod generator;
 pub mod ioheavy;
 pub mod kvstore;
+pub mod serveload;
 pub mod smallbank;
 
 pub use generator::{Workload, WorkloadGen};
+pub use serveload::{ServeEvent, ServeLoadConfig, ServeLoadGen, ServeQueryKind};
 
 use std::sync::Arc;
 

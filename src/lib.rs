@@ -35,6 +35,7 @@ pub use dcert_merkle as merkle;
 pub use dcert_obs as obs;
 pub use dcert_primitives as primitives;
 pub use dcert_query as query;
+pub use dcert_serve as serve;
 pub use dcert_sgx as sgx;
 pub use dcert_store as store;
 pub use dcert_vm as vm;

@@ -529,3 +529,256 @@ fn seed_matrix_entry() {
     assert_eq!(a.superlight.height(), Some(CHAIN), "CHAOS_SEED={seed}");
     assert_eq!(b.quorum.height(), Some(CHAIN), "CHAOS_SEED={seed}");
 }
+
+// ---------------------------------------------------------------------
+// Serving under chaos: the dcert-serve request/response wire rides the
+// same faulty SimNet, the front is killed and restarted mid-burst, and
+// once the network heals every client still converges on exactly the
+// bytes a direct, uncached SP call produces.
+// ---------------------------------------------------------------------
+
+use std::collections::HashMap;
+
+use dcert::primitives::codec::{Decode, Encode};
+use dcert::query::history::verify_history;
+use dcert::query::sp::IndexKind;
+use dcert::serve::{
+    decode_history_payload, encode_history_payload, QuerySpec, ServeConfig, ServeFront,
+    ServeRequest, ServeWire, Submitted,
+};
+use dcert::vm::StateKey;
+
+/// Queries each serve-chaos client set issues.
+const SERVE_QUERIES: usize = 24;
+
+/// Chain height behind the serve front.
+const SERVE_CHAIN: u64 = 3;
+
+fn serve_spec(q: usize) -> QuerySpec {
+    QuerySpec::History {
+        index: "history".to_owned(),
+        key: StateKey::new("kvstore", format!("key-{}", q % 8).as_bytes()),
+        t1: 1,
+        t2: SERVE_CHAIN,
+    }
+}
+
+struct ServeChaosRun {
+    /// Per-query `(certified_height, payload)` as finally received.
+    answers: Vec<(u64, Vec<u8>)>,
+    /// Direct uncached SP bytes per query — the convergence target.
+    expected: Vec<Vec<u8>>,
+    stats: NetStats,
+    /// Waiters orphaned by the mid-burst kill (must be > 0 for the
+    /// scenario to mean anything).
+    orphaned: usize,
+    /// Serve-wire payloads garbled in transit and ignored by the server.
+    garbled: u64,
+    /// Responses whose proof failed client-side verification (corrupted
+    /// in transit) and were rejected rather than trusted.
+    rejected: u64,
+}
+
+/// Drives requests for [`SERVE_QUERIES`] queries over a faulty `SimNet`:
+/// clients republish unanswered queries every round, the front is killed
+/// and rebuilt mid-burst in round 1 (orphaning its parked waiters), the
+/// network heals after round 4, and the run ends when every query has a
+/// response.
+fn run_serve_chaos(seed: u64) -> ServeChaosRun {
+    let (mut world, sp) = World::deterministic(vec![(IndexKind::History, "history")]);
+    let blocks = world.mine_blocks(
+        Workload::KvStore { keyspace: 8 },
+        SERVE_CHAIN as usize,
+        4,
+        9,
+    );
+    let mut front = ServeFront::new(sp, ServeConfig::default());
+    for block in &blocks {
+        let inputs = front.stage_block(block).expect("block stages");
+        let (certs, _) = world
+            .ci
+            .certify_augmented(block, &inputs)
+            .expect("block certifies");
+        front.record_certs(&certs);
+    }
+    let expected: Vec<Vec<u8>> = (0..SERVE_QUERIES)
+        .map(|q| {
+            let QuerySpec::History { key, t1, t2, .. } = serve_spec(q) else {
+                unreachable!("serve_spec builds history queries");
+            };
+            let (results, proof) = front
+                .sp()
+                .serve_history("history", &key, t1, t2)
+                .expect("index registered");
+            encode_history_payload(&results, &proof)
+        })
+        .collect();
+
+    let mut faults = FaultConfig::default_chaos();
+    faults.drop_rate = 0.15; // lossy enough that bursts straddle rounds
+    faults.duplicate_rate = 0.05;
+    faults.corrupt_rate = 0.02;
+    let net = Arc::new(SimNet::new(seed, faults));
+    let server_rx = net.join();
+    let client_rx = net.join();
+
+    let digest = front
+        .sp()
+        .certified_digest("history")
+        .expect("index certified");
+    let mut answers: Vec<Option<(u64, Vec<u8>)>> = vec![None; SERVE_QUERIES];
+    let mut id_to_query: HashMap<u64, usize> = HashMap::new();
+    let mut orphaned = 0usize;
+    let mut garbled = 0u64;
+    let mut rejected = 0u64;
+    let mut round = 0u64;
+    while answers.iter().any(Option::is_none) {
+        round += 1;
+        assert!(
+            round <= 60,
+            "CHAOS_SEED={seed}: serve clients did not converge after heal \
+             ({} unanswered, stats {:?})",
+            answers.iter().filter(|a| a.is_none()).count(),
+            net.stats(),
+        );
+        // Clients: (re)issue every unanswered query under a fresh id.
+        for (qi, slot) in answers.iter().enumerate() {
+            if slot.is_none() {
+                let id = round * 1_000 + qi as u64;
+                id_to_query.insert(id, qi);
+                let request = ServeRequest {
+                    client: qi as u64,
+                    id,
+                    query: serve_spec(qi),
+                };
+                net.publish(NetMessage::Serve {
+                    payload: ServeWire::Request(request).to_encoded_bytes(),
+                });
+            }
+        }
+        net.advance(6);
+
+        // Server: admit whatever survived the wire.
+        while let Ok(message) = server_rx.try_recv() {
+            let NetMessage::Serve { payload } = message else {
+                continue;
+            };
+            match ServeWire::decode_all(&payload) {
+                Ok(ServeWire::Request(request)) => match front.submit(round, request) {
+                    Ok(Submitted::CacheHit(response)) => {
+                        net.publish(NetMessage::Serve {
+                            payload: ServeWire::Response(response).to_encoded_bytes(),
+                        });
+                    }
+                    Ok(Submitted::Enqueued { .. }) => {}
+                    Err(refusal) => {
+                        net.publish(NetMessage::Serve {
+                            payload: ServeWire::Refusal(refusal).to_encoded_bytes(),
+                        });
+                    }
+                },
+                Ok(_) => {}             // the server's own replies, echoed by the bus
+                Err(_) => garbled += 1, // corrupted in transit: ignored, the client retries
+            }
+        }
+
+        // Round 1: the serve process dies mid-burst — after admitting the
+        // first burst but before pumping it, so every parked waiter is
+        // orphaned. The restart reuses the SP but starts with a cold
+        // cache and an empty queue; clients must re-request.
+        if round == 1 {
+            orphaned = front.parked_waiters();
+            front = ServeFront::new(front.into_sp(), ServeConfig::default());
+        }
+
+        for (_, wire) in front.pump(round, usize::MAX) {
+            net.publish(NetMessage::Serve {
+                payload: wire.to_encoded_bytes(),
+            });
+        }
+        net.advance(6);
+        if round == 4 {
+            net.heal();
+        }
+
+        // Clients: collect whatever replies made it through.
+        while let Ok(message) = client_rx.try_recv() {
+            let NetMessage::Serve { payload } = message else {
+                continue;
+            };
+            if let Ok(ServeWire::Response(response)) = ServeWire::decode_all(&payload) {
+                let Some(&qi) = id_to_query.get(&response.id) else {
+                    continue;
+                };
+                if answers[qi].is_some() || response.certified_height != SERVE_CHAIN {
+                    continue;
+                }
+                // Clients never trust serve bytes: the proof must verify
+                // against the certified digest, or the response (possibly
+                // corrupted in transit) is discarded and the query retried.
+                let QuerySpec::History { key, t1, t2, .. } = serve_spec(qi) else {
+                    unreachable!("serve_spec builds history queries");
+                };
+                match decode_history_payload(&response.payload) {
+                    Ok((results, proof))
+                        if verify_history(&digest, &key, t1, t2, &results, &proof).is_ok() =>
+                    {
+                        answers[qi] = Some((response.certified_height, response.payload));
+                    }
+                    _ => rejected += 1,
+                }
+            }
+        }
+    }
+    ServeChaosRun {
+        answers: answers.into_iter().map(|a| a.expect("loop exit")).collect(),
+        expected,
+        stats: net.stats(),
+        orphaned,
+        garbled,
+        rejected,
+    }
+}
+
+/// Kill/restart mid-burst over a faulty wire: every client converges
+/// after `heal()`, and every answer is byte-identical to a direct
+/// uncached SP call at the certified height.
+#[test]
+fn serve_front_killed_mid_burst_still_converges() {
+    let seed = 0x5EAF;
+    let run = run_serve_chaos(seed);
+    assert!(
+        run.orphaned > 0,
+        "CHAOS_SEED={seed}: the kill orphaned no waiters — not a mid-burst restart"
+    );
+    assert!(
+        run.stats.dropped + run.stats.delayed + run.stats.duplicated > 0,
+        "CHAOS_SEED={seed}: scenario injected no faults"
+    );
+    for (qi, (height, payload)) in run.answers.iter().enumerate() {
+        assert_eq!(
+            *height, SERVE_CHAIN,
+            "CHAOS_SEED={seed}: query {qi} answered at the wrong height"
+        );
+        assert_eq!(
+            payload, &run.expected[qi],
+            "CHAOS_SEED={seed}: query {qi} bytes diverged from direct serving"
+        );
+    }
+}
+
+/// The serve-chaos scenario replays bit-for-bit on a fixed seed —
+/// including the fault schedule and every answered byte.
+#[test]
+fn serve_chaos_replays_bit_for_bit() {
+    let a = run_serve_chaos(424242);
+    let b = run_serve_chaos(424242);
+    assert_eq!(
+        a.stats, b.stats,
+        "CHAOS_SEED=424242: fault schedule diverged"
+    );
+    assert_eq!(a.answers, b.answers, "CHAOS_SEED=424242: answers diverged");
+    assert_eq!(a.orphaned, b.orphaned, "CHAOS_SEED=424242");
+    assert_eq!(a.garbled, b.garbled, "CHAOS_SEED=424242");
+    assert_eq!(a.rejected, b.rejected, "CHAOS_SEED=424242");
+}

@@ -31,6 +31,10 @@ use dcert::query::inverted::InvertedIndex;
 use dcert::query::{
     AggQueryProof, CertifiedEntry, HistoryProof, KeywordPage, KeywordProof, WritesPage,
 };
+use dcert::serve::{
+    encode_history_payload, QuerySpec, RefusalReason, ServeRefusal, ServeRequest, ServeResponse,
+    ServeWire,
+};
 use dcert::sgx::{sealing, AttestationReport, AttestationService, Quote, SealedBlob};
 use dcert::store::frame::{append_frame, scan_frames};
 use dcert::store::head::HEAD_SLOT_A;
@@ -88,6 +92,15 @@ fn try_decode_everything(bytes: &[u8]) {
     let _ = WritesPage::decode_all(bytes);
     let _ = KeywordPage::decode_all(bytes);
     let _ = CertifiedEntry::decode_all(bytes);
+    // Serving front-end wire messages.
+    let _ = QuerySpec::decode_all(bytes);
+    let _ = ServeRequest::decode_all(bytes);
+    let _ = ServeResponse::decode_all(bytes);
+    let _ = ServeRefusal::decode_all(bytes);
+    let _ = ServeWire::decode_all(bytes);
+    let _ = dcert::serve::decode_history_payload(bytes);
+    let _ = dcert::serve::decode_keyword_payload(bytes);
+    let _ = dcert::serve::decode_aggregate_payload(bytes);
     // Framing decoders (distinct from plain codecs: CRC-checked length-
     // prefixed frames and magic-guarded slot files).
     let _ = scan_frames(bytes);
@@ -229,6 +242,30 @@ fn sample_encodings() -> Vec<Probe> {
         anchor: Some((hash_bytes(b"hdr"), hash_bytes(b"dig"), cert.clone())),
     };
 
+    let serve_query = QuerySpec::History {
+        index: "history".into(),
+        key: key.clone(),
+        t1: 1,
+        t2: 9,
+    };
+    let serve_request = ServeRequest {
+        client: 41,
+        id: 7,
+        query: serve_query.clone(),
+    };
+    let (history_results, history_payload_proof) = history.query(&key, 0, 10);
+    let serve_response = ServeResponse {
+        id: 7,
+        certified_height: 9,
+        payload: encode_history_payload(&history_results, &history_payload_proof),
+    };
+    let serve_refusal = ServeRefusal {
+        id: 8,
+        reason: RefusalReason::RateLimited {
+            retry_after_ticks: 2,
+        },
+    };
+
     vec![
         probe("Hash", &hash_bytes(b"x")),
         probe("PublicKey", &kp.public()),
@@ -284,6 +321,24 @@ fn sample_encodings() -> Vec<Probe> {
         probe("WritesPage", &writes_page),
         probe("KeywordPage", &keyword_page),
         probe("CertifiedEntry", &certified_entry),
+        probe("QuerySpec", &serve_query),
+        probe("ServeWire::Request", &ServeWire::Request(serve_request)),
+        probe("ServeWire::Response", &ServeWire::Response(serve_response)),
+        probe("ServeWire::Refusal", &ServeWire::Refusal(serve_refusal)),
+        probe(
+            "NetMessage::Serve",
+            &NetMessage::Serve {
+                payload: ServeWire::Request(ServeRequest {
+                    client: 42,
+                    id: 11,
+                    query: QuerySpec::Keywords {
+                        index: "inverted".into(),
+                        keywords: vec!["alpha".into(), "beta".into()],
+                    },
+                })
+                .to_encoded_bytes(),
+            },
+        ),
     ]
 }
 
