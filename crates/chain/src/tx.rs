@@ -13,7 +13,9 @@ use crate::error::ChainError;
 pub fn address_of(public_key: &PublicKey) -> Address {
     let digest = dcert_primitives::hash::hash_bytes(public_key.to_array());
     let mut bytes = [0u8; 20];
-    bytes.copy_from_slice(&digest.as_bytes()[..20]);
+    for (b, d) in bytes.iter_mut().zip(digest.as_bytes()) {
+        *b = *d;
+    }
     Address::from_bytes(bytes)
 }
 
@@ -119,6 +121,14 @@ mod tests {
     fn signed_tx_verifies() {
         let tx = Transaction::sign(&keypair(1), 0, "kv", b"put".to_vec());
         tx.verify().unwrap();
+    }
+
+    #[test]
+    fn address_is_first_twenty_bytes_of_key_hash() {
+        let pk = keypair(7).public();
+        let digest = dcert_primitives::hash::hash_bytes(pk.to_array());
+        let addr = address_of(&pk);
+        assert_eq!(addr.as_bytes(), &digest.as_bytes()[..20]);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+//! dcert-lint fixture (r5 entry): a verifier entry point calling across
+//! crates into a helper. Analyzed as `crates/core/src/superlight.rs`.
+
+use dcert_chain::helpers::find_header;
+
+pub struct Client;
+
+impl Client {
+    pub fn verify_header(&self, raw: &[u8]) -> u64 {
+        check_shape(raw)
+    }
+}
+
+fn check_shape(raw: &[u8]) -> u64 {
+    find_header(raw)
+}

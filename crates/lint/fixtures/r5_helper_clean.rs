@@ -1,0 +1,11 @@
+//! dcert-lint fixture (r5, clean half): the same helper API rejecting
+//! malformed input without any panic path. Analyzed as
+//! `crates/chain/src/helpers.rs`.
+
+pub fn find_header(raw: &[u8]) -> u64 {
+    decode_at(raw)
+}
+
+fn decode_at(raw: &[u8]) -> u64 {
+    raw.last().copied().map(u64::from).unwrap_or(0)
+}

@@ -1,0 +1,12 @@
+//! dcert-lint fixture (r5, violating half): cross-crate helper whose
+//! leaf panics on malformed input. Analyzed as
+//! `crates/chain/src/helpers.rs`.
+
+pub fn find_header(raw: &[u8]) -> u64 {
+    decode_at(raw)
+}
+
+fn decode_at(raw: &[u8]) -> u64 {
+    let idx = raw.len() - 1;
+    u64::from(raw[idx])
+}

@@ -1,0 +1,6 @@
+//! dcert-lint fixture (r6 support): an untrusted observability sink.
+//! Analyzed as `crates/obs/src/audit.rs`.
+
+pub fn publish_debug(bytes: &[u8]) -> usize {
+    bytes.len()
+}

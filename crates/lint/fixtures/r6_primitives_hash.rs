@@ -1,0 +1,12 @@
+//! dcert-lint fixture (r6 support): the allow-listed hash kernel.
+//! Analyzed as `crates/primitives/src/hash.rs`.
+
+pub fn hash_concat(parts: &[&[u8]]) -> [u8; 32] {
+    let mut acc = [0u8; 32];
+    for p in parts {
+        for (slot, b) in acc.iter_mut().zip(p.iter()) {
+            *slot ^= *b;
+        }
+    }
+    acc
+}

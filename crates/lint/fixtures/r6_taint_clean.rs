@@ -1,0 +1,16 @@
+//! dcert-lint fixture (r6, clean half): secret material stays inside
+//! the trusted boundary except through the allow-listed hash kernel.
+//! Analyzed as `crates/sgx/src/keyops.rs`.
+
+use dcert_primitives::hash::hash_concat;
+
+pub fn derive(platform_secret: &[u8; 32], measurement: &[u8; 32]) -> [u8; 32] {
+    let material = expand(platform_secret);
+    hash_concat(&[&material, measurement])
+}
+
+fn expand(secret_material: &[u8; 32]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    out.copy_from_slice(secret_material);
+    out
+}

@@ -1,0 +1,15 @@
+//! dcert-lint fixture (r6, violating half): secret material formatted
+//! and shipped across the trust boundary through a local helper.
+//! Analyzed as `crates/sgx/src/keyops.rs`.
+
+use dcert_obs::audit::publish_debug;
+
+pub fn derive_and_leak(platform_secret: &[u8; 32]) -> u64 {
+    expand(platform_secret)
+}
+
+fn expand(material: &[u8; 32]) -> u64 {
+    let line = format!("expanding {:?}", material);
+    publish_debug(line.as_bytes());
+    line.len() as u64
+}

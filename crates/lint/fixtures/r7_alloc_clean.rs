@@ -1,0 +1,16 @@
+//! dcert-lint fixture (r7, clean half): the same decoder with the
+//! lengths clamped or validated before any allocation. Analyzed as
+//! `crates/serve/src/codec_frame.rs`.
+
+pub const MAX_FRAME: usize = 4096;
+
+pub fn decode_batch(r: &mut Reader<'_>) -> Vec<u8> {
+    let len = r.take_len();
+    let mut out = Vec::with_capacity(len.min(MAX_FRAME));
+    if len > MAX_FRAME {
+        return out;
+    }
+    let pad = vec![0u8; len];
+    out.extend(pad);
+    out
+}

@@ -1,0 +1,11 @@
+//! dcert-lint fixture (r7, violating half): allocations sized straight
+//! from attacker-controlled wire lengths. Analyzed as
+//! `crates/serve/src/codec_frame.rs`.
+
+pub fn decode_batch(r: &mut Reader<'_>) -> Vec<u8> {
+    let len = r.take_len();
+    let mut out = Vec::with_capacity(len);
+    let pad = vec![0u8; len];
+    out.extend(pad);
+    out
+}

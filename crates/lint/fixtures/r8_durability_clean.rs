@@ -1,0 +1,37 @@
+//! dcert-lint fixture (r8, clean half): the head commit precedes the
+//! unlink, and recovery-closure unlinks are exempt. Analyzed as
+//! `crates/store/src/pruner.rs`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub struct Pruner {
+    dir: PathBuf,
+}
+
+impl Pruner {
+    pub fn open(dir: &Path) -> io::Result<Pruner> {
+        drop_orphan(dir)?;
+        Ok(Pruner {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    pub fn prune_below(&mut self, height: u64) -> io::Result<()> {
+        self.sync()?;
+        let victim = self.dir.join(format!("{height}.seg"));
+        std::fs::remove_file(victim)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn drop_orphan(dir: &Path) -> io::Result<()> {
+    match std::fs::remove_file(dir.join("orphan.seg")) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}

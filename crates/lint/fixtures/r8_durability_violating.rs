@@ -1,0 +1,21 @@
+//! dcert-lint fixture (r8, violating half): segment unlink precedes the
+//! head-commit sync. Analyzed as `crates/store/src/pruner.rs`.
+
+use std::io;
+use std::path::PathBuf;
+
+pub struct Pruner {
+    dir: PathBuf,
+}
+
+impl Pruner {
+    pub fn prune_below(&mut self, height: u64) -> io::Result<()> {
+        let victim = self.dir.join(format!("{height}.seg"));
+        std::fs::remove_file(victim)?;
+        self.sync()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}

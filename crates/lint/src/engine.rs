@@ -1,5 +1,6 @@
 //! Rule engine: scopes, test-code detection, allow directives, and the
-//! four DCert rules (R1–R4).
+//! four per-file DCert rules (R1–R4). The workspace-wide rules (R5–R8)
+//! live in [`crate::rules`] on top of the call graph in [`crate::graph`].
 //!
 //! Rules are keyed by stable names so `// dcert-lint: allow(...)`
 //! directives and CLI filters can reference them:
@@ -8,18 +9,26 @@
 //! * `r2-panic-freedom`
 //! * `r3-determinism`
 //! * `r4-error-hygiene`
+//! * `r5-panic-reachability`
+//! * `r6-secret-taint`
+//! * `r7-alloc-bound`
+//! * `r8-durability-order`
 
-use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::lexer::{Comment, Tok, TokKind};
 
 /// Pseudo-rule reported for `allow(...)` directives lacking a reason.
 pub const MALFORMED_DIRECTIVE: &str = "malformed-directive";
 
 /// All rule names, in report order.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 8] = [
     "r1-enclave-secrecy",
     "r2-panic-freedom",
     "r3-determinism",
     "r4-error-hygiene",
+    "r5-panic-reachability",
+    "r6-secret-taint",
+    "r7-alloc-bound",
+    "r8-durability-order",
 ];
 
 /// One rule violation.
@@ -41,7 +50,10 @@ pub struct AllowDirective {
     pub used: bool,
 }
 
-/// Result of analyzing one file.
+/// Result of analyzing one file. The production driver merges per-file
+/// and workspace findings before applying directives, so this one-shot
+/// surface only backs the test suites.
+#[cfg(test)]
 #[derive(Debug, Default)]
 pub struct FileReport {
     pub findings: Vec<Finding>,
@@ -56,7 +68,7 @@ pub struct FileReport {
 /// itself, the trusted certificate program (the in-enclave half that, by
 /// design, lives in `dcert-core`), and the naive baseline's trusted
 /// program used for paper comparisons.
-const R1_TRUSTED_MODULES: [&str; 3] = [
+pub const R1_TRUSTED_MODULES: [&str; 3] = [
     "crates/sgx/",
     "crates/core/src/program.rs",
     "crates/bench/src/naive.rs",
@@ -83,7 +95,7 @@ const ED25519_HOME: &str = "crates/primitives/src/keys.rs";
 
 /// Untrusted-input modules: every byte they verify or decode may be
 /// attacker-supplied, so they must reject, never panic.
-const R2_VERIFIER_MODULES: [&str; 18] = [
+pub const R2_VERIFIER_MODULES: [&str; 18] = [
     "crates/core/src/superlight.rs",
     "crates/store/src/",
     "crates/core/src/quorum.rs",
@@ -144,31 +156,45 @@ pub fn is_harness_path(path: &str) -> bool {
         || path.contains("/examples/")
 }
 
-fn in_any(path: &str, prefixes: &[&str]) -> bool {
+pub fn in_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-/// Analyzes one file. `path` must be workspace-relative with `/`
-/// separators; `source` is its full text.
+/// Analyzes one file with the per-file rules (R1–R4) and applies its
+/// allow directives. `path` must be workspace-relative with `/`
+/// separators; `source` is its full text. The two-phase driver in
+/// `main` uses [`file_rule_findings`] + [`apply_allows`] directly so
+/// workspace findings (R5–R8) share the directive contract.
+#[cfg(test)]
 pub fn analyze_source(path: &str, source: &str) -> FileReport {
-    let (toks, comments) = lex(source);
+    let (toks, comments) = crate::lexer::lex(source);
     let in_test = mark_test_tokens(&toks);
     let mut allows = parse_allow_directives(&comments);
-    let mut findings = Vec::new();
+    let mut findings = file_rule_findings(path, &toks, &in_test);
+    apply_allows(&mut findings, &mut allows);
+    FileReport { findings, allows }
+}
 
+/// Runs the per-file rules (R1–R4) without applying allow directives.
+pub fn file_rule_findings(path: &str, toks: &[Tok], in_test: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     if !is_harness_path(path) || path.starts_with("examples/") || path.contains("/examples/") {
-        rule_r1(path, &toks, &in_test, &mut findings);
+        rule_r1(path, toks, in_test, &mut findings);
     }
     if !is_harness_path(path) {
-        rule_r2(path, &toks, &in_test, &mut findings);
-        rule_r3(path, &toks, &in_test, &mut findings);
-        rule_r4(path, &toks, &in_test, &mut findings);
+        rule_r2(path, toks, in_test, &mut findings);
+        rule_r3(path, toks, in_test, &mut findings);
+        rule_r4(path, toks, in_test, &mut findings);
     }
+    findings
+}
 
-    // Apply allow directives: a directive suppresses findings of its rule
-    // on its own line and the line directly below it. A directive without
-    // a reason suppresses nothing — it is reported instead, so the escape
-    // hatch can never silently erode an invariant.
+/// Applies allow directives: a directive suppresses findings of its rule
+/// on its own line and the line directly below it. A directive without
+/// a reason suppresses nothing — it is reported instead, so the escape
+/// hatch can never silently erode an invariant. Findings come back sorted
+/// by position.
+pub fn apply_allows(findings: &mut Vec<Finding>, allows: &mut [AllowDirective]) {
     findings.retain(|f| {
         for a in allows.iter_mut() {
             if !a.reason.is_empty()
@@ -181,7 +207,7 @@ pub fn analyze_source(path: &str, source: &str) -> FileReport {
         }
         true
     });
-    for a in &allows {
+    for a in allows.iter() {
         if a.reason.is_empty() {
             findings.push(Finding {
                 rule: MALFORMED_DIRECTIVE,
@@ -196,8 +222,6 @@ pub fn analyze_source(path: &str, source: &str) -> FileReport {
         }
     }
     findings.sort_by_key(|f| (f.line, f.col));
-
-    FileReport { findings, allows }
 }
 
 // ---------------------------------------------------------------------------
@@ -206,7 +230,7 @@ pub fn analyze_source(path: &str, source: &str) -> FileReport {
 
 /// Marks tokens inside `#[cfg(test)]` items and `#[test]` functions, so
 /// rules can exempt them. Returns one bool per token.
-fn mark_test_tokens(toks: &[Tok]) -> Vec<bool> {
+pub fn mark_test_tokens(toks: &[Tok]) -> Vec<bool> {
     let mut test = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -320,12 +344,15 @@ fn matching_bracket(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> O
 // Allow directives.
 // ---------------------------------------------------------------------------
 
-/// Parses `// dcert-lint: allow(<rule>, reason = "...")` comments. A
+/// Parses `// dcert-lint: allow(<rules...>, reason = "...")` comments.
+/// One or more comma-separated rule names may precede the reason clause
+/// (`allow(r2-panic-freedom, r5-panic-reachability, reason = "...")`),
+/// yielding one directive per rule sharing the reason and line. A
 /// directive without a reason is deliberately *not* honored — the
 /// escape hatch exists to document why a rule is violated, and the main
 /// driver reports such malformed directives as violations of the rule
 /// they tried to silence.
-fn parse_allow_directives(comments: &[Comment]) -> Vec<AllowDirective> {
+pub fn parse_allow_directives(comments: &[Comment]) -> Vec<AllowDirective> {
     let mut out = Vec::new();
     for c in comments {
         let Some(pos) = c.text.find("dcert-lint:") else {
@@ -338,23 +365,43 @@ fn parse_allow_directives(comments: &[Comment]) -> Vec<AllowDirective> {
         else {
             continue;
         };
-        let mut parts = args.splitn(2, ',');
-        let rule = parts.next().unwrap_or("").trim().to_string();
-        let reason = parts
-            .next()
-            .and_then(|r| {
-                let r = r.trim();
-                let r = r.strip_prefix("reason")?.trim_start().strip_prefix('=')?;
-                let r = r.trim().strip_prefix('"')?;
-                Some(r.trim_end_matches('"').to_string())
-            })
-            .unwrap_or_default();
-        out.push(AllowDirective {
-            rule,
-            reason,
-            line: c.line,
-            used: false,
-        });
+        // Rule names come first, so the first `reason` is the keyword.
+        let (rules_part, reason) = match args.find("reason") {
+            Some(at) => {
+                let reason = args[at..]
+                    .strip_prefix("reason")
+                    .and_then(|r| r.trim_start().strip_prefix('='))
+                    .and_then(|r| r.trim().strip_prefix('"'))
+                    .map(|r| r.trim_end_matches('"').to_string())
+                    .unwrap_or_default();
+                (args[..at].trim_end().trim_end_matches(','), reason)
+            }
+            None => (args, String::new()),
+        };
+        let mut any = false;
+        for rule in rules_part.split(',') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            any = true;
+            out.push(AllowDirective {
+                rule: rule.to_string(),
+                reason: reason.clone(),
+                line: c.line,
+                used: false,
+            });
+        }
+        if !any {
+            // `allow()` / `allow(reason = "...")`: keep one (malformed)
+            // entry so the directive is reported rather than ignored.
+            out.push(AllowDirective {
+                rule: String::new(),
+                reason: String::new(),
+                line: c.line,
+                used: false,
+            });
+        }
     }
     out
 }

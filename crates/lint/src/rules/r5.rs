@@ -1,0 +1,58 @@
+//! R5 `r5-panic-reachability`: transitive panic freedom.
+//!
+//! R2 bans panic constructs *lexically inside* the verifier modules; it
+//! cannot see a verifier function calling a panicking helper elsewhere.
+//! R5 closes that gap: every externally callable function in the
+//! verifier/enclave entry modules is an analysis root, and no function
+//! reachable from a root (across files and crates) may contain
+//! `unwrap`/`expect`/panic-family macros/non-literal indexing. Findings
+//! carry the full call-path witness from a root to the panic site.
+
+use crate::engine::{in_any, Finding, R2_VERIFIER_MODULES};
+use crate::graph::Graph;
+
+pub const RULE: &str = "r5-panic-reachability";
+
+/// Entry modules: everything R2 protects, plus the enclave container
+/// itself (its ECall surface is driven by untrusted host code).
+fn is_entry_module(path: &str) -> bool {
+    in_any(path, &R2_VERIFIER_MODULES) || path == "crates/sgx/src/enclave.rs"
+}
+
+pub fn run(g: &Graph) -> Vec<(usize, Finding)> {
+    let entries: Vec<usize> = (0..g.fns.len())
+        .filter(|&id| {
+            let n = &g.fns[id];
+            !n.item.is_test
+                && (n.item.is_pub || n.item.in_trait_impl)
+                && is_entry_module(&g.files[n.file].path)
+        })
+        .collect();
+    let reach = g.reachable(&entries);
+
+    let mut out = Vec::new();
+    for id in 0..g.fns.len() {
+        if !reach.visited[id] || g.fns[id].item.is_test {
+            continue;
+        }
+        for p in &g.fns[id].flow.panics {
+            let witness = g.witness(&reach, id);
+            out.push((
+                g.fns[id].file,
+                Finding {
+                    rule: RULE,
+                    line: p.line,
+                    col: p.col,
+                    msg: format!(
+                        "{} can panic and is reachable from verifier/enclave entry \
+                         points (path: {witness}); return a typed error instead",
+                        p.what
+                    ),
+                },
+            ));
+        }
+    }
+    out.sort_by_key(|(f, x)| (*f, x.line, x.col));
+    out.dedup_by_key(|(f, x)| (*f, x.line, x.col));
+    out
+}

@@ -139,7 +139,7 @@ impl HistoryIndex {
                 let results = raw
                     .into_iter()
                     .map(|(ts, bytes)| {
-                        // dcert-lint: allow(r2-panic-freedom, reason = "SP-side serving path decoding its own canonically-encoded index entries; the client verifier re-checks everything")
+                        // dcert-lint: allow(r2-panic-freedom, r5-panic-reachability, reason = "SP-side serving path decoding its own canonically-encoded index entries; the client verifier re-checks everything")
                         let v = decode_version(&bytes).expect("index stores canonical versions");
                         (ts, v)
                     })

@@ -142,7 +142,7 @@ impl InvertedIndex {
                 let head = self
                     .dictionary
                     .get(&keyword_key(kw))
-                    // dcert-lint: allow(r2-panic-freedom, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
+                    // dcert-lint: allow(r2-panic-freedom, r5-panic-reachability, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
                     .map(|bytes| Hash::from_bytes(bytes.try_into().expect("32-byte heads")));
                 (kw.clone(), head)
             })
@@ -154,7 +154,7 @@ impl InvertedIndex {
             let mut head = self
                 .dictionary
                 .get(&keyword_key(keyword))
-                // dcert-lint: allow(r2-panic-freedom, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
+                // dcert-lint: allow(r2-panic-freedom, r5-panic-reachability, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
                 .map(|bytes| Hash::from_bytes(bytes.try_into().expect("32-byte heads")))
                 .unwrap_or(Hash::ZERO);
             for id in ids {
@@ -183,7 +183,7 @@ impl InvertedIndex {
             let mut head = self
                 .dictionary
                 .get(&keyword_key(keyword))
-                // dcert-lint: allow(r2-panic-freedom, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
+                // dcert-lint: allow(r2-panic-freedom, r5-panic-reachability, reason = "SP-maintained dictionary only ever stores 32-byte chain heads; not attacker input")
                 .map(|bytes| Hash::from_bytes(bytes.try_into().expect("32-byte heads")))
                 .unwrap_or(Hash::ZERO);
             for id in ids {
