@@ -1,4 +1,4 @@
-//! CI gate over `BENCH_pr7.json`: verifies every figure binary exported
+//! CI gate over `BENCH_pr9.json`: verifies every figure binary exported
 //! its section and that the counters each experiment must move are present
 //! and non-zero. With `--compare A B` it instead checks that two exports
 //! from same-seed runs agree on every deterministic counter (names ending
@@ -71,6 +71,19 @@ const REQUIRED: &[(&str, &[&str], &[&str])] = &[
             "store.fsyncs",
         ],
         &["bench.fig_store.open_ns", "bench.fig_store.verify_ns"],
+    ),
+    (
+        "fig_proof_bytes",
+        &[
+            "bench.fig_proof.windows",
+            "bench.fig_proof.perpath_bytes_k4",
+            "bench.fig_proof.op_bytes_k4",
+        ],
+        &[
+            "bench.fig_proof.op_proof_bytes",
+            "bench.fig_proof.perpath_proof_bytes",
+            "bench.fig_proof.agg_op_bytes",
+        ],
     ),
     (
         "fig_serve",
@@ -197,6 +210,34 @@ fn check(required: &[&(&str, &[&str], &[&str])], path: &std::path::Path) -> Vec<
                 Some(0) => problems.push(format!("{figure}: histogram `{name}` recorded nothing")),
                 Some(_) => {}
             }
+        }
+        if figure == "fig_proof_bytes" {
+            problems.extend(gate_proof_bytes(metrics));
+        }
+    }
+    problems
+}
+
+/// The op-stream size claim `fig_proof_bytes` exists to demonstrate: for
+/// every contiguous window of `k >= 4` versions, one op-stream proof must
+/// be strictly smaller than the `k` per-path singleton proofs it replaces.
+fn gate_proof_bytes(metrics: Option<&Json>) -> Vec<String> {
+    let counter = |name: &str| {
+        metrics
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+    };
+    let mut problems = Vec::new();
+    for k in [4u64, 8, 16, 32] {
+        let perpath = counter(&format!("bench.fig_proof.perpath_bytes_k{k}"));
+        let op = counter(&format!("bench.fig_proof.op_bytes_k{k}"));
+        match (perpath, op) {
+            (Some(perpath), Some(op)) if op < perpath => {}
+            (Some(perpath), Some(op)) => problems.push(format!(
+                "fig_proof_bytes: op stream must beat per-path at k={k}: {op} >= {perpath} bytes"
+            )),
+            _ => problems.push(format!("fig_proof_bytes: size counters for k={k} absent")),
         }
     }
     problems

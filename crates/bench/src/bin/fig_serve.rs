@@ -334,6 +334,21 @@ fn spec_for(event: &ServeEvent, height: u64) -> QuerySpec {
             t1: 1,
             t2: height.max(1),
         },
+        // Op-stream kinds map the schedule's nested [0,100] window onto
+        // the certified height range monotonically, so containment in
+        // the schedule stays containment in the spec.
+        ServeQueryKind::HistoryOp => QuerySpec::HistoryOp {
+            index: "history".to_owned(),
+            key,
+            t1: 1 + event.window.0 * height.max(1) / 100,
+            t2: 1 + event.window.1 * height.max(1) / 100,
+        },
+        ServeQueryKind::AggregateOp => QuerySpec::AggregateOp {
+            index: "agg".to_owned(),
+            key,
+            t1: 1 + event.window.0 * height.max(1) / 100,
+            t2: 1 + event.window.1 * height.max(1) / 100,
+        },
     }
 }
 

@@ -31,6 +31,7 @@ use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
 use dcert_primitives::hash::{hash_bytes, Hash};
 
+use crate::ops::{AggOpProof, OpNode, ProofOp};
 use crate::ProofError;
 
 /// Domain tags (kept here: the module owns its hash formats).
@@ -70,9 +71,17 @@ impl Aggregate {
     }
 
     /// Merges another aggregate into this one.
+    ///
+    /// Saturating: `count`/`sum` pin at their type maxima instead of
+    /// wrapping. Honest trees never get near the limits (u128 sum cannot
+    /// overflow for u64 values × u64 count), but the verifier merges
+    /// *claimed* annotations from decoded proofs before the root
+    /// comparison, so attacker-chosen near-MAX values must not be able to
+    /// panic a debug build. A saturated merge then fails the root or
+    /// aggregate equality check like any other forgery.
     pub fn merge(&mut self, other: &Aggregate) {
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -375,6 +384,63 @@ impl AggMbTree {
         AggAppendProof { path }
     }
 
+    /// Emits a single op-stream proof for the window aggregate
+    /// `[lo, hi]` — the op-encoding counterpart of
+    /// [`AggMbTree::aggregate`]. Subtrees fully inside or outside the
+    /// window stay pruned (their certified annotations travel with the
+    /// hash); only boundary-straddling paths open, exactly as the
+    /// per-path prover prunes, so [`AggOpProof::verify`] accepts the
+    /// same claimed aggregate.
+    pub fn prove_agg_ops(&self, lo: u64, hi: u64) -> AggOpProof {
+        let mut ops = Vec::new();
+        if let Some(root) = &self.root {
+            Self::emit_agg_ops(root, None, None, lo, hi, &mut ops);
+        }
+        AggOpProof::from_ops(ops)
+    }
+
+    fn emit_agg_ops(
+        node: &Node,
+        bound_lo: Option<u64>,
+        bound_hi: Option<u64>,
+        lo: u64,
+        hi: u64,
+        ops: &mut Vec<ProofOp>,
+    ) {
+        match node {
+            Node::Leaf { entries, .. } => {
+                ops.push(ProofOp::Push(OpNode::AggLeaf(entries.clone())));
+            }
+            Node::Internal {
+                separators,
+                children,
+                ..
+            } => {
+                for (i, child) in children.iter().enumerate() {
+                    let child_lo = match i.checked_sub(1) {
+                        None => bound_lo,
+                        Some(j) => separators.get(j).copied().or(bound_lo),
+                    };
+                    let child_hi = separators.get(i).copied().or(bound_hi);
+                    match coverage(child_lo, child_hi, lo, hi) {
+                        Coverage::Outside | Coverage::Inside => {
+                            ops.push(ProofOp::Push(OpNode::AggPruned(child.hash(), child.agg())));
+                        }
+                        Coverage::Partial => {
+                            Self::emit_agg_ops(child, child_lo, child_hi, lo, hi, ops);
+                        }
+                    }
+                    if i == 0 {
+                        ops.push(ProofOp::Push(OpNode::AggInternal(separators.clone())));
+                        ops.push(ProofOp::Parent);
+                    } else {
+                        ops.push(ProofOp::Child);
+                    }
+                }
+            }
+        }
+    }
+
     /// Answers the window-aggregate query `[lo, hi]` (inclusive) with an
     /// O(log n)-size proof.
     pub fn aggregate(&self, lo: u64, hi: u64) -> (Aggregate, AggProof) {
@@ -470,7 +536,7 @@ fn coverage(child_lo: Option<u64>, child_hi: Option<u64>, lo: u64, hi: u64) -> C
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ProofChild {
+pub(crate) enum ProofChild {
     /// An unopened child: hash + certified aggregate annotation.
     Pruned(Hash, Aggregate),
     /// An opened child.
@@ -478,7 +544,7 @@ enum ProofChild {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ProofNode {
+pub(crate) enum ProofNode {
     Leaf {
         entries: Vec<(u64, u64)>,
     },
@@ -491,7 +557,7 @@ enum ProofNode {
 /// Proof for a window aggregate over an [`AggMbTree`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggProof {
-    root: Option<ProofNode>,
+    pub(crate) root: Option<ProofNode>,
 }
 
 impl AggProof {
@@ -1021,6 +1087,78 @@ mod tests {
         let mut claimed = agg;
         claimed.sum += 1_000;
         assert!(forged.verify(&tree.root(), 20, 180, &claimed).is_err());
+    }
+
+    #[test]
+    fn hostile_annotations_cannot_overflow_the_verifier() {
+        // Regression: `Aggregate::merge` used unchecked `+=`. The
+        // verifier merges *claimed* annotations from a decoded proof
+        // before the root comparison, so near-MAX counts/sums in two
+        // pruned siblings overflowed (panicking in debug builds) before
+        // the forgery was rejected. Merge now saturates; the forged
+        // proof must fail with a typed error, never a panic.
+        let hostile = Aggregate {
+            count: u64::MAX,
+            sum: u128::MAX,
+            min: 0,
+            max: u64::MAX,
+        };
+        let proof = AggProof {
+            root: Some(ProofNode::Internal {
+                separators: vec![50],
+                children: vec![
+                    ProofChild::Pruned(hash_bytes(b"left"), hostile),
+                    ProofChild::Pruned(hash_bytes(b"right"), hostile),
+                ],
+            }),
+        };
+        // Window [0, 100]: both pruned children are fully inside, so both
+        // annotations are merged into the running aggregate.
+        let err = proof
+            .verify(&hash_bytes(b"no-such-root"), 0, 100, &Aggregate::EMPTY)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProofError::RootMismatch | ProofError::Incomplete(_)
+        ));
+        // The decoded form takes the same path.
+        let decoded = AggProof::decode_all(&proof.to_encoded_bytes()).unwrap();
+        assert!(decoded
+            .verify(&hash_bytes(b"no-such-root"), 0, 100, &Aggregate::EMPTY)
+            .is_err());
+
+        let mut merged = hostile;
+        merged.merge(&hostile);
+        assert_eq!((merged.count, merged.sum), (u64::MAX, u128::MAX));
+    }
+
+    #[test]
+    fn op_proof_matches_per_path_aggregate() {
+        for (n, order) in [(0u64, 4usize), (1, 4), (100, 4), (300, 16)] {
+            let tree = build(n, order);
+            for (lo, hi) in [(0u64, 0u64), (10, 90), (0, 500), (250, 320), (90, 20)] {
+                let (agg, per_path) = tree.aggregate(lo, hi);
+                per_path.verify(&tree.root(), lo, hi, &agg).unwrap();
+                let op = tree.prove_agg_ops(lo, hi);
+                op.verify(&tree.root(), lo, hi, &agg)
+                    .unwrap_or_else(|e| panic!("n={n} order={order} [{lo},{hi}]: {e}"));
+                assert_eq!(op.size_bytes(), op.to_encoded_bytes().len());
+                assert_eq!(per_path.size_bytes(), per_path.to_encoded_bytes().len());
+
+                // Tampered claims fail through the op encoding too.
+                let mut forged = agg;
+                forged.sum = forged.sum.wrapping_add(1);
+                assert!(op.verify(&tree.root(), lo, hi, &forged).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn op_proof_for_other_window_rejected() {
+        let tree = build(100, 4);
+        let (agg, _) = tree.aggregate(10, 20);
+        let op = tree.prove_agg_ops(10, 20);
+        assert!(op.verify(&tree.root(), 5, 40, &agg).is_err());
     }
 
     #[test]

@@ -35,13 +35,34 @@ pub mod aggmb;
 pub mod mbtree;
 pub mod mht;
 pub mod mpt;
+pub mod ops;
 pub mod smt;
 
 pub use aggmb::{AggMbTree, AggProof, Aggregate};
 pub use mbtree::{MbAppendProof, MbRangeProof, MbTree};
-pub use mht::{build_threads, set_build_threads, MerkleTree, MhtProof};
+pub use mht::{build_threads, set_build_threads, MerkleTree, MhtOpProof, MhtProof};
 pub use mpt::{Mpt, MptProof};
+pub use ops::{AggOpProof, MbOpProof, OpNode, ProofOp, MAX_OP_STACK, MAX_PROOF_DEPTH};
 pub use smt::{SmtProof, SparseMerkleTree};
+
+/// Which wire encoding a proof uses.
+///
+/// Both encodings share verification semantics — the op-stream executor
+/// lifts its reconstructed partial tree into the per-path verifier's
+/// node form — so the choice is purely a wire-size/batching trade-off:
+/// per-path pays k·log n hashes for a window of k adjacent keys, the op
+/// stream shares every interior hash across the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProofEncoding {
+    /// One pruned tree (or sibling path) per query — the original
+    /// encoding; smallest for point queries.
+    #[default]
+    PerPath,
+    /// A single stack-machine program covering the whole key set — see
+    /// [`ops`]; strictly smaller for contiguous windows of four or more
+    /// adjacent keys.
+    OpStream,
+}
 
 /// Domain-separation tags for node hashing.
 ///

@@ -30,6 +30,7 @@ use dcert_primitives::error::CodecError;
 use dcert_primitives::hash::{hash_bytes, Hash};
 
 use crate::domain;
+use crate::ops::{MbOpProof, OpNode, ProofOp};
 use crate::ProofError;
 
 /// Node arity as a u32 for the hash preimage. Arities are bounded by the
@@ -325,6 +326,116 @@ impl MbTree {
         }
     }
 
+    /// Emits a single op-stream proof opening every subtree that
+    /// intersects *any* of the inclusive query `windows` — one compact
+    /// program for an arbitrary key set (singleton windows) or a
+    /// contiguous range, the op-encoding counterpart of
+    /// [`MbTree::range`]. Pruning follows exactly the per-path prover's
+    /// rule, so [`MbOpProof::verify`] yields byte-identical results.
+    pub fn prove_ops(&self, windows: &[(u64, u64)]) -> MbOpProof {
+        let mut ops = Vec::new();
+        if let Some(root) = &self.root {
+            Self::emit_ops(root, windows, &mut ops);
+        }
+        MbOpProof::from_ops(ops)
+    }
+
+    /// One proof program whose [`MbOpProof::verify_non_membership`]
+    /// check establishes the absence of `ts`, bracketed by the two
+    /// adjacent proven keys. The window spans from the predecessor to
+    /// the successor of `ts` (widened to the domain ends when a side
+    /// has no neighbor), so the verifier's adjacency checks hold.
+    pub fn prove_non_membership(&self, ts: u64) -> MbOpProof {
+        let lo = self.predecessor(ts).unwrap_or(0);
+        let hi = self.successor(ts).unwrap_or(u64::MAX);
+        self.prove_ops(&[(lo, hi)])
+    }
+
+    /// Largest stored key strictly below `ts`.
+    fn predecessor(&self, ts: u64) -> Option<u64> {
+        Self::pred_rec(self.root.as_ref()?, ts)
+    }
+
+    fn pred_rec(node: &MbNode, ts: u64) -> Option<u64> {
+        match node {
+            MbNode::Leaf { entries, .. } => {
+                entries.iter().rev().find(|(t, _)| *t < ts).map(|(t, _)| *t)
+            }
+            MbNode::Internal {
+                separators,
+                children,
+                ..
+            } => {
+                // Children at or left of the first separator >= ts can
+                // hold keys < ts; scan right-to-left (at most two
+                // descents per level: a candidate child either yields a
+                // key or everything left of it is strictly smaller).
+                let start = separators.partition_point(|sep| *sep < ts);
+                children
+                    .iter()
+                    .take(start + 1)
+                    .rev()
+                    .find_map(|child| Self::pred_rec(child, ts))
+            }
+        }
+    }
+
+    /// Smallest stored key strictly above `ts`.
+    fn successor(&self, ts: u64) -> Option<u64> {
+        Self::succ_rec(self.root.as_ref()?, ts)
+    }
+
+    fn succ_rec(node: &MbNode, ts: u64) -> Option<u64> {
+        match node {
+            MbNode::Leaf { entries, .. } => entries.iter().find(|(t, _)| *t > ts).map(|(t, _)| *t),
+            MbNode::Internal {
+                separators,
+                children,
+                ..
+            } => {
+                // Children at or right of the last separator <= ts can
+                // hold keys > ts.
+                let start = separators.partition_point(|sep| *sep <= ts);
+                children
+                    .iter()
+                    .skip(start)
+                    .find_map(|child| Self::succ_rec(child, ts))
+            }
+        }
+    }
+
+    fn emit_ops(node: &MbNode, windows: &[(u64, u64)], ops: &mut Vec<ProofOp>) {
+        match node {
+            MbNode::Leaf { entries, .. } => ops.push(ProofOp::Push(OpNode::Leaf(
+                entries.iter().map(|(ts, v)| (*ts, hash_bytes(v))).collect(),
+            ))),
+            MbNode::Internal {
+                separators,
+                children,
+                ..
+            } => {
+                for (i, child) in children.iter().enumerate() {
+                    let child_lo = i.checked_sub(1).and_then(|j| separators.get(j)).copied();
+                    let child_hi = separators.get(i).copied();
+                    let open = windows
+                        .iter()
+                        .any(|(lo, hi)| interval_intersects(child_lo, child_hi, *lo, *hi));
+                    if open {
+                        Self::emit_ops(child, windows, ops);
+                    } else {
+                        ops.push(ProofOp::Push(OpNode::Pruned(child.hash())));
+                    }
+                    if i == 0 {
+                        ops.push(ProofOp::Push(OpNode::Internal(separators.clone())));
+                        ops.push(ProofOp::Parent);
+                    } else {
+                        ops.push(ProofOp::Child);
+                    }
+                }
+            }
+        }
+    }
+
     /// Produces a proof of the rightmost path, enabling a stateless
     /// verifier to append an entry with a timestamp strictly greater than
     /// every stored one ([`MbAppendProof::appended_root`]).
@@ -371,13 +482,13 @@ fn interval_intersects(child_lo: Option<u64>, child_hi: Option<u64>, lo: u64, hi
 // --- range proof ----------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ProofChild {
+pub(crate) enum ProofChild {
     Pruned(Hash),
     Open(Box<ProofNode>),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ProofNode {
+pub(crate) enum ProofNode {
     Leaf {
         entries: Vec<(u64, Hash)>,
     },
@@ -390,7 +501,7 @@ enum ProofNode {
 /// A completeness proof for a time-window range query over an [`MbTree`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MbRangeProof {
-    root: Option<ProofNode>,
+    pub(crate) root: Option<ProofNode>,
 }
 
 impl MbRangeProof {
@@ -953,6 +1064,115 @@ mod tests {
         let proof = tree.prove_append();
         let decoded = MbAppendProof::decode_all(&proof.to_encoded_bytes()).unwrap();
         assert_eq!(decoded, proof);
+    }
+
+    #[test]
+    fn empty_window_is_provable_not_assumable() {
+        // Satellite audit: an empty result set must be *proven* empty.
+        let tree = build(30, 4);
+
+        // lo beyond max_key: the proof opens the rightmost boundary and
+        // verifies the window is empty.
+        let (results, proof) = tree.range(100, 200);
+        assert!(results.is_empty());
+        proof.verify(&tree.root(), 100, 200, &results).unwrap();
+
+        // The same empty-window proof cannot stand in for a window that
+        // does contain entries: its pruned subtrees overlap it.
+        assert!(matches!(
+            proof.verify(&tree.root(), 5, 200, &[]),
+            Err(ProofError::Incomplete(_))
+        ));
+
+        // Inverted window (lo > hi) is provably empty too.
+        let (results, proof) = tree.range(20, 10);
+        assert!(results.is_empty());
+        proof.verify(&tree.root(), 20, 10, &results).unwrap();
+    }
+
+    #[test]
+    fn omitted_tail_at_window_edge_rejected() {
+        // Regression: a proof honestly generated for [5, 9] replayed for
+        // the wider window [5, 15] with the tail results omitted must
+        // fail — the subtrees holding 10..=15 are pruned but overlap the
+        // claimed window, so truncation is distinguishable from "no
+        // entries past 9".
+        let tree = build(30, 4);
+        let (truncated, narrow_proof) = tree.range(5, 9);
+        assert_eq!(truncated.len(), 5);
+        assert!(matches!(
+            narrow_proof.verify(&tree.root(), 5, 15, &truncated),
+            Err(ProofError::Incomplete(_)) | Err(ProofError::RootMismatch)
+        ));
+        // Same attack through the op-stream encoding.
+        let narrow_ops = tree.prove_ops(&[(5, 9)]);
+        assert!(matches!(
+            narrow_ops.verify(&tree.root(), 5, 15, &truncated),
+            Err(ProofError::Incomplete(_)) | Err(ProofError::RootMismatch)
+        ));
+    }
+
+    #[test]
+    fn op_proof_matches_per_path_results() {
+        for (n, order) in [(0u64, 4usize), (1, 4), (30, 4), (64, 3), (200, 16)] {
+            let tree = build(n, order);
+            for (lo, hi) in [(0u64, 0u64), (5, 15), (0, 300), (150, 90), (199, 260)] {
+                let (results, per_path) = tree.range(lo, hi);
+                per_path.verify(&tree.root(), lo, hi, &results).unwrap();
+                let op = tree.prove_ops(&[(lo, hi)]);
+                op.verify(&tree.root(), lo, hi, &results)
+                    .unwrap_or_else(|e| panic!("n={n} order={order} [{lo},{hi}]: {e}"));
+                assert_eq!(op.size_bytes(), op.to_encoded_bytes().len());
+                assert_eq!(per_path.size_bytes(), per_path.to_encoded_bytes().len());
+            }
+        }
+    }
+
+    #[test]
+    fn one_op_proof_serves_disjoint_windows() {
+        // Cross-query batching: a single program built for several
+        // windows verifies each window independently...
+        let tree = build(64, 4);
+        let proof = tree.prove_ops(&[(2, 4), (20, 22)]);
+        let (r1, _) = tree.range(2, 4);
+        let (r2, _) = tree.range(20, 22);
+        proof.verify(&tree.root(), 2, 4, &r1).unwrap();
+        proof.verify(&tree.root(), 20, 22, &r2).unwrap();
+        // ...but not the hull between them: the gap is pruned.
+        let hull: Vec<(u64, Vec<u8>)> = r1.iter().chain(&r2).cloned().collect();
+        assert!(matches!(
+            proof.verify(&tree.root(), 2, 22, &hull),
+            Err(ProofError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn non_membership_brackets_absent_key() {
+        let mut tree = MbTree::new(4);
+        for ts in (0..40u64).map(|t| t * 2) {
+            tree.insert(ts, format!("v{ts}").into_bytes());
+        }
+        let proof = tree.prove_non_membership(13);
+        let (pred, succ) = proof.verify_non_membership(&tree.root(), 13).unwrap();
+        assert_eq!((pred, succ), (Some(12), Some(14)));
+
+        // Beyond either end, the missing side of the bracket is open.
+        let proof = tree.prove_non_membership(1000);
+        let (pred, succ) = proof.verify_non_membership(&tree.root(), 1000).unwrap();
+        assert_eq!((pred, succ), (Some(78), None));
+
+        // A present key has no non-membership proof.
+        let proof = tree.prove_non_membership(12);
+        assert!(matches!(
+            proof.verify_non_membership(&tree.root(), 12),
+            Err(ProofError::Incomplete(_))
+        ));
+
+        // Empty tree: everything is absent, bracket fully open.
+        let empty = MbTree::new(4);
+        let proof = empty.prove_non_membership(7);
+        let (pred, succ) = proof.verify_non_membership(&Hash::ZERO, 7).unwrap();
+        assert_eq!((pred, succ), (None, None));
     }
 
     proptest! {

@@ -19,7 +19,7 @@ use dcert_chain::Block;
 use dcert_core::{CertError, IndexVerifier};
 pub use dcert_merkle::aggmb::Aggregate;
 use dcert_merkle::aggmb::{AggAppendProof, AggMbTree, AggProof};
-use dcert_merkle::{Mpt, MptProof};
+use dcert_merkle::{AggOpProof, Mpt, MptProof};
 use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
 use dcert_primitives::hash::{hash_bytes, Hash};
@@ -141,6 +141,37 @@ impl AggregateIndex {
                         mpt,
                         tree_root: Some(tree.root()),
                         agg: Some(agg),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Like [`AggregateIndex::query`], but the subtree-annotation evidence
+    /// is one op-stream program ([`dcert_merkle::ProofEncoding::OpStream`]).
+    ///
+    /// Returns exactly the same aggregate as `query` for the same window;
+    /// only the proof encoding differs.
+    pub fn query_ops(&self, key: &StateKey, t1: u64, t2: u64) -> (Aggregate, AggOpQueryProof) {
+        let key_bytes = key.as_hash().as_bytes().to_vec();
+        let mpt = self.upper.prove(&key_bytes);
+        match self.lower.get(&key_bytes) {
+            None => (
+                Aggregate::EMPTY,
+                AggOpQueryProof {
+                    mpt,
+                    tree_root: None,
+                    ops: None,
+                },
+            ),
+            Some(tree) => {
+                let (aggregate, _) = tree.aggregate(t1, t2);
+                (
+                    aggregate,
+                    AggOpQueryProof {
+                        mpt,
+                        tree_root: Some(tree.root()),
+                        ops: Some(tree.prove_agg_ops(t1, t2)),
                     },
                 )
             }
@@ -282,6 +313,80 @@ impl Decode for AggQueryProof {
             tree_root: Option::<Hash>::decode(r)?,
             agg: Option::<AggProof>::decode(r)?,
         })
+    }
+}
+
+/// Proof returned with an op-stream aggregate query
+/// ([`AggregateIndex::query_ops`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggOpQueryProof {
+    mpt: MptProof,
+    tree_root: Option<Hash>,
+    ops: Option<AggOpProof>,
+}
+
+impl AggOpQueryProof {
+    /// Serialized proof size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for AggOpQueryProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mpt.encode(out);
+        self.tree_root.encode(out);
+        self.ops.encode(out);
+    }
+}
+
+impl Decode for AggOpQueryProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AggOpQueryProof {
+            mpt: MptProof::decode(r)?,
+            tree_root: Option::<Hash>::decode(r)?,
+            ops: Option::<AggOpProof>::decode(r)?,
+        })
+    }
+}
+
+/// Client-side verification of an op-stream window aggregate. Same checks
+/// as [`verify_aggregate`]; the op program is executed and lifted into the
+/// per-path aggregate verifier.
+///
+/// # Errors
+///
+/// [`QueryError`] describing the first failed check.
+pub fn verify_aggregate_op(
+    digest: &Hash,
+    key: &StateKey,
+    t1: u64,
+    t2: u64,
+    claimed: &Aggregate,
+    proof: &AggOpQueryProof,
+) -> Result<(), QueryError> {
+    let key_bytes = key.as_hash().as_bytes();
+    let proven = proof.mpt.verify(digest, key_bytes)?;
+    match (&proof.tree_root, &proof.ops) {
+        (None, None) => {
+            if proven.is_some() {
+                return Err(QueryError::ResultMismatch(
+                    "key is tracked but no aggregate tree presented",
+                ));
+            }
+            if *claimed != Aggregate::EMPTY {
+                return Err(QueryError::ResultMismatch("aggregate for an untracked key"));
+            }
+            Ok(())
+        }
+        (Some(tree_root), Some(ops)) => {
+            if proven != Some(hash_bytes(tree_root.as_bytes())) {
+                return Err(QueryError::DigestMismatch);
+            }
+            ops.verify(tree_root, t1, t2, claimed)?;
+            Ok(())
+        }
+        _ => Err(QueryError::ResultMismatch("inconsistent proof shape")),
     }
 }
 
@@ -453,6 +558,29 @@ mod tests {
         index.apply_block(2, &balance_writes(&[("alice", 20)]));
         let (agg, proof) = index.query(&key("alice"), 0, 10);
         assert!(verify_aggregate(&stale, &key("alice"), 0, 10, &agg, &proof).is_err());
+    }
+
+    #[test]
+    fn op_query_matches_per_path_aggregate_and_verifies() {
+        let mut index = AggregateIndex::with_order("agg", 4);
+        for height in 1..=60u64 {
+            index.apply_block(height, &balance_writes(&[("alice", height * 10)]));
+        }
+        let digest = index.digest();
+        for (t1, t2) in [(11, 30), (0, 0), (60, 60), (70, 90), (0, u64::MAX)] {
+            let (per_path, _) = index.query(&key("alice"), t1, t2);
+            let (agg, proof) = index.query_ops(&key("alice"), t1, t2);
+            assert_eq!(agg, per_path, "[{t1},{t2}]");
+            verify_aggregate_op(&digest, &key("alice"), t1, t2, &agg, &proof).unwrap();
+            assert_eq!(proof.size_bytes(), proof.to_encoded_bytes().len());
+        }
+        // Forged sums are rejected, untracked keys verify empty.
+        let (mut agg, proof) = index.query_ops(&key("alice"), 11, 30);
+        agg.sum += 1;
+        assert!(verify_aggregate_op(&digest, &key("alice"), 11, 30, &agg, &proof).is_err());
+        let (empty, absent) = index.query_ops(&key("nobody"), 0, 100);
+        assert_eq!(empty, Aggregate::EMPTY);
+        verify_aggregate_op(&digest, &key("nobody"), 0, 100, &empty, &absent).unwrap();
     }
 
     #[test]

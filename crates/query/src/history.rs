@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use dcert_chain::Block;
 use dcert_core::{CertError, IndexVerifier};
-use dcert_merkle::{MbAppendProof, MbRangeProof, MbTree, Mpt, MptProof};
+use dcert_merkle::{MbAppendProof, MbOpProof, MbRangeProof, MbTree, Mpt, MptProof};
 use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
 use dcert_primitives::hash::{hash_bytes, Hash};
@@ -150,6 +150,54 @@ impl HistoryIndex {
                         mpt: mpt_proof,
                         mb_root: Some(tree.root()),
                         range: Some(range),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Like [`HistoryIndex::query`], but the range-completeness evidence is
+    /// one op-stream program ([`dcert_merkle::ProofEncoding::OpStream`])
+    /// instead of a per-path pruned tree.
+    ///
+    /// Returns exactly the same result rows as `query` for the same window;
+    /// only the proof encoding differs.
+    // expect() decodes the SP's own canonical index entries (same rationale
+    // as `query`).
+    #[allow(clippy::expect_used)]
+    pub fn query_ops(
+        &self,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> (Vec<(u64, Version)>, HistoryOpProof) {
+        let key_bytes = key.as_hash().as_bytes().to_vec();
+        let mpt_proof = self.upper.prove(&key_bytes);
+        match self.lower.get(&key_bytes) {
+            None => (
+                Vec::new(),
+                HistoryOpProof {
+                    mpt: mpt_proof,
+                    mb_root: None,
+                    ops: None,
+                },
+            ),
+            Some(tree) => {
+                let (raw, _) = tree.range(t1, t2);
+                let results = raw
+                    .into_iter()
+                    .map(|(ts, bytes)| {
+                        // dcert-lint: allow(r2-panic-freedom, r5-panic-reachability, reason = "SP-side serving path decoding its own canonically-encoded index entries; the client verifier re-checks everything")
+                        let v = decode_version(&bytes).expect("index stores canonical versions");
+                        (ts, v)
+                    })
+                    .collect();
+                (
+                    results,
+                    HistoryOpProof {
+                        mpt: mpt_proof,
+                        mb_root: Some(tree.root()),
+                        ops: Some(tree.prove_ops(&[(t1, t2)])),
                     },
                 )
             }
@@ -308,6 +356,93 @@ impl Decode for HistoryProof {
             mb_root: Option::<Hash>::decode(r)?,
             range: Option::<MbRangeProof>::decode(r)?,
         })
+    }
+}
+
+/// Proof returned with an op-stream historical query
+/// ([`HistoryIndex::query_ops`]).
+///
+/// Identical to [`HistoryProof`] except the lower-level evidence is a
+/// stack-machine program covering the window instead of a pruned tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryOpProof {
+    /// Upper-trie (non-)membership proof for the queried key.
+    mpt: MptProof,
+    /// The key's version-tree root (absent if the key is untracked).
+    mb_root: Option<Hash>,
+    /// Op-stream range-completeness proof within the version tree.
+    ops: Option<MbOpProof>,
+}
+
+impl HistoryOpProof {
+    /// Serialized proof size in bytes (the Fig. 11b metric).
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for HistoryOpProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mpt.encode(out);
+        self.mb_root.encode(out);
+        self.ops.encode(out);
+    }
+}
+
+impl Decode for HistoryOpProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(HistoryOpProof {
+            mpt: MptProof::decode(r)?,
+            mb_root: Option::<Hash>::decode(r)?,
+            ops: Option::<MbOpProof>::decode(r)?,
+        })
+    }
+}
+
+/// Client-side verification of an op-stream historical query result.
+///
+/// Enforces exactly the checks of [`verify_history`]: upper-trie
+/// (non-)membership for the key, digest binding of the version-tree root,
+/// and window completeness — the op program is executed and lifted into
+/// the same range verifier the per-path encoding uses.
+///
+/// # Errors
+///
+/// [`QueryError`] describing the first failed check.
+pub fn verify_history_op(
+    digest: &Hash,
+    key: &StateKey,
+    t1: u64,
+    t2: u64,
+    results: &[(u64, Version)],
+    proof: &HistoryOpProof,
+) -> Result<(), QueryError> {
+    let key_bytes = key.as_hash().as_bytes();
+    let proven = proof.mpt.verify(digest, key_bytes)?;
+    match (&proof.mb_root, &proof.ops) {
+        (None, None) => {
+            if proven.is_some() {
+                return Err(QueryError::ResultMismatch(
+                    "key is tracked but no version tree presented",
+                ));
+            }
+            if !results.is_empty() {
+                return Err(QueryError::ResultMismatch("results for an untracked key"));
+            }
+            Ok(())
+        }
+        (Some(mb_root), Some(ops)) => {
+            if proven != Some(hash_bytes(mb_root.as_bytes())) {
+                return Err(QueryError::DigestMismatch);
+            }
+            let raw: Vec<(u64, Vec<u8>)> = results
+                .iter()
+                .map(|(ts, version)| (*ts, encode_version(version)))
+                .collect();
+            ops.verify(mb_root, t1, t2, &raw)?;
+            Ok(())
+        }
+        _ => Err(QueryError::ResultMismatch("inconsistent proof shape")),
     }
 }
 
@@ -497,6 +632,38 @@ mod tests {
         index.apply_block(2, &writes(&[("acct", Some("v2"))]));
         let (results, proof) = index.query(&key("acct"), 0, 10);
         assert!(verify_history(&stale_digest, &key("acct"), 0, 10, &results, &proof).is_err());
+    }
+
+    #[test]
+    fn op_query_matches_per_path_results_and_verifies() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        for height in 1..=50u64 {
+            index.apply_block(height, &writes(&[("acct", Some(&format!("v{height}")))]));
+        }
+        let digest = index.digest();
+        for (t1, t2) in [(10, 20), (0, 0), (50, 50), (60, 90), (0, u64::MAX)] {
+            let (per_path, _) = index.query(&key("acct"), t1, t2);
+            let (results, proof) = index.query_ops(&key("acct"), t1, t2);
+            assert_eq!(results, per_path, "[{t1},{t2}]");
+            verify_history_op(&digest, &key("acct"), t1, t2, &results, &proof).unwrap();
+            assert_eq!(proof.size_bytes(), proof.to_encoded_bytes().len());
+        }
+    }
+
+    #[test]
+    fn op_query_detects_omission_and_untracked_keys() {
+        let mut index = HistoryIndex::with_order("history", 4);
+        for height in 1..=20u64 {
+            index.apply_block(height, &writes(&[("acct", Some(&format!("v{height}")))]));
+        }
+        let digest = index.digest();
+        let (mut results, proof) = index.query_ops(&key("acct"), 5, 15);
+        results.remove(4);
+        assert!(verify_history_op(&digest, &key("acct"), 5, 15, &results, &proof).is_err());
+
+        let (absent, absent_proof) = index.query_ops(&key("unknown"), 0, 100);
+        assert!(absent.is_empty());
+        verify_history_op(&digest, &key("unknown"), 0, 100, &absent, &absent_proof).unwrap();
     }
 
     #[test]

@@ -39,9 +39,9 @@ pub mod history;
 pub mod inverted;
 pub mod sp;
 
-pub use aggregate::{AggQueryProof, AggregateIndex, AggregateVerifier};
+pub use aggregate::{AggOpQueryProof, AggQueryProof, AggregateIndex, AggregateVerifier};
 pub use error::QueryError;
-pub use history::{HistoryIndex, HistoryProof, HistoryVerifier};
+pub use history::{HistoryIndex, HistoryOpProof, HistoryProof, HistoryVerifier};
 pub use inverted::{extract_keywords, InvertedIndex, InvertedVerifier, KeywordProof};
 pub use inverted::{verify_keywords, verify_keywords_any};
 pub use sp::{

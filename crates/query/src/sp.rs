@@ -18,8 +18,10 @@ use dcert_sgx::cost::timed;
 use dcert_store::{Record, Store, StoreError, StreamId};
 use dcert_vm::{Executor, StateKey};
 
-use crate::aggregate::{AggQueryProof, Aggregate, AggregateIndex, AggregateVerifier};
-use crate::history::{HistoryIndex, HistoryProof, HistoryVerifier, Version};
+use crate::aggregate::{
+    AggOpQueryProof, AggQueryProof, Aggregate, AggregateIndex, AggregateVerifier,
+};
+use crate::history::{HistoryIndex, HistoryOpProof, HistoryProof, HistoryVerifier, Version};
 use crate::inverted::{InvertedIndex, InvertedVerifier, KeywordProof};
 
 /// Head-region key under which the SP commits its replay watermark: the
@@ -424,6 +426,27 @@ impl ServiceProvider {
         Some((results, proof))
     }
 
+    /// Serves an authenticated time-window history query with the
+    /// op-stream proof encoding ([`HistoryIndex::query_ops`]) through the
+    /// measured query path. Results are byte-identical to
+    /// [`ServiceProvider::serve_history`]; only the proof encoding
+    /// differs. `None` if no history index is registered under `name`.
+    pub fn serve_history_ops(
+        &self,
+        name: &str,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> Option<(Vec<(u64, Version)>, HistoryOpProof)> {
+        let index = self.histories.get(name)?;
+        let ((results, proof), took) = timed(|| index.query_ops(key, t1, t2));
+        if let Some(obs) = &self.obs {
+            obs.record_query(&obs.history_queries, proof.encoded_len(), results.len());
+            obs.serve_ns.record(took);
+        }
+        Some((results, proof))
+    }
+
     /// Serves a conjunctive keyword query ([`InvertedIndex::query`])
     /// through the measured query path. `None` if no inverted index is
     /// registered under `name`.
@@ -453,6 +476,25 @@ impl ServiceProvider {
     ) -> Option<(Aggregate, AggQueryProof)> {
         let index = self.aggregates.get(name)?;
         let ((aggregate, proof), took) = timed(|| index.query(key, t1, t2));
+        if let Some(obs) = &self.obs {
+            obs.record_query(&obs.aggregate_queries, proof.encoded_len(), 1);
+            obs.serve_ns.record(took);
+        }
+        Some((aggregate, proof))
+    }
+
+    /// Serves a verifiable window aggregation with the op-stream proof
+    /// encoding ([`AggregateIndex::query_ops`]) through the measured query
+    /// path. `None` if no aggregate index is registered under `name`.
+    pub fn serve_aggregate_ops(
+        &self,
+        name: &str,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> Option<(Aggregate, AggOpQueryProof)> {
+        let index = self.aggregates.get(name)?;
+        let ((aggregate, proof), took) = timed(|| index.query_ops(key, t1, t2));
         if let Some(obs) = &self.obs {
             obs.record_query(&obs.aggregate_queries, proof.encoded_len(), 1);
             obs.serve_ns.record(took);

@@ -37,11 +37,14 @@ use dcert_obs::Registry;
 use dcert_query::ServiceProvider;
 use dcert_sgx::cost::timed;
 
+use dcert_vm::StateKey;
+
 use crate::admission::{RateLimit, TokenBuckets, TokenGrant};
 use crate::cache::ProofCache;
 use crate::metrics::ServeMetrics;
 use crate::wire::{
-    encode_aggregate_payload, encode_history_payload, encode_keyword_payload, QuerySpec,
+    decode_history_op_payload, encode_aggregate_op_payload, encode_aggregate_payload,
+    encode_history_op_payload, encode_history_payload, encode_keyword_payload, QuerySpec,
     RefusalReason, ServeRefusal, ServeRequest, ServeResponse, ServeWire,
 };
 
@@ -96,6 +99,24 @@ struct PendingEntry {
     waiters: Vec<Waiter>,
 }
 
+/// One op-stream history window the cache holds an answer for. A later
+/// [`QuerySpec::HistoryOp`] whose window is *contained* in this one is
+/// answered by narrowing the cached answer: the op-stream proof for
+/// `[t1, t2]` verifies any sub-window, so only the result rows need
+/// filtering — no backend call, no new proof. (Aggregate op answers are
+/// deliberately not window-narrowed: their proofs prune `Inside`
+/// subtrees to bare annotations, which do not re-verify for a narrower
+/// window.)
+#[derive(Debug, Clone)]
+struct OpWindow {
+    index: String,
+    key: StateKey,
+    t1: u64,
+    t2: u64,
+    /// The cache key the covering answer lives under.
+    spec_key: Vec<u8>,
+}
+
 /// The request scheduler. See the module docs for the pipeline shape.
 #[derive(Debug)]
 pub struct ServeFront {
@@ -109,6 +130,10 @@ pub struct ServeFront {
     arrival_order: VecDeque<Vec<u8>>,
     pending: HashMap<Vec<u8>, PendingEntry>,
     parked_waiters: usize,
+    /// Windows of op-stream history answers in the cache, in insertion
+    /// order. Cleared wholesale with every cache invalidation: a window
+    /// entry must never outlive the generation its answer was served in.
+    op_windows: Vec<OpWindow>,
     metrics: ServeMetrics,
 }
 
@@ -124,6 +149,7 @@ impl ServeFront {
             arrival_order: VecDeque::new(),
             pending: HashMap::new(),
             parked_waiters: 0,
+            op_windows: Vec::new(),
             metrics: ServeMetrics::disabled(),
         }
     }
@@ -203,6 +229,24 @@ impl ServeFront {
                 certified_height: cached.certified_height,
                 payload: cached.payload.clone(),
             }));
+        }
+
+        if let QuerySpec::HistoryOp { index, key, t1, t2 } = &request.query {
+            if let Some(narrowed) = self.answer_from_covering_window(index, key, *t1, *t2) {
+                self.metrics.window_hits.inc();
+                self.metrics.wait_ticks.observe(0);
+                self.metrics
+                    .payload_bytes
+                    .observe(narrowed.payload.len() as u64);
+                // The narrowed answer is a first-class cache entry: the
+                // next identical request hits it directly.
+                self.cache.insert(spec_key, narrowed.clone());
+                return Ok(Submitted::CacheHit(ServeResponse {
+                    id: request.id,
+                    certified_height: narrowed.certified_height,
+                    payload: narrowed.payload,
+                }));
+            }
         }
 
         if self.parked_waiters >= self.config.max_waiters {
@@ -335,6 +379,24 @@ impl ServeFront {
                     self.metrics.backend_calls.inc();
                     let certified_height = self.sp.index_height();
                     self.metrics.payload_bytes.observe(payload.len() as u64);
+                    if let QuerySpec::HistoryOp {
+                        index,
+                        key: state_key,
+                        t1,
+                        t2,
+                    } = &entry.spec
+                    {
+                        if self.op_windows.len() >= self.config.cache_capacity {
+                            self.op_windows.remove(0);
+                        }
+                        self.op_windows.push(OpWindow {
+                            index: index.clone(),
+                            key: *state_key,
+                            t1: *t1,
+                            t2: *t2,
+                            spec_key: key.clone(),
+                        });
+                    }
                     self.cache.insert(
                         key,
                         ServeResponse {
@@ -392,7 +454,50 @@ impl ServeFront {
                 .sp
                 .serve_aggregate(index, key, *t1, *t2)
                 .map(|(aggregate, proof)| encode_aggregate_payload(&aggregate, &proof)),
+            QuerySpec::HistoryOp { index, key, t1, t2 } => self
+                .sp
+                .serve_history_ops(index, key, *t1, *t2)
+                .map(|(results, proof)| encode_history_op_payload(&results, &proof)),
+            QuerySpec::AggregateOp { index, key, t1, t2 } => self
+                .sp
+                .serve_aggregate_ops(index, key, *t1, *t2)
+                .map(|(aggregate, proof)| encode_aggregate_op_payload(&aggregate, &proof)),
         }
+    }
+
+    /// Answers a `HistoryOp` window from a cached answer whose window
+    /// contains it, if one is alive in the current cache generation.
+    /// Result rows are filtered to the requested window — byte-identical
+    /// to what a direct backend call would return — and the covering
+    /// op-stream proof is reused as-is (it verifies every sub-window).
+    fn answer_from_covering_window(
+        &self,
+        index: &str,
+        key: &StateKey,
+        t1: u64,
+        t2: u64,
+    ) -> Option<ServeResponse> {
+        for window in &self.op_windows {
+            if window.index != index || window.key != *key || window.t1 > t1 || window.t2 < t2 {
+                continue;
+            }
+            let Some(cached) = self.cache.get(&window.spec_key) else {
+                continue; // evicted: the window record outlived its answer
+            };
+            let Ok((results, proof)) = decode_history_op_payload(&cached.payload) else {
+                continue; // never narrow what we cannot re-derive
+            };
+            let narrowed: Vec<_> = results
+                .into_iter()
+                .filter(|(ts, _)| t1 <= *ts && *ts <= t2)
+                .collect();
+            return Some(ServeResponse {
+                id: 0,
+                certified_height: cached.certified_height,
+                payload: encode_history_op_payload(&narrowed, &proof),
+            });
+        }
+        None
     }
 
     // -----------------------------------------------------------------
@@ -428,6 +533,10 @@ impl ServeFront {
 
     fn invalidate(&mut self) {
         self.cache.invalidate();
+        // The window records index into the invalidated generation; a
+        // survivor here would let a pre-advance proof answer a
+        // post-advance query.
+        self.op_windows.clear();
         self.metrics.invalidations.inc();
     }
 

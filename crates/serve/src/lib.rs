@@ -38,9 +38,11 @@ pub use cache::ProofCache;
 pub use front::{ServeConfig, ServeFront, Submitted};
 pub use metrics::ServeMetrics;
 pub use wire::{
-    decode_aggregate_payload, decode_history_payload, decode_keyword_payload,
-    encode_aggregate_payload, encode_history_payload, encode_keyword_payload, QuerySpec,
-    RefusalReason, ServeRefusal, ServeRequest, ServeResponse, ServeWire,
+    decode_aggregate_op_payload, decode_aggregate_payload, decode_history_op_payload,
+    decode_history_payload, decode_keyword_payload, encode_aggregate_op_payload,
+    encode_aggregate_payload, encode_history_op_payload, encode_history_payload,
+    encode_keyword_payload, QuerySpec, RefusalReason, ServeRefusal, ServeRequest, ServeResponse,
+    ServeWire,
 };
 
 #[cfg(test)]
@@ -92,6 +94,118 @@ mod tests {
                 t2: 10,
             },
         }
+    }
+
+    fn history_op_request(client: u64, id: u64, t1: u64, t2: u64) -> ServeRequest {
+        ServeRequest {
+            client,
+            id,
+            query: QuerySpec::HistoryOp {
+                index: "history".into(),
+                key: StateKey::new("kvstore", b"acct"),
+                t1,
+                t2,
+            },
+        }
+    }
+
+    #[test]
+    fn contained_op_window_is_answered_without_a_backend_call() {
+        let mut front = front_with(ServeConfig::default(), 2);
+        let registry = dcert_obs::Registry::new();
+        front.attach_obs(&registry);
+
+        front
+            .submit(0, history_op_request(1, 1, 0, 100))
+            .expect("admitted");
+        let deliveries = front.pump(1, 16);
+        assert_eq!(deliveries.len(), 1);
+
+        // A strictly narrower window is a synchronous answer derived from
+        // the covering cached one — no queue slot, no backend call.
+        let hit = front
+            .submit(2, history_op_request(2, 9, 10, 50))
+            .expect("admitted");
+        let Submitted::CacheHit(resp) = hit else {
+            panic!("expected window-containment hit, got {hit:?}");
+        };
+        assert_eq!(resp.id, 9);
+        let (results, _proof) =
+            crate::wire::decode_history_op_payload(&resp.payload).expect("payload decodes");
+        assert!(results.is_empty(), "empty chain has no versions");
+
+        // The narrowed answer became a first-class cache entry.
+        let again = front
+            .submit(3, history_op_request(3, 10, 10, 50))
+            .expect("admitted");
+        assert!(matches!(again, Submitted::CacheHit(_)));
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("serve.window_hits"), 1);
+        assert_eq!(snapshot.counter("serve.backend_calls"), 1);
+        assert_eq!(snapshot.counter("serve.cache_hits"), 1);
+    }
+
+    /// Regression: every height-moving passthrough must clear the
+    /// op-window records along with the cache — a surviving record would
+    /// let a pre-advance proof answer a post-advance query.
+    #[test]
+    fn op_window_records_die_with_every_invalidation() {
+        let mut front = front_with(ServeConfig::default(), 2);
+        front
+            .submit(0, history_op_request(1, 1, 0, 100))
+            .expect("admitted");
+        front.pump(1, 16);
+
+        front.advance_staged();
+        let after = front
+            .submit(2, history_op_request(2, 2, 10, 50))
+            .expect("admitted");
+        assert_eq!(
+            after,
+            Submitted::Enqueued { coalesced: false },
+            "a stale covering window must not answer after advance_staged"
+        );
+        front.pump(3, 16);
+
+        // Same contract across record_certs (no certs staged → no-op on
+        // the SP, still a height-consistency barrier for the cache).
+        front
+            .submit(4, history_op_request(3, 3, 20, 40))
+            .expect("admitted");
+        front.pump(5, 16);
+        front.record_certs(&[]);
+        let after = front
+            .submit(6, history_op_request(4, 4, 25, 30))
+            .expect("admitted");
+        assert_eq!(after, Submitted::Enqueued { coalesced: false });
+    }
+
+    #[test]
+    fn aggregate_op_queries_execute_through_the_pump() {
+        let mut front = front_with(ServeConfig::default(), 1);
+        front
+            .submit(0, {
+                ServeRequest {
+                    client: 1,
+                    id: 5,
+                    query: QuerySpec::AggregateOp {
+                        index: "agg".into(),
+                        key: StateKey::new("kvstore", b"acct"),
+                        t1: 0,
+                        t2: 50,
+                    },
+                }
+            })
+            .expect("admitted");
+        let deliveries = front.pump(1, 16);
+        assert_eq!(deliveries.len(), 1);
+        let ServeWire::Response(resp) = &deliveries[0].1 else {
+            panic!("expected response");
+        };
+        let (agg, _proof) =
+            crate::wire::decode_aggregate_op_payload(&resp.payload).expect("payload decodes");
+        assert_eq!(agg, dcert_merkle::aggmb::Aggregate::EMPTY);
     }
 
     #[test]

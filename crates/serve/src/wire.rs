@@ -17,7 +17,7 @@ use dcert_primitives::codec::{decode_seq, encode_seq, Decode, Encode, Reader};
 use dcert_primitives::error::CodecError;
 use dcert_primitives::hash::Hash;
 use dcert_query::history::Version;
-use dcert_query::{AggQueryProof, HistoryProof, KeywordProof};
+use dcert_query::{AggOpQueryProof, AggQueryProof, HistoryOpProof, HistoryProof, KeywordProof};
 use dcert_vm::StateKey;
 
 /// One verifiable query, exactly as the `ServiceProvider` serve methods
@@ -57,6 +57,33 @@ pub enum QuerySpec {
         /// Window end height (inclusive).
         t2: u64,
     },
+    /// Time-window history query answered with the op-stream proof
+    /// encoding ([`dcert_merkle::ProofEncoding::OpStream`]). Results are
+    /// byte-identical to [`QuerySpec::History`] over the same window;
+    /// only the proof encoding differs — and the front-end may answer a
+    /// contained window from a cached covering op-stream answer.
+    HistoryOp {
+        /// Registered index name.
+        index: String,
+        /// Account/state key whose versions are requested.
+        key: StateKey,
+        /// Window start height (inclusive).
+        t1: u64,
+        /// Window end height (inclusive).
+        t2: u64,
+    },
+    /// Verifiable window aggregation answered with the op-stream proof
+    /// encoding.
+    AggregateOp {
+        /// Registered index name.
+        index: String,
+        /// Account/state key whose window aggregate is requested.
+        key: StateKey,
+        /// Window start height (inclusive).
+        t1: u64,
+        /// Window end height (inclusive).
+        t2: u64,
+    },
 }
 
 impl QuerySpec {
@@ -65,7 +92,9 @@ impl QuerySpec {
         match self {
             QuerySpec::History { index, .. }
             | QuerySpec::Keywords { index, .. }
-            | QuerySpec::Aggregate { index, .. } => index,
+            | QuerySpec::Aggregate { index, .. }
+            | QuerySpec::HistoryOp { index, .. }
+            | QuerySpec::AggregateOp { index, .. } => index,
         }
     }
 
@@ -97,13 +126,29 @@ impl Encode for QuerySpec {
                 t1.encode(out);
                 t2.encode(out);
             }
+            QuerySpec::HistoryOp { index, key, t1, t2 } => {
+                out.push(3);
+                index.encode(out);
+                key.encode(out);
+                t1.encode(out);
+                t2.encode(out);
+            }
+            QuerySpec::AggregateOp { index, key, t1, t2 } => {
+                out.push(4);
+                index.encode(out);
+                key.encode(out);
+                t1.encode(out);
+                t2.encode(out);
+            }
         }
     }
 
     fn encoded_len(&self) -> usize {
         1 + match self {
             QuerySpec::History { index, key, t1, t2 }
-            | QuerySpec::Aggregate { index, key, t1, t2 } => {
+            | QuerySpec::Aggregate { index, key, t1, t2 }
+            | QuerySpec::HistoryOp { index, key, t1, t2 }
+            | QuerySpec::AggregateOp { index, key, t1, t2 } => {
                 index.encoded_len() + key.encoded_len() + t1.encoded_len() + t2.encoded_len()
             }
             QuerySpec::Keywords { index, keywords } => {
@@ -127,6 +172,18 @@ impl Decode for QuerySpec {
                 keywords: decode_seq(r)?,
             }),
             2 => Ok(QuerySpec::Aggregate {
+                index: String::decode(r)?,
+                key: StateKey::decode(r)?,
+                t1: u64::decode(r)?,
+                t2: u64::decode(r)?,
+            }),
+            3 => Ok(QuerySpec::HistoryOp {
+                index: String::decode(r)?,
+                key: StateKey::decode(r)?,
+                t1: u64::decode(r)?,
+                t2: u64::decode(r)?,
+            }),
+            4 => Ok(QuerySpec::AggregateOp {
                 index: String::decode(r)?,
                 key: StateKey::decode(r)?,
                 t1: u64::decode(r)?,
@@ -454,6 +511,52 @@ pub fn decode_aggregate_payload(bytes: &[u8]) -> Result<(Aggregate, AggQueryProo
     Ok((aggregate, proof))
 }
 
+/// Encodes an op-stream history answer as the canonical response payload.
+pub fn encode_history_op_payload(results: &[(u64, Version)], proof: &HistoryOpProof) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_seq(results, &mut out);
+    proof.encode(&mut out);
+    out
+}
+
+/// Decodes an op-stream history response payload.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed or trailing bytes.
+pub fn decode_history_op_payload(
+    bytes: &[u8],
+) -> Result<(Vec<(u64, Version)>, HistoryOpProof), CodecError> {
+    let mut r = Reader::new(bytes);
+    let results = decode_seq(&mut r)?;
+    let proof = HistoryOpProof::decode(&mut r)?;
+    finish(r)?;
+    Ok((results, proof))
+}
+
+/// Encodes an op-stream aggregate answer as the canonical response payload.
+pub fn encode_aggregate_op_payload(aggregate: &Aggregate, proof: &AggOpQueryProof) -> Vec<u8> {
+    let mut out = Vec::new();
+    aggregate.encode(&mut out);
+    proof.encode(&mut out);
+    out
+}
+
+/// Decodes an op-stream aggregate response payload.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed or trailing bytes.
+pub fn decode_aggregate_op_payload(
+    bytes: &[u8],
+) -> Result<(Aggregate, AggOpQueryProof), CodecError> {
+    let mut r = Reader::new(bytes);
+    let aggregate = Aggregate::decode(&mut r)?;
+    let proof = AggOpQueryProof::decode(&mut r)?;
+    finish(r)?;
+    Ok((aggregate, proof))
+}
+
 fn finish(r: Reader<'_>) -> Result<(), CodecError> {
     if r.remaining() != 0 {
         return Err(CodecError::TrailingBytes(r.remaining()));
@@ -478,6 +581,18 @@ mod tests {
                 keywords: vec!["stock".into(), "bank".into()],
             },
             QuerySpec::Aggregate {
+                index: "agg".into(),
+                key: StateKey::new("kvstore", b"acct-2"),
+                t1: 0,
+                t2: u64::MAX,
+            },
+            QuerySpec::HistoryOp {
+                index: "history".into(),
+                key: StateKey::new("kvstore", b"acct-1"),
+                t1: 3,
+                t2: 17,
+            },
+            QuerySpec::AggregateOp {
                 index: "agg".into(),
                 key: StateKey::new("kvstore", b"acct-2"),
                 t1: 0,

@@ -19,17 +19,19 @@ use dcert::core::{
 };
 use dcert::merkle::aggmb::AggAppendProof;
 use dcert::merkle::{
-    AggMbTree, AggProof, Aggregate, MbAppendProof, MbRangeProof, MbTree, MerkleTree, MhtProof, Mpt,
-    MptProof, SmtProof, SparseMerkleTree,
+    AggMbTree, AggOpProof, AggProof, Aggregate, MbAppendProof, MbOpProof, MbRangeProof, MbTree,
+    MerkleTree, MhtOpProof, MhtProof, Mpt, MptProof, OpNode, ProofOp, SmtProof, SparseMerkleTree,
+    MAX_OP_STACK, MAX_PROOF_DEPTH,
 };
-use dcert::primitives::codec::{Decode, Encode};
+use dcert::primitives::codec::{encode_seq, Decode, Encode};
 use dcert::primitives::hash::{hash_bytes, Address, Hash};
 use dcert::primitives::keys::{Keypair, PublicKey, Signature};
 use dcert::query::aggregate::AggregateIndex;
 use dcert::query::history::HistoryIndex;
 use dcert::query::inverted::InvertedIndex;
 use dcert::query::{
-    AggQueryProof, CertifiedEntry, HistoryProof, KeywordPage, KeywordProof, WritesPage,
+    AggOpQueryProof, AggQueryProof, CertifiedEntry, HistoryOpProof, HistoryProof, KeywordPage,
+    KeywordProof, WritesPage,
 };
 use dcert::serve::{
     encode_history_payload, QuerySpec, RefusalReason, ServeRefusal, ServeRequest, ServeResponse,
@@ -82,6 +84,14 @@ fn try_decode_everything(bytes: &[u8]) {
     let _ = HistoryProof::decode_all(bytes);
     let _ = KeywordProof::decode_all(bytes);
     let _ = AggQueryProof::decode_all(bytes);
+    // Op-stream proof family (the stack-machine encoding).
+    let _ = ProofOp::decode_all(bytes);
+    let _ = OpNode::decode_all(bytes);
+    let _ = MbOpProof::decode_all(bytes);
+    let _ = AggOpProof::decode_all(bytes);
+    let _ = MhtOpProof::decode_all(bytes);
+    let _ = HistoryOpProof::decode_all(bytes);
+    let _ = AggOpQueryProof::decode_all(bytes);
     let _ = SkipRangeProof::decode_all(bytes);
     let _ = LineageProof::decode_all(bytes);
     // Persistence layer: segment records, head state, SP pages.
@@ -101,6 +111,8 @@ fn try_decode_everything(bytes: &[u8]) {
     let _ = dcert::serve::decode_history_payload(bytes);
     let _ = dcert::serve::decode_keyword_payload(bytes);
     let _ = dcert::serve::decode_aggregate_payload(bytes);
+    let _ = dcert::serve::decode_history_op_payload(bytes);
+    let _ = dcert::serve::decode_aggregate_op_payload(bytes);
     // Framing decoders (distinct from plain codecs: CRC-checked length-
     // prefixed frames and magic-guarded slot files).
     let _ = scan_frames(bytes);
@@ -199,12 +211,28 @@ fn sample_encodings() -> Vec<Probe> {
     let (aggregate, agg_proof) = agg.aggregate(2, 7);
     let agg_append = agg.prove_append();
 
+    let mb_ops = mb.prove_ops(&[(2, 7)]);
+    let mb_nonmember_ops = mb.prove_non_membership(42);
+    let agg_ops = agg.prove_agg_ops(2, 7);
+    let mht_ops = mht.prove_range_ops(0, 2).expect("range in bounds");
+
     let history = HistoryIndex::new("history");
     let (_, history_proof) = history.query(&key, 0, 10);
     let inverted = InvertedIndex::new("inverted");
     let (_, keyword_proof) = inverted.query(&["alpha"]);
     let aggregate_index = AggregateIndex::new("aggregate");
     let (_, agg_query_proof) = aggregate_index.query(&key, 0, 10);
+
+    // Populated indexes so the op-stream query proofs carry real programs.
+    let mut tracked_history = HistoryIndex::new("history");
+    let mut tracked_aggregate = AggregateIndex::new("aggregate");
+    for height in 1..=6u64 {
+        let writes = vec![(key, Some(height.to_be_bytes().to_vec()))];
+        tracked_history.apply_block(height, &writes);
+        tracked_aggregate.apply_block(height, &writes);
+    }
+    let (_, history_op_proof) = tracked_history.query_ops(&key, 2, 5);
+    let (_, agg_op_query_proof) = tracked_aggregate.query_ops(&key, 2, 5);
 
     let mut skiplist = AuthSkipList::new();
     for t in 0..6u64 {
@@ -312,6 +340,16 @@ fn sample_encodings() -> Vec<Probe> {
         probe("HistoryProof", &history_proof),
         probe("KeywordProof", &keyword_proof),
         probe("AggQueryProof", &agg_query_proof),
+        probe(
+            "ProofOp",
+            &ProofOp::Push(OpNode::Pruned(hash_bytes(b"pruned"))),
+        ),
+        probe("MbOpProof", &mb_ops),
+        probe("MbOpProof::non_membership", &mb_nonmember_ops),
+        probe("AggOpProof", &agg_ops),
+        probe("MhtOpProof", &mht_ops),
+        probe("HistoryOpProof", &history_op_proof),
+        probe("AggOpQueryProof", &agg_op_query_proof),
         probe("SkipRangeProof", &skip_proof),
         probe("LineageProof", &lineage_proof),
         probe("Record", &record),
@@ -322,6 +360,24 @@ fn sample_encodings() -> Vec<Probe> {
         probe("KeywordPage", &keyword_page),
         probe("CertifiedEntry", &certified_entry),
         probe("QuerySpec", &serve_query),
+        probe(
+            "QuerySpec::HistoryOp",
+            &QuerySpec::HistoryOp {
+                index: "history".into(),
+                key: key.clone(),
+                t1: 2,
+                t2: 5,
+            },
+        ),
+        probe(
+            "QuerySpec::AggregateOp",
+            &QuerySpec::AggregateOp {
+                index: "aggregate".into(),
+                key: key.clone(),
+                t1: 2,
+                t2: 5,
+            },
+        ),
         probe("ServeWire::Request", &ServeWire::Request(serve_request)),
         probe("ServeWire::Response", &ServeWire::Response(serve_response)),
         probe("ServeWire::Refusal", &ServeWire::Refusal(serve_refusal)),
@@ -452,8 +508,111 @@ fn segment_frame_stream_damage_yields_record_prefix() {
     }
 }
 
+/// Round-trips a hand-built op program through the wire codec, yielding a
+/// proof exactly as a verifier would see it from an untrusted prover.
+fn mb_op_proof(program: &[ProofOp]) -> MbOpProof {
+    let mut bytes = Vec::new();
+    encode_seq(program, &mut bytes);
+    MbOpProof::decode_all(&bytes).expect("syntactically valid op stream decodes")
+}
+
+fn agg_op_proof(program: &[ProofOp]) -> AggOpProof {
+    let mut bytes = Vec::new();
+    encode_seq(program, &mut bytes);
+    AggOpProof::decode_all(&bytes).expect("syntactically valid op stream decodes")
+}
+
+/// Adversarial stack programs — underflow, overflow, over-deep chains,
+/// wrong arities, attaches to non-shells, wrong node families — must be
+/// rejected by the bounded executor with typed errors, never a panic and
+/// never an accepted verification against a root they don't hash to.
+#[test]
+fn hostile_op_programs_fail_verification_cleanly() {
+    let root = hash_bytes(b"not the zero root");
+    let leaf = |ts: u64| OpNode::Leaf(vec![(ts, hash_bytes(ts.to_be_bytes()))]);
+    let mut programs: Vec<Vec<ProofOp>> = vec![
+        // Stack underflow in every shape.
+        vec![ProofOp::Parent],
+        vec![ProofOp::Child],
+        vec![ProofOp::Push(leaf(1)), ProofOp::Parent],
+        // Attach to a non-shell node.
+        vec![
+            ProofOp::Push(leaf(1)),
+            ProofOp::Push(leaf(2)),
+            ProofOp::Child,
+        ],
+        // Trailing operands left on the stack.
+        vec![ProofOp::Push(leaf(1)), ProofOp::Push(leaf(2))],
+        // Inverted push of a non-shell.
+        vec![ProofOp::PushInverted(leaf(1))],
+        // Arity mismatch: one separator demands two children, got none.
+        vec![ProofOp::Push(OpNode::Internal(vec![5]))],
+        // Wrong node family for the claimed proof type.
+        vec![ProofOp::Push(OpNode::AggLeaf(vec![(1, 2)]))],
+        vec![ProofOp::Push(OpNode::MhtNode)],
+        // Empty stream only proves the empty tree (`Hash::ZERO`).
+        vec![],
+    ];
+    // Stack overflow: one more push than the executor's bound.
+    programs.push(
+        (0..=MAX_OP_STACK as u64)
+            .map(|k| ProofOp::Push(leaf(k)))
+            .collect(),
+    );
+    // Depth bomb: a parent chain one level past the depth bound, while
+    // the stack itself never grows past two entries.
+    let mut deep = vec![ProofOp::Push(leaf(1))];
+    for _ in 0..=MAX_PROOF_DEPTH {
+        deep.push(ProofOp::Push(OpNode::Internal(vec![])));
+        deep.push(ProofOp::Parent);
+    }
+    programs.push(deep);
+
+    for (i, program) in programs.iter().enumerate() {
+        let mb = mb_op_proof(program);
+        assert!(
+            mb.verify(&root, 0, u64::MAX, &[]).is_err(),
+            "program {i} must fail MB verification"
+        );
+        assert!(
+            mb.verify_non_membership(&root, 7).is_err(),
+            "program {i} must fail non-membership verification"
+        );
+        let agg = agg_op_proof(program);
+        assert!(
+            agg.verify(&root, 0, u64::MAX, &Aggregate::EMPTY).is_err(),
+            "program {i} must fail aggregate verification"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary op programs (syntactically valid, semantically hostile)
+    /// never panic either executor — they verify or fail typed.
+    #[test]
+    fn prop_random_op_programs_never_panic(
+        selectors in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let program: Vec<ProofOp> = selectors
+            .iter()
+            .map(|&b| match b % 6 {
+                0 => ProofOp::Parent,
+                1 => ProofOp::Child,
+                2 => ProofOp::Push(OpNode::Leaf(vec![(b as u64, hash_bytes([b]))])),
+                3 => ProofOp::Push(OpNode::Internal(vec![b as u64])),
+                4 => ProofOp::PushInverted(OpNode::Internal(vec![b as u64, b as u64 + 7])),
+                _ => ProofOp::Push(OpNode::Pruned(hash_bytes([b, 1]))),
+            })
+            .collect();
+        let root = hash_bytes(b"prop root");
+        let mb = mb_op_proof(&program);
+        let _ = mb.verify(&root, 0, u64::MAX, &[]);
+        let _ = mb.verify_non_membership(&root, 9);
+        let agg = agg_op_proof(&program);
+        let _ = agg.verify(&root, 0, 9, &Aggregate::EMPTY);
+    }
 
     /// Arbitrary junk never panics any decoder.
     #[test]

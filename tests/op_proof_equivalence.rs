@@ -1,0 +1,313 @@
+//! Acceptance suite for the op-stream proof encoding: the stack-machine
+//! program and the per-path encoding are *observationally equivalent* —
+//! the same certified digest verifies both, and the result rows they
+//! authenticate are byte-identical — while the op stream alone supports
+//! range completeness, non-membership brackets, and aggregate windows in
+//! one shared-structure proof. The rejection side is proptested: omission,
+//! tampering, and boundary truncation all fail typed for every family.
+//!
+//! The serve-level tests drive real certified data (kvstore workload,
+//! staged + certified through the full pipeline) and pin the
+//! window-containment fast path: a narrowed answer carved from a cached
+//! covering op proof must agree row-for-row with direct backend serving
+//! and still verify against the certified digest.
+
+mod common;
+
+use common::World;
+use dcert::chain::Block;
+use dcert::merkle::MbTree;
+use dcert::primitives::codec::{Decode, Encode};
+use dcert::query::aggregate::{verify_aggregate, verify_aggregate_op, AggregateIndex};
+use dcert::query::history::{verify_history, verify_history_op, HistoryIndex};
+use dcert::query::sp::IndexKind;
+use dcert::serve::{
+    decode_history_op_payload, QuerySpec, ServeConfig, ServeFront, ServeRequest, ServeWire,
+    Submitted,
+};
+use dcert::vm::StateKey;
+use dcert::workloads::Workload;
+use proptest::prelude::*;
+
+fn key(i: u64) -> StateKey {
+    StateKey::new("kvstore", format!("key-{i}").as_bytes())
+}
+
+/// Deterministic twin indexes over the same write stream: key `k` writes
+/// at height `h` unless `(h + k) % 3 == 0`, so every window mixes present
+/// and absent heights and some keys stay untracked entirely.
+fn build_indexes(heights: u64, keys: u64) -> (HistoryIndex, AggregateIndex) {
+    let mut history = HistoryIndex::new("history");
+    let mut aggregate = AggregateIndex::new("agg");
+    for h in 1..=heights {
+        let mut writes: Vec<(StateKey, Option<Vec<u8>>)> = Vec::new();
+        for k in 0..keys {
+            if (h + k) % 3 != 0 {
+                writes.push((key(k), Some((h * 10 + k).to_be_bytes().to_vec())));
+            }
+        }
+        writes.sort_by_key(|(k, _)| *k.as_hash());
+        history.apply_block(h, &writes);
+        aggregate.apply_block(h, &writes);
+    }
+    (history, aggregate)
+}
+
+/// One equivalence check for one `(key, window)` pair against both
+/// indexes; factored out so the seed-matrix entry can reuse it at scale.
+fn check_pair(history: &HistoryIndex, aggregate: &AggregateIndex, k: u64, t1: u64, t2: u64) {
+    let hd = history.digest();
+    let ad = aggregate.digest();
+
+    // History: identical rows, both encodings verify, sizes are exact.
+    let (pp_results, pp_proof) = history.query(&key(k), t1, t2);
+    let (op_results, op_proof) = history.query_ops(&key(k), t1, t2);
+    assert_eq!(pp_results, op_results, "row sets must be byte-identical");
+    verify_history(&hd, &key(k), t1, t2, &pp_results, &pp_proof).expect("per-path verifies");
+    verify_history_op(&hd, &key(k), t1, t2, &op_results, &op_proof).expect("op stream verifies");
+    assert_eq!(pp_proof.size_bytes(), pp_proof.to_encoded_bytes().len());
+    assert_eq!(op_proof.size_bytes(), op_proof.to_encoded_bytes().len());
+    let decoded = dcert::query::HistoryOpProof::decode_all(&op_proof.to_encoded_bytes())
+        .expect("op proof round-trips");
+    verify_history_op(&hd, &key(k), t1, t2, &op_results, &decoded).expect("round-trip verifies");
+
+    // Aggregate: same value under both encodings, both verify.
+    let (pp_agg, pp_agg_proof) = aggregate.query(&key(k), t1, t2);
+    let (op_agg, op_agg_proof) = aggregate.query_ops(&key(k), t1, t2);
+    assert_eq!(pp_agg, op_agg, "aggregates must agree across encodings");
+    verify_aggregate(&ad, &key(k), t1, t2, &pp_agg, &pp_agg_proof).expect("per-path verifies");
+    verify_aggregate_op(&ad, &key(k), t1, t2, &op_agg, &op_agg_proof).expect("op stream verifies");
+    assert_eq!(
+        pp_agg_proof.size_bytes(),
+        pp_agg_proof.to_encoded_bytes().len()
+    );
+    assert_eq!(
+        op_agg_proof.size_bytes(),
+        op_agg_proof.to_encoded_bytes().len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// **Tentpole equivalence.** For arbitrary windows and keys (tracked
+    /// and untracked), both encodings authenticate the same rows against
+    /// the same digest, and every `size_bytes()` equals the real encoded
+    /// length.
+    #[test]
+    fn prop_both_encodings_agree_and_verify(
+        heights in 3u64..24,
+        keys in 1u64..6,
+        probe in 0u64..8,
+        (a, b) in (1u64..30, 1u64..30),
+    ) {
+        let (history, aggregate) = build_indexes(heights, keys);
+        let (t1, t2) = (a.min(b), a.max(b));
+        check_pair(&history, &aggregate, probe, t1, t2);
+        // Degenerate and clamped windows ride along.
+        check_pair(&history, &aggregate, probe, t1, t1);
+        check_pair(&history, &aggregate, probe, 0, u64::MAX);
+    }
+
+    /// **Rejection.** Omitting a row (middle or window edge), tampering
+    /// with a value, or shifting a timestamp makes the op-stream proof
+    /// fail — the verifier cannot be talked into a truncated tail.
+    #[test]
+    fn prop_op_stream_rejects_omission_and_tampering(
+        heights in 6u64..20,
+        probe in 0u64..3,
+        drop_at in 0usize..32,
+    ) {
+        let (history, _) = build_indexes(heights, 3);
+        let digest = history.digest();
+        let (results, proof) = history.query_ops(&key(probe), 1, heights);
+        prop_assume!(!results.is_empty());
+
+        // Omission at an arbitrary position, including the window edge.
+        let mut omitted = results.clone();
+        omitted.remove(drop_at % results.len());
+        prop_assert!(
+            verify_history_op(&digest, &key(probe), 1, heights, &omitted, &proof).is_err(),
+            "an omitted row must be detected"
+        );
+        // The provably-empty claim is just total omission.
+        if !results.is_empty() {
+            prop_assert!(
+                verify_history_op(&digest, &key(probe), 1, heights, &[], &proof).is_err(),
+                "claiming emptiness over a populated window must fail"
+            );
+        }
+        // Value tampering.
+        let mut tampered = results.clone();
+        if let Some(v) = tampered[0].1.as_mut() {
+            v.push(0xFF);
+        } else {
+            tampered[0].1 = Some(vec![0xFF]);
+        }
+        prop_assert!(
+            verify_history_op(&digest, &key(probe), 1, heights, &tampered, &proof).is_err(),
+            "a tampered value must be detected"
+        );
+        // Timestamp shifting.
+        let mut shifted = results.clone();
+        shifted[0].0 = shifted[0].0.wrapping_add(1_000_000);
+        prop_assert!(
+            verify_history_op(&digest, &key(probe), 1, heights, &shifted, &proof).is_err(),
+            "a shifted timestamp must be detected"
+        );
+    }
+
+    /// **Non-membership.** For any key set and probe, the bracket proof
+    /// verifies exactly when the probe is absent, and the proven bracket
+    /// is the true adjacent pair.
+    #[test]
+    fn prop_non_membership_brackets_are_adjacent(
+        members in proptest::collection::btree_set(0u64..200, 1..20),
+        probe in 0u64..200,
+    ) {
+        let mut tree = MbTree::new(4);
+        for &ts in &members {
+            tree.insert(ts, ts.to_be_bytes().to_vec());
+        }
+        let root = tree.root();
+        let proof = tree.prove_non_membership(probe);
+        if members.contains(&probe) {
+            prop_assert!(
+                proof.verify_non_membership(&root, probe).is_err(),
+                "a present key can never prove its own absence"
+            );
+        } else {
+            let (pred, succ) = proof
+                .verify_non_membership(&root, probe)
+                .expect("absence verifies");
+            prop_assert_eq!(pred, members.range(..probe).next_back().copied());
+            prop_assert_eq!(succ, members.range(probe + 1..).next().copied());
+        }
+    }
+}
+
+/// Stages `block` through the front and records its augmented
+/// certificates — the full invalidating write path.
+fn certify_into(world: &mut World, front: &mut ServeFront, block: &Block) {
+    let inputs = front.stage_block(block).expect("block stages");
+    let (certs, _) = world
+        .ci
+        .certify_augmented(block, &inputs)
+        .expect("block certifies");
+    front.record_certs(&certs);
+}
+
+/// Submits one op spec and pumps it through the backend, returning the
+/// response payload.
+fn pump_one(front: &mut ServeFront, spec: QuerySpec, id: u64) -> Vec<u8> {
+    match front
+        .submit(
+            id,
+            ServeRequest {
+                client: id,
+                id,
+                query: spec,
+            },
+        )
+        .expect("admitted")
+    {
+        Submitted::Enqueued { .. } => {}
+        Submitted::CacheHit(r) => return r.payload,
+    }
+    let replies = front.pump(id, usize::MAX);
+    assert_eq!(replies.len(), 1, "one waiter, one reply");
+    match replies.into_iter().next().map(|(_, wire)| wire) {
+        Some(ServeWire::Response(r)) => r.payload,
+        other => panic!("expected a response, got {other:?}"),
+    }
+}
+
+/// **Serve narrowing.** On real certified kvstore data, a narrowed window
+/// served from a cached covering op proof agrees row-for-row with direct
+/// backend serving and verifies against the certified digest — for
+/// tracked and untracked keys alike.
+#[test]
+fn narrowed_windows_match_direct_serving_on_certified_data() {
+    let (mut world, sp) = World::deterministic(vec![
+        (IndexKind::History, "history"),
+        (IndexKind::Aggregate, "agg"),
+    ]);
+    let blocks = world.mine_blocks(Workload::KvStore { keyspace: 8 }, 3, 6, 99);
+    let mut front = ServeFront::new(sp, ServeConfig::default());
+    for block in &blocks {
+        certify_into(&mut world, &mut front, block);
+    }
+    let digest = front.sp().certified_digest("history").expect("certified");
+
+    let mut window_hits = 0u64;
+    for probe in 0..10u64 {
+        // Prime the widest window through the pump (cached + recorded).
+        let wide = QuerySpec::HistoryOp {
+            index: "history".to_owned(),
+            key: key(probe),
+            t1: 1,
+            t2: 3,
+        };
+        let wide_payload = pump_one(&mut front, wide, 100 + probe);
+        let (wide_results, wide_proof) =
+            decode_history_op_payload(&wide_payload).expect("wide payload decodes");
+        verify_history_op(&digest, &key(probe), 1, 3, &wide_results, &wide_proof)
+            .expect("wide answer verifies");
+
+        // Every contained window must now be answerable without a backend
+        // call, and the carved answer must match direct serving.
+        for (t1, t2) in [(1u64, 2u64), (2, 2), (2, 3), (3, 3)] {
+            let narrow = QuerySpec::HistoryOp {
+                index: "history".to_owned(),
+                key: key(probe),
+                t1,
+                t2,
+            };
+            let submitted = front
+                .submit(
+                    500 + probe,
+                    ServeRequest {
+                        client: 500 + 10 * probe + t1,
+                        id: 500 + 10 * probe + t1,
+                        query: narrow,
+                    },
+                )
+                .expect("admitted");
+            let Submitted::CacheHit(response) = submitted else {
+                panic!("key {probe} window [{t1},{t2}]: contained window must hit");
+            };
+            window_hits += 1;
+            let (rows, proof) =
+                decode_history_op_payload(&response.payload).expect("narrowed payload decodes");
+            let (direct_rows, _) = front
+                .sp()
+                .serve_history_ops("history", &key(probe), t1, t2)
+                .expect("index registered");
+            assert_eq!(rows, direct_rows, "narrowed rows == direct backend rows");
+            verify_history_op(&digest, &key(probe), t1, t2, &rows, &proof)
+                .expect("covering proof verifies for the narrowed window");
+        }
+    }
+    assert!(window_hits > 0);
+}
+
+/// The CI seed-matrix entry: `CHAOS_SEED=<n> cargo test --test
+/// op_proof_equivalence -- --include-ignored` sweeps the equivalence
+/// check across a dense window grid under the matrix seed.
+#[test]
+#[ignore = "seed-matrix scale; run via CHAOS_SEED in CI"]
+fn seed_matrix_entry() {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let heights = 16 + seed % 17;
+    let (history, aggregate) = build_indexes(heights, 5);
+    for k in 0..7u64 {
+        for t1 in 1..=heights {
+            for t2 in t1..=heights {
+                check_pair(&history, &aggregate, k.wrapping_add(seed) % 7, t1, t2);
+            }
+        }
+    }
+}

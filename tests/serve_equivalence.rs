@@ -13,8 +13,9 @@ use dcert::query::history::verify_history;
 use dcert::query::sp::IndexKind;
 use dcert::query::ServiceProvider;
 use dcert::serve::{
-    encode_aggregate_payload, encode_history_payload, encode_keyword_payload, QuerySpec, RateLimit,
-    ServeConfig, ServeFront, ServeRequest, ServeWire, Submitted,
+    encode_aggregate_op_payload, encode_aggregate_payload, encode_history_op_payload,
+    encode_history_payload, encode_keyword_payload, QuerySpec, RateLimit, ServeConfig, ServeFront,
+    ServeRequest, ServeWire, Submitted,
 };
 use dcert::vm::StateKey;
 use dcert::workloads::Workload;
@@ -66,6 +67,12 @@ fn direct_payload(sp: &ServiceProvider, spec: &QuerySpec) -> Option<Vec<u8>> {
         QuerySpec::Aggregate { index, key, t1, t2 } => sp
             .serve_aggregate(index, key, *t1, *t2)
             .map(|(aggregate, proof)| encode_aggregate_payload(&aggregate, &proof)),
+        QuerySpec::HistoryOp { index, key, t1, t2 } => sp
+            .serve_history_ops(index, key, *t1, *t2)
+            .map(|(results, proof)| encode_history_op_payload(&results, &proof)),
+        QuerySpec::AggregateOp { index, key, t1, t2 } => sp
+            .serve_aggregate_ops(index, key, *t1, *t2)
+            .map(|(aggregate, proof)| encode_aggregate_op_payload(&aggregate, &proof)),
     }
 }
 

@@ -103,6 +103,21 @@ fn spec_for(event: &ServeEvent, height: u64) -> QuerySpec {
             t1: 1,
             t2: height.max(1),
         },
+        // Op-stream kinds map the schedule's nested [0,100] window onto
+        // the certified height range monotonically, so containment in
+        // the schedule stays containment in the spec.
+        ServeQueryKind::HistoryOp => QuerySpec::HistoryOp {
+            index: "history".to_owned(),
+            key,
+            t1: 1 + event.window.0 * height.max(1) / 100,
+            t2: 1 + event.window.1 * height.max(1) / 100,
+        },
+        ServeQueryKind::AggregateOp => QuerySpec::AggregateOp {
+            index: "agg".to_owned(),
+            key,
+            t1: 1 + event.window.0 * height.max(1) / 100,
+            t2: 1 + event.window.1 * height.max(1) / 100,
+        },
     }
 }
 
@@ -425,6 +440,35 @@ fn serve_snapshots_are_replay_stable() {
             "CHAOS_SEED={seed}: snapshot encoding is not canonical"
         );
     }
+}
+
+/// Op-stream load: with the op-query knob enabled, contained windows on
+/// hot keys are answered from covering cached op answers (the
+/// `serve.window_hits` path) and the whole run stays replay-stable.
+#[test]
+fn op_query_load_hits_covering_windows_and_replays() {
+    let seed = 1234;
+    let load = ServeLoadConfig {
+        keyspace: 16,
+        op_query_permille: 700,
+        ..smoke_load(4_000)
+    };
+    let a = run_load(load, tight_config(), seed);
+    let b = run_load(load, tight_config(), seed);
+    a.assert_accounted(seed);
+    assert!(
+        a.snapshot.counter("serve.window_hits") > 0,
+        "CHAOS_SEED={seed}: nested op windows never hit a covering answer"
+    );
+    assert!(
+        a.snapshot.counter("serve.backend_calls") > 0,
+        "CHAOS_SEED={seed}: op load executed no queries"
+    );
+    assert_eq!(
+        a.snapshot.without_wall_clock(),
+        b.snapshot.without_wall_clock(),
+        "CHAOS_SEED={seed}: op-query serve metrics diverged"
+    );
 }
 
 /// The CI seed-matrix entry at full bench scale: `CHAOS_SEED=<n> cargo
