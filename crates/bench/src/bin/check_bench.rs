@@ -1,4 +1,4 @@
-//! CI gate over `BENCH_pr9.json`: verifies every figure binary exported
+//! CI gate over `BENCH_pr10.json`: verifies every figure binary exported
 //! its section and that the counters each experiment must move are present
 //! and non-zero. With `--compare A B` it instead checks that two exports
 //! from same-seed runs agree on every deterministic counter (names ending
@@ -84,6 +84,17 @@ const REQUIRED: &[(&str, &[&str], &[&str])] = &[
             "bench.fig_proof.perpath_proof_bytes",
             "bench.fig_proof.agg_op_bytes",
         ],
+    ),
+    (
+        "fig_shard_scaling",
+        &[
+            "bench.fig_shard.blocks",
+            "bench.fig_shard.identical",
+            "shard.ranges_certified",
+            "shard.blocks_certified",
+            "shard.agg.signatures",
+        ],
+        &["shard.agg.fold_ns"],
     ),
     (
         "fig_serve",
@@ -214,6 +225,63 @@ fn check(required: &[&(&str, &[&str], &[&str])], path: &std::path::Path) -> Vec<
         if figure == "fig_proof_bytes" {
             problems.extend(gate_proof_bytes(metrics));
         }
+        if figure == "fig_shard_scaling" {
+            problems.extend(gate_shard_scaling(metrics));
+        }
+    }
+    problems
+}
+
+/// The scaling claim `fig_shard_scaling` exists to demonstrate, gated on
+/// machines with the parallelism to show it (the binary records its core
+/// count; wall-clock speedup gates are meaningless on fewer cores than
+/// shards):
+///
+/// - every swept fleet produced byte-identical output (the binary
+///   asserts it per shard count and counts the passes),
+/// - 4 shards certify at least 1.8× faster than the sequential issuer,
+/// - a 1-shard fleet stays within 5% of sequential (sharding must not
+///   tax the degenerate configuration).
+fn gate_shard_scaling(metrics: Option<&Json>) -> Vec<String> {
+    let counter = |name: &str| {
+        metrics
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+    };
+    let mut problems = Vec::new();
+    if counter("bench.fig_shard.identical") != Some(4) {
+        problems.push(format!(
+            "fig_shard_scaling: expected 4 byte-identical fleet sweeps, got {:?}",
+            counter("bench.fig_shard.identical")
+        ));
+    }
+    if counter("bench.fig_shard.cores").unwrap_or(0) < 4 {
+        return problems; // too few cores for a meaningful speedup gate
+    }
+    let (seq, s4, s1) = (
+        counter("bench.fig_shard.seq_elapsed_ns"),
+        counter("bench.fig_shard.s4_elapsed_ns"),
+        counter("bench.fig_shard.s1_elapsed_ns"),
+    );
+    match (seq, s4) {
+        (Some(seq), Some(s4)) if s4 > 0 => {
+            let speedup = seq as f64 / s4 as f64;
+            if speedup < 1.8 {
+                problems.push(format!(
+                    "fig_shard_scaling: 4 shards must be >= 1.8x sequential, got {speedup:.2}x \
+                     ({seq} ns vs {s4} ns)"
+                ));
+            }
+        }
+        _ => problems.push("fig_shard_scaling: elapsed counters for seq/s4 absent".to_owned()),
+    }
+    match (seq, s1) {
+        (Some(seq), Some(s1)) if s1 as f64 > seq as f64 * 1.05 => problems.push(format!(
+            "fig_shard_scaling: 1 shard must stay within 5% of sequential, got {s1} ns vs {seq} ns"
+        )),
+        (Some(_), Some(_)) => {}
+        _ => problems.push("fig_shard_scaling: elapsed counter for s1 absent".to_owned()),
     }
     problems
 }

@@ -1,0 +1,241 @@
+//! Shard-scaling figure for the sharded certification fleet: certs/sec
+//! at shard counts 1, 2, 4, 8 against a sequential deterministic issuer
+//! on the same chain, with the recursive-aggregation overhead split out.
+//!
+//! Every fleet configuration must produce a certificate stream
+//! **byte-identical** to the sequential issuer's at every height — the
+//! binary asserts that inline (and counts it in
+//! `bench.fig_shard.identical`), so the throughput axis can never be
+//! bought with output drift.
+//!
+//! Expected result: with enough cores, wall-clock certification scales
+//! with the shard count while aggregation stays a small signing-only
+//! epilogue (`check_bench` gates ≥1.8× at 4 shards on machines with ≥4
+//! cores, and shard=1 within 5% of sequential). The cost model sits at
+//! the severe end of published in-EPC slowdowns: the heavier the
+//! enclave tax on trusted compute, the more a fleet has to parallelize
+//! — which is exactly the regime this figure studies.
+//!
+//! Run with: `cargo run --release -p dcert-bench --bin fig_shard_scaling`
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dcert_bench::export::export_figure;
+use dcert_bench::json::{obj, Json};
+use dcert_bench::params::{scaled, SENDER_ACCOUNTS};
+use dcert_bench::report::{banner, fmt_duration, json_mode};
+use dcert_chain::{Block, ConsensusEngine, FullNode, GenesisBuilder, ProofOfAuthority};
+use dcert_core::{Certificate, CertificateIssuer, ShardFleetConfig, ShardedCertEngine};
+use dcert_obs::Registry;
+use dcert_primitives::codec::Encode;
+use dcert_primitives::hash::Address;
+use dcert_primitives::keys::Keypair;
+use dcert_sgx::{AttestationService, CostModel};
+use dcert_vm::Executor;
+use dcert_workloads::{blockbench_registry, Workload, WorkloadGen};
+
+/// Shard counts swept; `check_bench` gates the 4-shard entry.
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Blocks per `RangeSigGen` ECall inside each shard.
+const CHUNK: u64 = 4;
+
+/// Deterministic seeds shared by the sequential issuer and every fleet —
+/// the precondition for byte-identical output.
+const PLATFORM_SEED: [u8; 32] = [0xC1; 32];
+const SIGNING_SEED: [u8; 32] = [0x51; 32];
+
+fn main() {
+    banner(
+        "fig_shard_scaling: sharded fleet throughput vs the sequential issuer",
+        "certification scales with shard count; aggregation is a signing-only epilogue",
+    );
+    let chain_len = scaled(64);
+    let txs_per_block = 24;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Memory-bound enclave code at the severe end of the published
+    // in-EPC slowdown range: trusted compute is what the fleet
+    // parallelizes, so the slowdown percentage is the knob that makes
+    // the scaling regime visible at bench-sized chains.
+    let cost = CostModel {
+        in_enclave_slowdown_pct: 400,
+        ..CostModel::calibrated()
+    };
+
+    // One deterministic world: a PoA-sealed chain both the sequential
+    // issuer and every fleet certify.
+    let sealer = Keypair::from_seed([0x5e; 32]);
+    let engine: Arc<dyn ConsensusEngine> =
+        Arc::new(ProofOfAuthority::new_sealer(vec![sealer.public()], sealer));
+    let executor = Executor::new(Arc::new(blockbench_registry()));
+    let (genesis, genesis_state) = GenesisBuilder::new().timestamp(1_700_000_000).build();
+    let mut miner = FullNode::new(
+        &genesis,
+        genesis_state.clone(),
+        executor.clone(),
+        engine.clone(),
+        Address::from_seed(1),
+    );
+    let mut ias = AttestationService::with_seed([0xA5; 32]);
+
+    eprintln!("mining {chain_len} blocks ({txs_per_block} txs each)...");
+    let mut gen = WorkloadGen::new(Workload::SmallBank { customers: 64 }, SENDER_ACCOUNTS, 7);
+    let mut timestamp = 1_700_000_000u64;
+    let blocks: Vec<Block> = (0..chain_len)
+        .map(|_| {
+            timestamp += 15;
+            miner
+                .mine(gen.next_block(txs_per_block), timestamp)
+                .expect("mining succeeds")
+        })
+        .collect();
+
+    // The sequential baseline: one deterministic CI, one block per ECall.
+    eprintln!("sequential baseline...");
+    let mut ci = CertificateIssuer::new_deterministic(
+        PLATFORM_SEED,
+        SIGNING_SEED,
+        &genesis,
+        genesis_state.clone(),
+        executor.clone(),
+        engine.clone(),
+        Vec::new(),
+        &mut ias,
+        cost,
+    )
+    .expect("sequential CI boots");
+    let started = Instant::now();
+    let seq_certs: Vec<Certificate> = blocks
+        .iter()
+        .map(|b| ci.certify_block(b).expect("sequential certify").0)
+        .collect();
+    let seq_elapsed = started.elapsed();
+
+    let obs = Registry::new();
+    obs.counter("bench.fig_shard.blocks").add(chain_len);
+    obs.counter("bench.fig_shard.cores")
+        .add(u64::try_from(cores).unwrap_or(u64::MAX));
+    obs.counter("bench.fig_shard.seq_elapsed_ns")
+        .add(as_ns(seq_elapsed));
+    let identical = obs.counter("bench.fig_shard.identical");
+
+    println!(
+        "{:>6} | {:>12} {:>10} {:>8} | {:>12} {:>7}",
+        "shards", "elapsed", "certs/s", "speedup", "aggregation", "agg %"
+    );
+    println!("{}", "-".repeat(68));
+    println!(
+        "{:>6} | {:>12} {:>10.1} {:>7.2}x | {:>12} {:>7}",
+        "seq",
+        fmt_duration(seq_elapsed),
+        chain_len as f64 / seq_elapsed.as_secs_f64(),
+        1.0,
+        "-",
+        "-"
+    );
+
+    let mut json_rows = vec![obj(vec![
+        ("shards", 0u64.into()),
+        ("elapsed_us", (seq_elapsed.as_secs_f64() * 1e6).into()),
+        (
+            "certs_per_sec",
+            (chain_len as f64 / seq_elapsed.as_secs_f64()).into(),
+        ),
+        ("speedup", 1.0f64.into()),
+        ("agg_us", Json::Null),
+    ])];
+    for &shards in SHARD_COUNTS {
+        let mut config = ShardFleetConfig::new(shards, CHUNK);
+        config.registry = obs.clone();
+        let mut fleet = ShardedCertEngine::new_deterministic(
+            PLATFORM_SEED,
+            SIGNING_SEED,
+            &genesis,
+            genesis_state.clone(),
+            executor.clone(),
+            engine.clone(),
+            cost,
+            config,
+        )
+        .expect("fleet configures");
+
+        // Aggregation time for this run is the growth of the fold timer.
+        let fold_before = fold_ns(&obs);
+        let started = Instant::now();
+        let certs = fleet
+            .certify_chain(&blocks, &mut ias)
+            .expect("fleet certifies");
+        let elapsed = started.elapsed();
+        let agg = Duration::from_nanos(fold_ns(&obs).saturating_sub(fold_before));
+
+        // Byte-identity at every height, or the throughput is meaningless.
+        assert_eq!(certs.len(), seq_certs.len(), "{shards} shards: cert count");
+        for (at, (seq, fleet_cert)) in seq_certs.iter().zip(&certs).enumerate() {
+            assert_eq!(
+                seq.to_encoded_bytes(),
+                fleet_cert.to_encoded_bytes(),
+                "{shards} shards: certificate bytes diverge at height {}",
+                at + 1
+            );
+        }
+        identical.inc();
+
+        obs.counter(&format!("bench.fig_shard.s{shards}_elapsed_ns"))
+            .add(as_ns(elapsed));
+        obs.counter(&format!("bench.fig_shard.s{shards}_agg_ns"))
+            .add(as_ns(agg));
+
+        let speedup = seq_elapsed.as_secs_f64() / elapsed.as_secs_f64();
+        println!(
+            "{shards:>6} | {:>12} {:>10.1} {:>7.2}x | {:>12} {:>6.1}%",
+            fmt_duration(elapsed),
+            chain_len as f64 / elapsed.as_secs_f64(),
+            speedup,
+            fmt_duration(agg),
+            100.0 * agg.as_secs_f64() / elapsed.as_secs_f64(),
+        );
+        json_rows.push(obj(vec![
+            ("shards", shards.into()),
+            ("elapsed_us", (elapsed.as_secs_f64() * 1e6).into()),
+            (
+                "certs_per_sec",
+                (chain_len as f64 / elapsed.as_secs_f64()).into(),
+            ),
+            ("speedup", speedup.into()),
+            ("agg_us", (agg.as_secs_f64() * 1e6).into()),
+        ]));
+    }
+    println!();
+    println!(
+        "({} blocks x {txs_per_block} txs, chunk {CHUNK}, {cores} core(s); \
+         every fleet output byte-identical to sequential)",
+        chain_len
+    );
+    if cores < 4 {
+        println!("note: <4 cores — check_bench skips the wall-clock speedup gate");
+    }
+    let rows = Json::Arr(json_rows);
+    export_figure("fig_shard_scaling", &obs, rows.clone());
+    if json_mode() {
+        println!("{}", rows.to_string_pretty());
+    }
+}
+
+/// Cumulative `shard.agg.fold_ns` time recorded so far.
+fn fold_ns(obs: &Registry) -> u64 {
+    obs.snapshot()
+        .histograms
+        .get("shard.agg.fold_ns")
+        .map(|h| h.sum)
+        .unwrap_or(0)
+}
+
+fn as_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}

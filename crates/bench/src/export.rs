@@ -1,4 +1,4 @@
-//! `BENCH_pr9.json`: the merged metrics export every figure binary writes.
+//! `BENCH_pr10.json`: the merged metrics export every figure binary writes.
 //!
 //! Each binary contributes one section under `figures.<name>` holding the
 //! figure's printed rows plus a full [`dcert_obs::Snapshot`] of its metric
@@ -16,10 +16,10 @@ use crate::json::{obj, Json};
 use crate::params::scale;
 
 /// Schema tag stamped into the export.
-pub const SCHEMA: &str = "dcert-bench/pr9";
+pub const SCHEMA: &str = "dcert-bench/pr10";
 
 /// Default output file, relative to the working directory.
-pub const DEFAULT_OUT: &str = "BENCH_pr9.json";
+pub const DEFAULT_OUT: &str = "BENCH_pr10.json";
 
 /// Where the export goes: `DCERT_BENCH_OUT` or [`DEFAULT_OUT`].
 pub fn bench_out_path() -> PathBuf {

@@ -1,5 +1,5 @@
 //! A minimal JSON value: enough to build the rows the figure binaries
-//! print, to re-read `BENCH_pr9.json` for merging, and for `check_bench`
+//! print, to re-read `BENCH_pr10.json` for merging, and for `check_bench`
 //! to assert over exported metrics. Deliberately tiny — no external
 //! dependencies, deterministic output (object keys sorted by `BTreeMap`).
 

@@ -24,7 +24,7 @@
 //!
 //! Every figure binary additionally attaches a [`dcert_obs::Registry`] to
 //! the components it drives and merges the resulting snapshot into
-//! `BENCH_pr9.json` (see [`export`]); `check_bench` gates CI on the
+//! `BENCH_pr10.json` (see [`export`]); `check_bench` gates CI on the
 //! required counters being present and non-zero.
 
 #![forbid(unsafe_code)]

@@ -242,7 +242,7 @@ impl CertificateIssuer {
         let pk_enc = match EcallResponse::decode_all(&response)? {
             EcallResponse::Initialized(pk) => pk,
             EcallResponse::Rejected(reason) => return Err(CertError::EnclaveRejected(reason)),
-            EcallResponse::Signature(_) => {
+            EcallResponse::Signature(_) | EcallResponse::Signatures(_) => {
                 return Err(CertError::EnclaveRejected("unexpected response".into()))
             }
         };
@@ -533,27 +533,7 @@ impl CertificateIssuer {
         // on each other, not on the current tip). Each block is executed
         // exactly once here; the enclave is the validator.
         let mut state = self.node.state().clone();
-        let mut links = Vec::with_capacity(blocks.len());
-        for block in blocks {
-            let (execution, took) = timed(|| {
-                let calls: Vec<dcert_vm::Call> =
-                    block.txs.iter().map(|tx| tx.call.clone()).collect();
-                self.node.executor().execute_block(&state, &calls)
-            });
-            breakdown.rw_set_gen += took;
-            let (state_proof, took) = timed(|| state.prove(&execution.touched_keys()));
-            breakdown.proof_gen += took;
-            links.push(BatchLink {
-                block: block.clone(),
-                reads: execution
-                    .reads
-                    .iter()
-                    .map(|(k, v)| (*k, v.clone()))
-                    .collect(),
-                state_proof,
-            });
-            state.apply_writes(execution.writes.iter());
-        }
+        let links = build_links(self.node.executor(), &mut state, blocks, &mut breakdown);
         let request = EcallRequest::BatchSigGen {
             prev_header: self.node.tip().clone(),
             prev_cert: self.prev_block_cert.clone(),
@@ -642,6 +622,45 @@ impl CertificateIssuer {
     }
 }
 
+/// Executes consecutive `blocks` against `state` (advanced in place) and
+/// builds the authenticated per-block links a batch or range request ships
+/// into the enclave: each block is executed exactly once, its update proof
+/// extracted against the pre-state, and its writes applied so the next
+/// link builds on the result. The enclave is the validator — this is pure
+/// untrusted pre-processing.
+///
+/// Shared by [`CertificateIssuer::certify_batch`] and the shard-fleet
+/// workers ([`crate::shard`]), so both paths feed the enclave byte-equal
+/// link material by construction.
+pub(crate) fn build_links(
+    executor: &Executor,
+    state: &mut ChainState,
+    blocks: &[Block],
+    breakdown: &mut CertBreakdown,
+) -> Vec<BatchLink> {
+    let mut links = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        let (execution, took) = timed(|| {
+            let calls: Vec<dcert_vm::Call> = block.txs.iter().map(|tx| tx.call.clone()).collect();
+            executor.execute_block(state, &calls)
+        });
+        breakdown.rw_set_gen += took;
+        let (state_proof, took) = timed(|| state.prove(&execution.touched_keys()));
+        breakdown.proof_gen += took;
+        links.push(BatchLink {
+            block: block.clone(),
+            reads: execution
+                .reads
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            state_proof,
+        });
+        state.apply_writes(execution.writes.iter());
+    }
+    links
+}
+
 /// Dispatches one pre-encoded ECall request and extracts a signature,
 /// charging the boundary's cost-model delta into `breakdown`.
 ///
@@ -666,7 +685,7 @@ pub(crate) fn issue_encoded(
     match EcallResponse::decode_all(&response)? {
         EcallResponse::Signature(sig) => Ok(sig),
         EcallResponse::Rejected(reason) => Err(CertError::EnclaveRejected(reason)),
-        EcallResponse::Initialized(_) => {
+        EcallResponse::Initialized(_) | EcallResponse::Signatures(_) => {
             Err(CertError::EnclaveRejected("unexpected response".into()))
         }
     }

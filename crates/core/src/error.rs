@@ -79,6 +79,25 @@ pub enum CertError {
         /// Height that was requested.
         offered: u64,
     },
+    /// A range certification or fold request carried no blocks/ranges.
+    EmptyRange,
+    /// Height arithmetic on a range span overflowed `u64`.
+    HeightOverflow,
+    /// A range certificate's declared span does not match the number of
+    /// header digests it carries.
+    RangeLengthMismatch,
+    /// A folded range's anchor digest does not equal the digest of the
+    /// preceding range's last header (or the fold anchor).
+    RangeAnchorMismatch,
+    /// Folded ranges are not height-contiguous.
+    RangeDiscontinuity {
+        /// Height the next range was expected to start at.
+        expected: u64,
+        /// Height it actually declared.
+        found: u64,
+    },
+    /// The sharded fleet failed outside the enclave boundary.
+    Shard(ShardError),
 }
 
 impl fmt::Display for CertError {
@@ -128,11 +147,93 @@ impl fmt::Display for CertError {
                 f,
                 "height regression: already signed {last_signed}, offered {offered}"
             ),
+            CertError::EmptyRange => write!(f, "range request carries no blocks"),
+            CertError::HeightOverflow => write!(f, "range height arithmetic overflowed"),
+            CertError::RangeLengthMismatch => {
+                write!(f, "range span disagrees with its digest count")
+            }
+            CertError::RangeAnchorMismatch => {
+                write!(f, "range certificate anchored at the wrong digest")
+            }
+            CertError::RangeDiscontinuity { expected, found } => write!(
+                f,
+                "range discontinuity: expected first height {expected}, found {found}"
+            ),
+            CertError::Shard(e) => write!(f, "shard fleet failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for CertError {}
+
+/// Untrusted-side failures of the sharded certification fleet: plan
+/// construction, worker threads, and durable-state plumbing. Enclave-side
+/// refusals surface as ordinary [`CertError`] variants instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A shard plan was requested over an empty height span.
+    EmptySpan {
+        /// First height of the requested span.
+        first: u64,
+        /// Last height of the requested span.
+        last: u64,
+    },
+    /// A shard plan was requested with zero shards.
+    ZeroShards,
+    /// A fleet was configured with a zero chunk size.
+    ZeroChunk,
+    /// Height arithmetic on the plan overflowed `u64`.
+    HeightOverflow,
+    /// A block required by the plan was not offered by the caller.
+    MissingBlock {
+        /// Height of the missing block.
+        height: u64,
+    },
+    /// A shard worker thread failed; the reason is the worker's error
+    /// rendered to a string (thread boundaries erase the concrete type).
+    Worker {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Rendered failure reason.
+        reason: String,
+    },
+    /// The failure plan killed this shard before it finished its ranges.
+    Killed {
+        /// Index of the killed shard.
+        shard: usize,
+    },
+    /// The durable store rejected a watermark or seal write.
+    Store(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::EmptySpan { first, last } => {
+                write!(f, "empty shard span: first {first}, last {last}")
+            }
+            ShardError::ZeroShards => write!(f, "shard plan needs at least one shard"),
+            ShardError::ZeroChunk => write!(f, "shard fleet needs a non-zero chunk size"),
+            ShardError::HeightOverflow => write!(f, "shard plan height arithmetic overflowed"),
+            ShardError::MissingBlock { height } => {
+                write!(f, "block at height {height} missing from offered chain")
+            }
+            ShardError::Worker { shard, reason } => {
+                write!(f, "shard {shard} worker failed: {reason}")
+            }
+            ShardError::Killed { shard } => write!(f, "shard {shard} killed by failure plan"),
+            ShardError::Store(reason) => write!(f, "shard store write failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<ShardError> for CertError {
+    fn from(e: ShardError) -> Self {
+        CertError::Shard(e)
+    }
+}
 
 impl From<SgxError> for CertError {
     fn from(e: SgxError) -> Self {

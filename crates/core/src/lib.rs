@@ -80,12 +80,14 @@ pub mod persist;
 pub mod pipeline;
 pub mod program;
 pub mod quorum;
+pub mod range;
+pub mod shard;
 pub mod superlight;
 pub mod verifier;
 
 pub use cert::Certificate;
 pub use ci::{CertBreakdown, CertificateIssuer};
-pub use error::CertError;
+pub use error::{CertError, ShardError};
 pub use messages::{BatchLink, BlockInput, EcallRequest, EcallResponse, IdxRequest, IndexInput};
 pub use netsim::{FaultConfig, NetStats, Partition, SimNet};
 pub use network::{CertArchive, Gossip, NetMessage, Transport};
@@ -96,5 +98,10 @@ pub use pipeline::{
 };
 pub use program::{expected_measurement, CertProgram, CODE_IDENTITY};
 pub use quorum::{QuorumClient, TrustDomain};
+pub use range::RangeCert;
+pub use shard::{
+    HeightRange, ShardFailurePlan, ShardFleetConfig, ShardKill, ShardPlan, ShardedCertEngine,
+    SharedStore,
+};
 pub use superlight::{SuperlightClient, SyncOutcome};
 pub use verifier::IndexVerifier;

@@ -22,6 +22,7 @@ use dcert_primitives::keys::{PublicKey, Signature};
 use dcert_vm::StateKey;
 
 use crate::cert::Certificate;
+use crate::range::RangeCert;
 
 /// A pre-state read set: `{r}_i` of Algorithm 1.
 pub type ReadSet = Vec<(StateKey, Option<Vec<u8>>)>;
@@ -104,6 +105,30 @@ pub enum EcallRequest {
         /// Consecutive blocks extending the anchor.
         links: Vec<BatchLink>,
     },
+    /// Shard-fleet range step: validate `links` as consecutive chain
+    /// transitions from an *uncertified* anchor header and sign the range
+    /// binding digest (see [`RangeCert`]) over every validated header
+    /// digest. Unlike `BatchSigGen`, no anchor certificate exists yet —
+    /// anchor authenticity is established later, when the aggregator
+    /// chains ranges digest-to-digest.
+    RangeSigGen {
+        /// The uncertified anchor header (height `first - 1`).
+        anchor: BlockHeader,
+        /// Consecutive blocks extending the anchor.
+        links: Vec<BatchLink>,
+    },
+    /// Aggregator step: verify the anchor certificate (or genesis digest),
+    /// verify and chain the shard [`RangeCert`]s digest-to-digest, then
+    /// sign every folded header digest — producing the exact per-height
+    /// signatures sequential recursion would have produced.
+    FoldRanges {
+        /// Header the first range must anchor at.
+        anchor: BlockHeader,
+        /// The anchor's own certificate (absent iff the anchor is genesis).
+        anchor_cert: Option<Certificate>,
+        /// Contiguous shard ranges, ordered by height.
+        ranges: Vec<RangeCert>,
+    },
 }
 
 /// The hierarchical per-index request (Algorithm 5, loop body).
@@ -134,6 +159,9 @@ pub enum EcallResponse {
     Signature(Signature),
     /// The trusted program rejected the request.
     Rejected(String),
+    /// One signature per folded header digest, ordered by height
+    /// (`FoldRanges` response).
+    Signatures(Vec<Signature>),
 }
 
 // --- codec ----------------------------------------------------------------
@@ -262,6 +290,21 @@ impl Encode for EcallRequest {
                 prev_cert.encode(out);
                 encode_seq(links, out);
             }
+            EcallRequest::RangeSigGen { anchor, links } => {
+                out.push(5);
+                anchor.encode(out);
+                encode_seq(links, out);
+            }
+            EcallRequest::FoldRanges {
+                anchor,
+                anchor_cert,
+                ranges,
+            } => {
+                out.push(6);
+                anchor.encode(out);
+                anchor_cert.encode(out);
+                encode_seq(ranges, out);
+            }
         }
     }
 }
@@ -280,6 +323,15 @@ impl Decode for EcallRequest {
                 prev_header: BlockHeader::decode(r)?,
                 prev_cert: Option::<Certificate>::decode(r)?,
                 links: decode_seq(r)?,
+            }),
+            5 => Ok(EcallRequest::RangeSigGen {
+                anchor: BlockHeader::decode(r)?,
+                links: decode_seq(r)?,
+            }),
+            6 => Ok(EcallRequest::FoldRanges {
+                anchor: BlockHeader::decode(r)?,
+                anchor_cert: Option::<Certificate>::decode(r)?,
+                ranges: decode_seq(r)?,
             }),
             other => Err(CodecError::InvalidTag(other)),
         }
@@ -368,6 +420,10 @@ impl Encode for EcallResponse {
                 out.push(2);
                 reason.encode(out);
             }
+            EcallResponse::Signatures(sigs) => {
+                out.push(3);
+                encode_seq(sigs, out);
+            }
         }
     }
 }
@@ -378,6 +434,7 @@ impl Decode for EcallResponse {
             0 => Ok(EcallResponse::Initialized(PublicKey::decode(r)?)),
             1 => Ok(EcallResponse::Signature(Signature::decode(r)?)),
             2 => Ok(EcallResponse::Rejected(String::decode(r)?)),
+            3 => Ok(EcallResponse::Signatures(decode_seq(r)?)),
             other => Err(CodecError::InvalidTag(other)),
         }
     }
@@ -445,6 +502,66 @@ mod tests {
     fn junk_is_rejected() {
         assert!(EcallRequest::decode_all(&[42]).is_err());
         assert!(EcallResponse::decode_all(&[42]).is_err());
+    }
+
+    #[test]
+    fn range_sig_gen_round_trip() {
+        let req = EcallRequest::RangeSigGen {
+            anchor: header(),
+            links: vec![BatchLink {
+                block: Block {
+                    header: header(),
+                    txs: Vec::new(),
+                },
+                reads: vec![(StateKey::new("kv", b"a"), None)],
+                state_proof: dcert_merkle::SparseMerkleTree::new().prove(&[hash_bytes(b"k")]),
+            }],
+        };
+        assert_eq!(
+            EcallRequest::decode_all(&req.to_encoded_bytes()).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn fold_ranges_round_trip() {
+        use dcert_primitives::keys::Keypair;
+
+        let kp = Keypair::from_seed([4; 32]);
+        let range = RangeCert {
+            pk_range: kp.public(),
+            report: dcert_sgx::AttestationReport {
+                measurement: hash_bytes(b"m"),
+                report_data: hash_bytes(b"d"),
+                signature: kp.sign(b"r"),
+            },
+            anchor_digest: hash_bytes(b"anchor"),
+            first: 1,
+            last: 2,
+            header_digests: vec![hash_bytes(b"h1"), hash_bytes(b"h2")],
+            signature: kp.sign(b"s"),
+        };
+        let req = EcallRequest::FoldRanges {
+            anchor: header(),
+            anchor_cert: None,
+            ranges: vec![range],
+        };
+        assert_eq!(
+            EcallRequest::decode_all(&req.to_encoded_bytes()).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn signatures_round_trip() {
+        use dcert_primitives::keys::Keypair;
+
+        let kp = Keypair::from_seed([5; 32]);
+        let resp = EcallResponse::Signatures(vec![kp.sign(b"a"), kp.sign(b"b")]);
+        assert_eq!(
+            EcallResponse::decode_all(&resp.to_encoded_bytes()).unwrap(),
+            resp
+        );
     }
 
     #[test]

@@ -578,6 +578,17 @@ impl CertPipeline {
     /// [`CertPipeline::shutdown`] (whose returned CI and report reflect
     /// only what survived) or just drop it.
     ///
+    /// **Abort, not drain.** `kill` is the opposite of calling
+    /// [`CertPipeline::shutdown`] directly: `shutdown` on a live pipeline
+    /// *drains* — it closes the intake, lets every queued job flow through
+    /// prepare → issue → publish, and returns only once the channels are
+    /// empty — whereas `kill` *aborts*: stages check the poison flag
+    /// between jobs and bail out with whatever is still in their channels
+    /// unprocessed. Nothing in-enclave is rolled back (the signing
+    /// watermark keeps any already-issued heights), so an aborted height
+    /// may be signed-but-unpublished; recovery must resume from the last
+    /// published certificate, never from the enclave watermark.
+    ///
     /// Recovery is what `tests/crash_recovery.rs` drills: reboot from a
     /// sealed enclave key ([`CertPipeline::seal_enclave_key`]) plus the
     /// last *published* certificate via

@@ -25,6 +25,7 @@ use crate::error::CertError;
 use crate::messages::{
     BatchLink, BlockInput, EcallRequest, EcallResponse, IdxRequest, IndexInput, WriteSet,
 };
+use crate::range::RangeCert;
 use crate::verifier::IndexVerifier;
 
 /// The measured code identity of the certificate program.
@@ -151,6 +152,39 @@ impl CertProgram {
                 }
                 Ok(EcallResponse::Signature(sig))
             }
+            EcallRequest::RangeSigGen { anchor, links } => {
+                let first = anchor
+                    .height
+                    .checked_add(1)
+                    .ok_or(CertError::HeightOverflow)?;
+                // Strict: a shard enclave never re-signs a range it already
+                // vouched for — restart recovery resumes *above* the sealed
+                // watermark; re-certifying after a reorg requires a fresh
+                // shard enclave (a new key, a new attestation).
+                self.guard_height(first, true)?;
+                let sig = self.range_sig_gen(&anchor, &links)?;
+                if let Some(last) = links.last() {
+                    self.mark_signed(last.block.header.height);
+                }
+                Ok(EcallResponse::Signature(sig))
+            }
+            EcallRequest::FoldRanges {
+                anchor,
+                anchor_cert,
+                ranges,
+            } => {
+                let first = ranges.first().ok_or(CertError::EmptyRange)?.first;
+                // Strict: the aggregator refuses to fold ranges at or below
+                // heights it already signed — the stale-range watermark.
+                // After a reorg the fleet must boot a fresh aggregator to
+                // re-issue the affected suffix.
+                self.guard_height(first, true)?;
+                let sigs = self.fold_ranges(&anchor, anchor_cert.as_ref(), &ranges)?;
+                if let Some(last) = ranges.last() {
+                    self.mark_signed(last.last);
+                }
+                Ok(EcallResponse::Signatures(sigs))
+            }
         }
     }
 
@@ -210,6 +244,89 @@ impl CertProgram {
         }
         let kp = self.keypair()?;
         Ok(kp.sign(anchor.hash().as_bytes()))
+    }
+
+    /// Shard-fleet range step: sequential `blk_verify_t` from an
+    /// *uncertified* anchor, then one signature over the range binding
+    /// digest. No recursive anchor check happens here — the shard cannot
+    /// have the anchor's certificate (producing it in parallel is the whole
+    /// point) — so the binding signature instead *commits* to the anchor
+    /// digest, and the aggregator authenticates it when chaining ranges.
+    fn range_sig_gen(
+        &self,
+        anchor: &BlockHeader,
+        links: &[BatchLink],
+    ) -> Result<Signature, CertError> {
+        if links.is_empty() {
+            return Err(CertError::EmptyRange);
+        }
+        let first = anchor
+            .height
+            .checked_add(1)
+            .ok_or(CertError::HeightOverflow)?;
+        let anchor_digest = anchor.hash();
+        let mut prev = anchor.clone();
+        let mut digests = Vec::with_capacity(links.len());
+        for link in links {
+            let input = BlockInput {
+                prev_header: prev,
+                prev_cert: None, // anchor is uncertified by design
+                block: link.block.clone(),
+                reads: link.reads.clone(),
+                state_proof: link.state_proof.clone(),
+            };
+            self.blk_verify(&input)?;
+            prev = link.block.header.clone();
+            digests.push(prev.hash());
+        }
+        let binding = RangeCert::binding_digest(&anchor_digest, first, prev.height, &digests);
+        let kp = self.keypair()?;
+        Ok(kp.sign(binding.as_bytes()))
+    }
+
+    /// Aggregator step: authenticate the fold anchor recursively (genesis
+    /// digest or a previous certificate of this very program), verify each
+    /// shard range certificate's attestation and binding signature, enforce
+    /// digest-to-digest chaining and height contiguity across ranges, then
+    /// sign every folded header digest. Each produced signature is
+    /// byte-identical to what sequential recursion would sign: ed25519 is
+    /// deterministic and block certificates sign raw header digests.
+    fn fold_ranges(
+        &self,
+        anchor: &BlockHeader,
+        anchor_cert: Option<&Certificate>,
+        ranges: &[RangeCert],
+    ) -> Result<Vec<Signature>, CertError> {
+        if ranges.is_empty() {
+            return Err(CertError::EmptyRange);
+        }
+        self.verify_prev_block(anchor, anchor_cert)?;
+        let measurement = self.own_measurement();
+        let mut prev_digest = anchor.hash();
+        let mut next_height = anchor
+            .height
+            .checked_add(1)
+            .ok_or(CertError::HeightOverflow)?;
+        let kp = self.keypair()?;
+        let mut sigs = Vec::new();
+        for range in ranges {
+            range.verify(&self.ias_key, &measurement)?;
+            if range.anchor_digest != prev_digest {
+                return Err(CertError::RangeAnchorMismatch);
+            }
+            if range.first != next_height {
+                return Err(CertError::RangeDiscontinuity {
+                    expected: next_height,
+                    found: range.first,
+                });
+            }
+            for digest in &range.header_digests {
+                sigs.push(kp.sign(digest.as_bytes()));
+            }
+            prev_digest = *range.header_digests.last().ok_or(CertError::EmptyRange)?;
+            next_height = range.last.checked_add(1).ok_or(CertError::HeightOverflow)?;
+        }
+        Ok(sigs)
     }
 
     /// Algorithm 2: `ecall_sig_gen`.

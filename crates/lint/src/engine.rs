@@ -95,8 +95,9 @@ const ED25519_HOME: &str = "crates/primitives/src/keys.rs";
 
 /// Untrusted-input modules: every byte they verify or decode may be
 /// attacker-supplied, so they must reject, never panic.
-pub const R2_VERIFIER_MODULES: [&str; 18] = [
+pub const R2_VERIFIER_MODULES: [&str; 19] = [
     "crates/core/src/superlight.rs",
+    "crates/core/src/range.rs",
     "crates/store/src/",
     "crates/core/src/quorum.rs",
     "crates/core/src/cert.rs",

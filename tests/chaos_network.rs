@@ -782,3 +782,237 @@ fn serve_chaos_replays_bit_for_bit() {
     assert_eq!(a.garbled, b.garbled, "CHAOS_SEED=424242");
     assert_eq!(a.rejected, b.rejected, "CHAOS_SEED=424242");
 }
+
+// ---------------------------------------------------------------------
+// The sharded certification fleet under chaos: shard enclaves are killed
+// and restarted mid-run by a deterministic failure plan, the aggregate
+// certificate stream rides the same faulty SimNet, and after `heal()`
+// every client converges on exactly the bytes the sequential issuer
+// produces — fleet parallelism, enclave crashes, and network faults all
+// invisible in the output.
+// ---------------------------------------------------------------------
+
+use std::sync::Mutex;
+
+use common::{TEST_PLATFORM_SEED, TEST_SIGNING_SEED};
+use dcert::core::{ShardFailurePlan, ShardFleetConfig, ShardedCertEngine, SharedStore};
+use dcert::sgx::CostModel;
+use dcert::store::MemStore;
+
+/// Shards in the chaos fleet: the 20-block fixture chain splits into
+/// four 5-block ranges.
+const FLEET_SHARDS: usize = 4;
+
+/// Blocks per range ECall (and per durable checkpoint).
+const FLEET_CHUNK: u64 = 3;
+
+struct ShardFleetChaosRun {
+    stats: NetStats,
+    /// The archive's retained stream for heights `1..=CHAIN`.
+    retained: Vec<NetMessage>,
+    superlight: SuperlightClient,
+    quorum: QuorumClient,
+    /// Final snapshot of the registry shared by the fleet (`shard.*`)
+    /// and the simulator (`net.*`).
+    obs: Snapshot,
+    in_flight: u64,
+}
+
+/// Certifies the fixture chain through a sharded fleet whose failure
+/// plan kills shard 1 after one durable chunk (store-resume path) and
+/// shard 3 before any (fresh-boot path), publishes the aggregate stream
+/// over a `SimNet` seeded with `seed`, heals, and resyncs both client
+/// kinds to the tip.
+fn run_shard_fleet_chaos(seed: u64, faults: FaultConfig) -> ShardFleetChaosRun {
+    let fx = fixture();
+    let (mut world, _) = World::deterministic(Vec::new());
+    let obs = Registry::new();
+
+    let store: SharedStore = Arc::new(Mutex::new(Box::new(MemStore::new())));
+    let mut config = ShardFleetConfig::new(FLEET_SHARDS, FLEET_CHUNK);
+    config.registry = obs.clone();
+    config.store = Some(store);
+    config.failures = ShardFailurePlan::none().kill(1, 1).kill(3, 0);
+    let mut fleet = ShardedCertEngine::new_deterministic(
+        TEST_PLATFORM_SEED,
+        TEST_SIGNING_SEED,
+        &world.genesis,
+        world.genesis_state.clone(),
+        world.executor.clone(),
+        world.engine.clone(),
+        CostModel::zero(),
+        config,
+    )
+    .expect("fleet configures");
+    let certs = fleet
+        .certify_chain(&fx.blocks, &mut world.ias)
+        .expect("CHAOS_SEED: fleet certifies through the kill plan");
+
+    // The fleet's aggregate stream goes out over the faulty wire through
+    // the archive, exactly as the pipeline's publisher would send it.
+    let net = Arc::new(SimNet::new(seed, faults));
+    let client_rx = net.join();
+    net.attach_obs(&obs);
+    let archive = Arc::new(CertArchive::new(net.clone() as Arc<dyn Transport>));
+    for (block, cert) in fx.blocks.iter().zip(certs) {
+        archive.publish(NetMessage::BlockCert {
+            header: block.header.clone(),
+            cert,
+        });
+    }
+
+    net.heal();
+    let mut superlight = SuperlightClient::new(fx.ias_key, expected_measurement());
+    let mut quorum = QuorumClient::new(
+        vec![TrustDomain {
+            name: "sgx".into(),
+            ias_key: fx.ias_key,
+            measurement: expected_measurement(),
+        }],
+        1,
+    );
+    let mut rounds = 0u64;
+    loop {
+        while let Ok(msg) = client_rx.try_recv() {
+            superlight.on_message(&msg);
+            quorum.on_message(&msg);
+        }
+        if superlight.height() == Some(CHAIN) && quorum.height() == Some(CHAIN) {
+            break;
+        }
+        rounds += 1;
+        assert!(
+            rounds <= CHAIN + 10,
+            "CHAOS_SEED={seed}: no convergence after {rounds} resync rounds \
+             (superlight {:?}, quorum {:?}, stats {:?})",
+            superlight.height(),
+            quorum.height(),
+            net.stats(),
+        );
+        let have = superlight
+            .height()
+            .unwrap_or(0)
+            .min(quorum.height().unwrap_or(0));
+        let (from, to) = match superlight.resync_request() {
+            Some(NetMessage::CertRequest { from, to }) => (from.min(have + 1), to.max(CHAIN)),
+            _ => (have + 1, CHAIN),
+        };
+        archive.republish(from, to);
+    }
+    ShardFleetChaosRun {
+        stats: net.stats(),
+        retained: archive.messages_in(1, CHAIN),
+        superlight,
+        quorum,
+        obs: obs.snapshot(),
+        in_flight: net.in_flight(),
+    }
+}
+
+/// Kill/restart mid-certification over a faulty wire: the fleet survives
+/// both crash-recovery paths (resume-from-store and fresh boot), and once
+/// the network heals every client holds the sequential issuer's exact
+/// certificate stream.
+#[test]
+fn shard_fleet_converges_under_chaos() {
+    let seed = 0x5AAD;
+    let run = run_shard_fleet_chaos(seed, default_faults());
+    let fx = fixture();
+    assert_eq!(run.superlight.height(), Some(CHAIN), "CHAOS_SEED={seed}");
+    assert_eq!(run.quorum.height(), Some(CHAIN), "CHAOS_SEED={seed}");
+    assert_eq!(
+        run.superlight.latest_header(),
+        fx.blocks.last().map(|b| &b.header),
+        "CHAOS_SEED={seed}: wrong tip adopted"
+    );
+    // The retained aggregate stream is byte-for-byte the sequential
+    // issuer's: neither sharding, nor the kills, nor chaos in transit
+    // changes what was certified.
+    assert_eq!(
+        run.retained, fx.expected,
+        "CHAOS_SEED={seed}: fleet stream diverged from sequential issuance"
+    );
+    // Both crash-recovery paths actually ran.
+    assert_eq!(run.obs.counter("shard.kills"), 2, "CHAOS_SEED={seed}");
+    assert_eq!(run.obs.counter("shard.restarts"), 2, "CHAOS_SEED={seed}");
+    assert_eq!(
+        run.obs.counter("shard.resumed_ranges"),
+        1,
+        "CHAOS_SEED={seed}: shard 1 should resume from its durable chunk"
+    );
+    assert_eq!(
+        run.obs.counter("shard.blocks_certified"),
+        CHAIN,
+        "CHAOS_SEED={seed}: durable checkpoints must prevent re-certification"
+    );
+    assert!(
+        run.stats.dropped + run.stats.partitioned + run.stats.delayed > 0,
+        "CHAOS_SEED={seed}: scenario injected no faults — not a chaos test"
+    );
+    assert!(
+        run.stats.conserves_deliveries(run.in_flight),
+        "CHAOS_SEED={seed}: NetStats leaked deliveries: {:?} (in flight {})",
+        run.stats,
+        run.in_flight
+    );
+    assert_eq!(run.obs.counter("net.delivered"), run.stats.delivered);
+    assert_eq!(run.obs.counter("net.dropped"), run.stats.dropped);
+}
+
+/// The fleet chaos scenario replays bit-for-bit on a fixed seed: the
+/// fault schedule, the retained bytes, and every replay-stable metric —
+/// including the whole `shard.*` family — are identical across runs.
+#[test]
+fn shard_fleet_replays_bit_for_bit() {
+    let a = run_shard_fleet_chaos(4242, default_faults());
+    let b = run_shard_fleet_chaos(4242, default_faults());
+    assert_eq!(a.stats, b.stats, "CHAOS_SEED=4242: fault schedule diverged");
+    assert_eq!(
+        a.retained, b.retained,
+        "CHAOS_SEED=4242: retained stream diverged"
+    );
+    assert_eq!(a.superlight.latest_header(), b.superlight.latest_header());
+    // `shard.*` counters (kills, restarts, resumes, per-shard block
+    // counts, aggregator folds) are part of the replay-stable snapshot;
+    // only `_ns` wall-clock timers may differ.
+    assert_eq!(
+        a.obs.without_wall_clock(),
+        b.obs.without_wall_clock(),
+        "CHAOS_SEED=4242: deterministic metrics diverged between replays"
+    );
+    assert_eq!(
+        a.obs.without_wall_clock().to_json(),
+        b.obs.without_wall_clock().to_json(),
+        "CHAOS_SEED=4242: snapshot encoding is not canonical"
+    );
+}
+
+/// The fleet's CI seed-matrix entry: `CHAOS_SEED=<n> cargo test --test
+/// chaos_network shard_fleet -- --include-ignored`. Elevated fault rates,
+/// run twice, convergence and bit-for-bit replay both checked.
+#[test]
+#[ignore = "seed-matrix entry; run with CHAOS_SEED=<n> -- --include-ignored"]
+fn shard_fleet_seed_matrix_entry() {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut faults = default_faults();
+    faults.corrupt_rate = 0.05;
+    faults.duplicate_rate = 0.05;
+    let a = run_shard_fleet_chaos(seed, faults.clone());
+    let b = run_shard_fleet_chaos(seed, faults);
+    assert_eq!(a.stats, b.stats, "CHAOS_SEED={seed}: replay diverged");
+    assert_eq!(
+        a.retained,
+        fixture().expected,
+        "CHAOS_SEED={seed}: stream mismatch"
+    );
+    assert_eq!(
+        a.obs.without_wall_clock(),
+        b.obs.without_wall_clock(),
+        "CHAOS_SEED={seed}: shard metrics diverged between replays"
+    );
+    assert_eq!(a.superlight.height(), Some(CHAIN), "CHAOS_SEED={seed}");
+    assert_eq!(b.quorum.height(), Some(CHAIN), "CHAOS_SEED={seed}");
+}

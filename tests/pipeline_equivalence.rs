@@ -20,16 +20,17 @@
 
 mod common;
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use proptest::prelude::*;
 
-use common::World;
+use common::{World, TEST_PLATFORM_SEED, TEST_SIGNING_SEED};
 use dcert::chain::{Block, BlockHeader};
 use dcert::core::{
     CertError, CertJob, CertPipeline, Certificate, CertificateIssuer, Gossip, NetMessage,
-    ParallelismConfig, PipelineConfig, PipelineReport, SuperlightClient,
+    ParallelismConfig, PipelineConfig, PipelineReport, ShardFailurePlan, ShardFleetConfig,
+    ShardedCertEngine, SharedStore, SuperlightClient,
 };
 use dcert::obs::Registry;
 use dcert::primitives::codec::Encode;
@@ -37,6 +38,8 @@ use dcert::primitives::hash::Hash;
 use dcert::primitives::keys::PublicKey;
 use dcert::query::sp::IndexKind;
 use dcert::query::ServiceProvider;
+use dcert::sgx::CostModel;
+use dcert::store::MemStore;
 use dcert::workloads::Workload;
 
 // --- the observable stream --------------------------------------------------
@@ -770,6 +773,247 @@ fn shutdown_message_mid_stream_is_orderly() {
     assert_eq!(certified, 8);
     assert_eq!(ci.node().tip(), &tip);
     assert_eq!(client.latest_header(), Some(&tip));
+}
+
+// --- sharded fleet equivalence ----------------------------------------------
+//
+// The sharded certification engine partitions the chain into ranges,
+// certifies them on independent shard enclaves, and folds the per-range
+// certificates through an aggregator booted with the *sequential* CI's
+// seeds. The oracle is the same as the pipeline's: byte-identical
+// certificates at every height, for every shard count — including with
+// shard enclaves killed and restarted mid-run, and across reorgs.
+
+/// Builds a fleet sharing the deterministic world's seeds and chain
+/// semantics, so its aggregator is seed-identical to the world's CI.
+fn fleet_for(world: &World, config: ShardFleetConfig) -> ShardedCertEngine {
+    ShardedCertEngine::new_deterministic(
+        TEST_PLATFORM_SEED,
+        TEST_SIGNING_SEED,
+        &world.genesis,
+        world.genesis_state.clone(),
+        world.executor.clone(),
+        world.engine.clone(),
+        CostModel::zero(),
+        config,
+    )
+    .expect("fleet configures")
+}
+
+/// Certifies every block sequentially — the byte-identity oracle for the
+/// fleet.
+fn sequential_certs(world: &mut World, blocks: &[Block]) -> Vec<Certificate> {
+    blocks
+        .iter()
+        .map(|block| world.ci.certify_block(block).expect("certifies").0)
+        .collect()
+}
+
+/// Asserts the two certificate streams are byte-identical at every height
+/// and that a superlight client adopts the fleet's stream to the tip.
+fn assert_fleet_matches(
+    seq: &[Certificate],
+    fleet: &[Certificate],
+    blocks: &[Block],
+    ias_key: PublicKey,
+    label: &str,
+) {
+    assert_eq!(seq.len(), fleet.len(), "{label}: certificate count");
+    for (at, (s, f)) in seq.iter().zip(fleet).enumerate() {
+        assert_eq!(
+            s.to_encoded_bytes(),
+            f.to_encoded_bytes(),
+            "{label}: certificate bytes diverge at height {}",
+            at + 1
+        );
+    }
+    let mut client = SuperlightClient::new(ias_key, dcert::core::expected_measurement());
+    for (block, cert) in blocks.iter().zip(fleet) {
+        client
+            .validate_chain(&block.header, cert)
+            .expect("client adopts fleet certificate");
+    }
+    assert_eq!(
+        client.latest_header().map(|h| h.height),
+        blocks.last().map(|b| b.header.height),
+        "{label}: client tip"
+    );
+}
+
+/// The tentpole acceptance criterion: for shard counts 1, 2, 4, and 8
+/// over one mined chain, the fleet's aggregate output is byte-identical
+/// to sequential certification at every height.
+#[test]
+fn shard_counts_1_2_4_8_match_sequential_bytes() {
+    let (mut seq_world, _) = World::deterministic(Vec::new());
+    let blocks = seq_world.mine_blocks(Workload::SmallBank { customers: 16 }, 12, 2, 31);
+    let seq = sequential_certs(&mut seq_world, &blocks);
+    let ias_key = seq_world.ias.public_key();
+
+    for shards in [1usize, 2, 4, 8] {
+        let (mut fleet_world, _) = World::deterministic(Vec::new());
+        let mut fleet = fleet_for(&fleet_world, ShardFleetConfig::new(shards, 3));
+        let certs = fleet
+            .certify_chain(&blocks, &mut fleet_world.ias)
+            .expect("fleet certifies");
+        assert_fleet_matches(&seq, &certs, &blocks, ias_key, &format!("shards={shards}"));
+    }
+}
+
+/// Extending an already-certified chain folds only the new ranges on the
+/// same aggregator (its height watermark advances monotonically), and the
+/// full stream still matches sequential bytes.
+#[test]
+fn shard_fleet_incremental_extension_matches_sequential() {
+    let (mut seq_world, _) = World::deterministic(Vec::new());
+    let blocks = seq_world.mine_blocks(Workload::KvStore { keyspace: 32 }, 10, 2, 47);
+    let seq = sequential_certs(&mut seq_world, &blocks);
+    let ias_key = seq_world.ias.public_key();
+
+    let (mut fleet_world, _) = World::deterministic(Vec::new());
+    let mut fleet = fleet_for(&fleet_world, ShardFleetConfig::new(3, 2));
+    let first = fleet
+        .certify_chain(&blocks[..6], &mut fleet_world.ias)
+        .expect("prefix certifies");
+    assert_eq!(first.len(), 6);
+    let certs = fleet
+        .certify_chain(&blocks, &mut fleet_world.ias)
+        .expect("extension certifies");
+    assert_fleet_matches(&seq, &certs, &blocks, ias_key, "extension");
+
+    // Re-offering the identical chain is a no-op with identical output.
+    let again = fleet
+        .certify_chain(&blocks, &mut fleet_world.ias)
+        .expect("idempotent");
+    assert_eq!(certs.len(), again.len());
+    for (a, b) in certs.iter().zip(&again) {
+        assert_eq!(a.to_encoded_bytes(), b.to_encoded_bytes());
+    }
+}
+
+/// Killing shard enclaves mid-run — one after durable progress, one
+/// before any — must not change a single output byte: the restarted
+/// shards resume from the store's range watermarks (or re-certify from
+/// scratch) and the aggregate stream still equals sequential bytes.
+#[test]
+fn shard_kill_restart_is_byte_identical() {
+    let (mut seq_world, _) = World::deterministic(Vec::new());
+    let blocks = seq_world.mine_blocks(Workload::SmallBank { customers: 16 }, 12, 2, 59);
+    let seq = sequential_certs(&mut seq_world, &blocks);
+    let ias_key = seq_world.ias.public_key();
+
+    let registry = Registry::new();
+    let store: SharedStore = Arc::new(Mutex::new(Box::new(MemStore::new())));
+    let (mut fleet_world, _) = World::deterministic(Vec::new());
+    let mut config = ShardFleetConfig::new(4, 1);
+    config.registry = registry.clone();
+    config.store = Some(store);
+    config.failures = ShardFailurePlan::none().kill(1, 1).kill(3, 0);
+    let mut fleet = fleet_for(&fleet_world, config);
+    let certs = fleet
+        .certify_chain(&blocks, &mut fleet_world.ias)
+        .expect("fleet certifies through kills");
+    assert_fleet_matches(&seq, &certs, &blocks, ias_key, "kill/restart");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("shard.kills"), 2, "both scheduled kills fired");
+    assert_eq!(snap.counter("shard.restarts"), 2);
+    // Shard 1 died after one durable chunk: its restart resumed from the
+    // store instead of re-certifying from the range start.
+    assert!(
+        snap.counter("shard.resumed_ranges") >= 1,
+        "durable watermark resume must be exercised"
+    );
+}
+
+/// A compact reorg drill at this suite's level (the boundary geometry
+/// cases live in `tests/shard_reorg.rs`): after certifying one chain, the
+/// fleet is offered a fork — output must be byte-identical to a
+/// sequential CI certifying the reorged chain from scratch.
+#[test]
+fn shard_fleet_reorg_matches_sequential() {
+    // Two deterministic worlds mine the same 8-block prefix; the fork
+    // world then diverges for the last 3 heights via a different tx seed.
+    let (mut world_a, _) = World::deterministic(Vec::new());
+    let original = world_a.mine_blocks(Workload::SmallBank { customers: 16 }, 8, 2, 71);
+
+    let (mut world_b, _) = World::deterministic(Vec::new());
+    let prefix = world_b.mine_blocks(Workload::SmallBank { customers: 16 }, 5, 2, 71);
+    let suffix = world_b.mine_blocks(Workload::SmallBank { customers: 16 }, 3, 2, 72);
+    let reorged: Vec<Block> = prefix.iter().chain(&suffix).cloned().collect();
+    assert_eq!(
+        original[4].header.hash(),
+        reorged[4].header.hash(),
+        "prefix must be shared"
+    );
+    assert_ne!(
+        original[5].header.hash(),
+        reorged[5].header.hash(),
+        "fork must diverge at height 6"
+    );
+
+    // Sequential oracle: a fresh CI certifying the reorged chain.
+    let (mut oracle_world, _) = World::deterministic(Vec::new());
+    let seq = sequential_certs(&mut oracle_world, &reorged);
+    let ias_key = oracle_world.ias.public_key();
+
+    let registry = Registry::new();
+    let (mut fleet_world, _) = World::deterministic(Vec::new());
+    let mut config = ShardFleetConfig::new(3, 2);
+    config.registry = registry.clone();
+    let mut fleet = fleet_for(&fleet_world, config);
+    fleet
+        .certify_chain(&original, &mut fleet_world.ias)
+        .expect("original chain certifies");
+    let certs = fleet
+        .certify_chain(&reorged, &mut fleet_world.ias)
+        .expect("reorg re-certifies");
+    assert_fleet_matches(&seq, &certs, &reorged, ias_key, "reorg");
+
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("shard.recert_blocks") > 0,
+        "reorg must be visible as re-certification work"
+    );
+    assert_eq!(
+        snap.counter("shard.stale_range_refusals"),
+        1,
+        "the old aggregator must refuse the stale-range fold"
+    );
+    assert_eq!(snap.counter("shard.agg.fresh_boots"), 2);
+}
+
+proptest! {
+    // Each case boots up to 9 enclaves; 16 cases keep the suite fast while
+    // still sweeping shard counts, chunk sizes, chain lengths, and
+    // workloads. (TSan CI runs with PROPTEST_CASES=8 semantics via the
+    // suite's shared budget.)
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fleet matches sequential bytes for arbitrary shard counts,
+    /// chunk sizes, chain lengths, and workloads.
+    #[test]
+    fn shard_fleet_matches_sequential(
+        shards in 1usize..=8,
+        chunk in 1u64..=4,
+        count in 1usize..=8,
+        workload in workload(),
+        txs in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let (mut seq_world, _) = World::deterministic(Vec::new());
+        let blocks = seq_world.mine_blocks(workload, count, txs, seed);
+        let seq = sequential_certs(&mut seq_world, &blocks);
+        let ias_key = seq_world.ias.public_key();
+
+        let (mut fleet_world, _) = World::deterministic(Vec::new());
+        let mut fleet = fleet_for(&fleet_world, ShardFleetConfig::new(shards, chunk));
+        let certs = fleet
+            .certify_chain(&blocks, &mut fleet_world.ias)
+            .expect("fleet certifies");
+        assert_fleet_matches(&seq, &certs, &blocks, ias_key,
+            &format!("shards={shards} chunk={chunk}"));
+    }
 }
 
 /// An idle pipeline shuts down cleanly and hands back an untouched CI.
